@@ -1,0 +1,337 @@
+package tsvd
+
+// One benchmark per table and figure of the paper's evaluation (§5), plus
+// microbenchmarks of the OnCall hot path. Benchmarks run reduced-size
+// suites so `go test -bench=.` completes in minutes on one core; the
+// full-size regeneration (the numbers recorded in EXPERIMENTS.md) is
+// produced by cmd/tsvd-bench. Custom metrics carry the experiment results:
+// bugs (unique planted bugs found), delays (injected), found_frac (share of
+// planted bugs found).
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/collections"
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/harness"
+	"repro/internal/ids"
+	"repro/internal/scenarios"
+	"repro/internal/workload"
+)
+
+// benchParams shrinks the experiment sizes for benchmark iterations.
+func benchParams() experiments.Params {
+	p := experiments.DefaultParams()
+	p.SmallModules = 40
+	p.LargeModules = 120
+	p.Fig8Modules = 25
+	p.Fig8Runs = 10
+	return p
+}
+
+func benchOpts(algo config.Algorithm, modules, runs int) (*workload.Suite, harness.Options) {
+	p := benchParams()
+	suite := workload.GenerateSuite(p.Seed, modules)
+	return suite, harness.Options{
+		Config:      config.Defaults(algo).Scaled(p.Scale),
+		Runs:        runs,
+		Parallelism: p.Parallelism,
+		RunSeedBase: p.Seed * 31,
+	}
+}
+
+func runTechnique(b *testing.B, algo config.Algorithm) {
+	b.Helper()
+	suite, opts := benchOpts(algo, 40, 2)
+	var bugs, delays float64
+	for i := 0; i < b.N; i++ {
+		opts.RunSeedBase = int64(i+1) * 7919
+		out := harness.Run(suite, opts)
+		bugs += float64(out.TotalFound())
+		delays += float64(out.Stats.DelaysInjected)
+		if len(out.UnknownPairs) != 0 {
+			b.Fatalf("%v reported non-planted pairs", algo)
+		}
+	}
+	b.ReportMetric(bugs/float64(b.N), "bugs")
+	b.ReportMetric(delays/float64(b.N), "delays")
+	b.ReportMetric(bugs/float64(b.N)/float64(suite.TotalPlantedBugs()), "found_frac")
+}
+
+// --- Table 2: technique comparison ---
+
+func BenchmarkTable2_TSVD(b *testing.B)          { runTechnique(b, config.AlgoTSVD) }
+func BenchmarkTable2_TSVDHB(b *testing.B)        { runTechnique(b, config.AlgoTSVDHB) }
+func BenchmarkTable2_DynamicRandom(b *testing.B) { runTechnique(b, config.AlgoDynamicRandom) }
+func BenchmarkTable2_DataCollider(b *testing.B)  { runTechnique(b, config.AlgoStaticRandom) }
+
+// BenchmarkTable2_Baseline measures the uninstrumented suite, the
+// denominator of every overhead number.
+func BenchmarkTable2_Baseline(b *testing.B) {
+	suite, opts := benchOpts(config.AlgoTSVD, 40, 1)
+	for i := 0; i < b.N; i++ {
+		harness.Baseline(suite, opts)
+	}
+}
+
+// --- Table 1: bug population over the Large suite ---
+
+func BenchmarkTable1(b *testing.B) {
+	p := benchParams()
+	suite := workload.LargeSuite(p.Seed)
+	// Large is big; trim to the bench size deterministically.
+	suite.Modules = suite.Modules[:p.LargeModules]
+	opts := harness.Options{
+		Config:      config.Defaults(config.AlgoTSVD).Scaled(p.Scale),
+		Runs:        2,
+		Parallelism: p.Parallelism,
+		RunSeedBase: p.Seed * 31,
+	}
+	var bugs float64
+	for i := 0; i < b.N; i++ {
+		out := harness.Run(suite, opts)
+		bugs += float64(out.TotalFound())
+	}
+	b.ReportMetric(bugs/float64(b.N), "bugs")
+}
+
+// --- Table 3: ablations ---
+
+func runAblation(b *testing.B, mutate func(*config.Config)) {
+	b.Helper()
+	suite, opts := benchOpts(config.AlgoTSVD, 40, 2)
+	mutate(&opts.Config)
+	var bugs, delays float64
+	for i := 0; i < b.N; i++ {
+		out := harness.Run(suite, opts)
+		bugs += float64(out.TotalFound())
+		delays += float64(out.Stats.DelaysInjected)
+	}
+	b.ReportMetric(bugs/float64(b.N), "bugs")
+	b.ReportMetric(delays/float64(b.N), "delays")
+}
+
+func BenchmarkTable3_Full(b *testing.B) { runAblation(b, func(*config.Config) {}) }
+func BenchmarkTable3_NoHBInference(b *testing.B) {
+	runAblation(b, func(c *config.Config) { c.DisableHBInference = true })
+}
+func BenchmarkTable3_NoWindowing(b *testing.B) {
+	runAblation(b, func(c *config.Config) { c.DisableNearMissWindow = true })
+}
+func BenchmarkTable3_NoPhaseDetection(b *testing.B) {
+	runAblation(b, func(c *config.Config) { c.DisablePhaseDetection = true })
+}
+
+// --- Table 4: open-source scenarios ---
+
+func BenchmarkTable4(b *testing.B) {
+	cfg := config.Defaults(config.AlgoTSVD).Scaled(0.4)
+	var tsvs float64
+	for i := 0; i < b.N; i++ {
+		for _, s := range scenarios.All() {
+			out, err := scenarios.Run(s, cfg, 2)
+			if err != nil {
+				b.Fatal(err)
+			}
+			tsvs += float64(out.TSVs)
+		}
+	}
+	b.ReportMetric(tsvs/float64(b.N), "tsvs")
+}
+
+// --- Figure 8: bugs over accumulated runs ---
+
+func BenchmarkFigure8(b *testing.B) {
+	p := benchParams()
+	suite := workload.GenerateSuite(p.Seed, p.Fig8Modules)
+	var tsvdBugs float64
+	for i := 0; i < b.N; i++ {
+		out := harness.Run(suite, harness.Options{
+			Config:      config.Defaults(config.AlgoTSVD).Scaled(p.Scale),
+			Runs:        p.Fig8Runs,
+			Parallelism: p.Parallelism,
+			RunSeedBase: int64(i+1) * 104729,
+		})
+		tsvdBugs += float64(out.TotalFound())
+	}
+	b.ReportMetric(tsvdBugs/float64(b.N), "bugs")
+}
+
+// --- Figure 9: parameter sensitivity (each bench sweeps its parameter's
+// pathological value vs the default and reports the bug gap) ---
+
+func sweepPoint(b *testing.B, mutate func(*config.Config)) float64 {
+	b.Helper()
+	suite, opts := benchOpts(config.AlgoTSVD, 40, 2)
+	mutate(&opts.Config)
+	out := harness.Run(suite, opts)
+	return float64(out.TotalFound())
+}
+
+func runSweepBench(b *testing.B, worst, def func(*config.Config)) {
+	b.Helper()
+	var worstBugs, defBugs float64
+	for i := 0; i < b.N; i++ {
+		worstBugs += sweepPoint(b, worst)
+		defBugs += sweepPoint(b, def)
+	}
+	b.ReportMetric(worstBugs/float64(b.N), "bugs_worst")
+	b.ReportMetric(defBugs/float64(b.N), "bugs_default")
+}
+
+func BenchmarkFigure9a_Variance(b *testing.B) {
+	suite, opts := benchOpts(config.AlgoTSVD, 40, 2)
+	minB, maxB := 1<<30, 0
+	for i := 0; i < b.N; i++ {
+		for try := 1; try <= 3; try++ {
+			opts.Config.Seed = int64(i*3+try) * 997
+			out := harness.Run(suite, opts)
+			n := out.TotalFound()
+			if n < minB {
+				minB = n
+			}
+			if n > maxB {
+				maxB = n
+			}
+		}
+	}
+	b.ReportMetric(float64(minB), "bugs_min")
+	b.ReportMetric(float64(maxB), "bugs_max")
+}
+
+func BenchmarkFigure9b_ObjHistory(b *testing.B) {
+	runSweepBench(b,
+		func(c *config.Config) { c.ObjHistory = 1 },
+		func(c *config.Config) { c.ObjHistory = 5 })
+}
+
+func BenchmarkFigure9c_NearMissWindow(b *testing.B) {
+	runSweepBench(b,
+		func(c *config.Config) { c.NearMissWindow = c.NearMissWindow / 100 },
+		func(c *config.Config) {})
+}
+
+func BenchmarkFigure9d_HBThreshold(b *testing.B) {
+	runSweepBench(b,
+		func(c *config.Config) { c.HBBlockThreshold = 0 },
+		func(c *config.Config) { c.HBBlockThreshold = 0.5 })
+}
+
+func BenchmarkFigure9e_HBWindow(b *testing.B) {
+	runSweepBench(b,
+		func(c *config.Config) { c.HBInferenceWindow = 100 },
+		func(c *config.Config) { c.HBInferenceWindow = 5 })
+}
+
+func BenchmarkFigure9f_PhaseBuffer(b *testing.B) {
+	runSweepBench(b,
+		func(c *config.Config) { c.PhaseBufferSize = 2 },
+		func(c *config.Config) { c.PhaseBufferSize = 16 })
+}
+
+func BenchmarkFigure9g_DecayFactor(b *testing.B) {
+	// Factor 0 (no decay) is the overhead-pathological configuration;
+	// report delay counts rather than bugs.
+	suite, opts := benchOpts(config.AlgoTSVD, 40, 2)
+	var zeroDelays, defDelays float64
+	for i := 0; i < b.N; i++ {
+		opts.Config.DecayFactor = 0
+		zeroDelays += float64(harness.Run(suite, opts).Stats.DelaysInjected)
+		opts.Config.DecayFactor = 0.5
+		defDelays += float64(harness.Run(suite, opts).Stats.DelaysInjected)
+	}
+	b.ReportMetric(zeroDelays/float64(b.N), "delays_nodecay")
+	b.ReportMetric(defDelays/float64(b.N), "delays_default")
+}
+
+func BenchmarkFigure9h_DelayTime(b *testing.B) {
+	runSweepBench(b,
+		func(c *config.Config) { c.DelayTime = c.DelayTime / 10 },
+		func(c *config.Config) {})
+}
+
+// --- §5.5 resource usage, §4 async inlining, §3.4.6 overlap ablation ---
+
+func BenchmarkResourceUsage(b *testing.B) {
+	p := benchParams()
+	for i := 0; i < b.N; i++ {
+		experiments.ResourceUsage(p, io.Discard)
+	}
+}
+
+func BenchmarkAsyncInlining(b *testing.B) {
+	suite, opts := benchOpts(config.AlgoTSVD, 40, 2)
+	var forced, inlined float64
+	for i := 0; i < b.N; i++ {
+		opts.InlineFastAsync = false
+		forced += float64(harness.Run(suite, opts).FoundByKind(suite)[workload.BugAsync])
+		opts.InlineFastAsync = true
+		inlined += float64(harness.Run(suite, opts).FoundByKind(suite)[workload.BugAsync])
+	}
+	b.ReportMetric(forced/float64(b.N), "async_bugs_forced")
+	b.ReportMetric(inlined/float64(b.N), "async_bugs_inlined")
+}
+
+func BenchmarkDelayOverlapAblation(b *testing.B) {
+	suite, opts := benchOpts(config.AlgoTSVD, 40, 2)
+	var aggressive, avoiding float64
+	for i := 0; i < b.N; i++ {
+		opts.Config.AvoidOverlappingDelays = false
+		aggressive += float64(harness.Run(suite, opts).TotalFound())
+		opts.Config.AvoidOverlappingDelays = true
+		avoiding += float64(harness.Run(suite, opts).TotalFound())
+	}
+	b.ReportMetric(aggressive/float64(b.N), "bugs_aggressive")
+	b.ReportMetric(avoiding/float64(b.N), "bugs_avoid_overlap")
+}
+
+// --- OnCall hot-path microbenchmarks ---
+
+func benchOnCall(b *testing.B, algo config.Algorithm) {
+	b.Helper()
+	det, err := core.New(config.Defaults(algo))
+	if err != nil {
+		b.Fatal(err)
+	}
+	a := core.Access{
+		Thread: ids.CurrentThreadID(), Obj: 1, Op: 42,
+		Kind: core.KindRead, Class: "Dictionary", Method: "ContainsKey",
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		det.OnCall(a)
+	}
+}
+
+func BenchmarkOnCall_TSVD(b *testing.B)   { benchOnCall(b, config.AlgoTSVD) }
+func BenchmarkOnCall_TSVDHB(b *testing.B) { benchOnCall(b, config.AlgoTSVDHB) }
+func BenchmarkOnCall_Nop(b *testing.B)    { benchOnCall(b, config.AlgoNop) }
+
+// BenchmarkDictionarySetInstrumented measures the end-to-end per-operation
+// cost through the public API (prologue + detector + raw op).
+func BenchmarkDictionarySetInstrumented(b *testing.B) {
+	if err := Install(DefaultConfig()); err != nil {
+		b.Fatal(err)
+	}
+	d := NewDictionary[int, int]()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Set(i&1023, i)
+	}
+}
+
+// BenchmarkDictionarySetUninstrumented is the same operation with a nil
+// detector: the pay-as-you-go floor (no OnCall prologue at all).
+func BenchmarkDictionarySetUninstrumented(b *testing.B) {
+	d := collections.NewDictionary[int, int](nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Set(i&1023, i)
+	}
+}

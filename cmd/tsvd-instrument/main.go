@@ -1,0 +1,54 @@
+// Command tsvd-instrument rewrites Go source that uses the raw containers
+// (repro/internal/rawcol) into source using the instrumented collections —
+// the source-level analogue of the paper's static binary instrumenter (§4).
+//
+// Usage:
+//
+//	tsvd-instrument -dir ./myservice            # dry run: report only
+//	tsvd-instrument -dir ./myservice -w         # rewrite in place
+//	tsvd-instrument -dir . -det 'tsvd.Default()'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/instrument"
+)
+
+func main() {
+	var (
+		dir   = flag.String("dir", ".", "directory tree to instrument")
+		write = flag.Bool("w", false, "rewrite files in place (default: dry run)")
+		det   = flag.String("det", "", "detector expression for constructors (default tsvd.Default())")
+	)
+	flag.Parse()
+
+	opts := instrument.DefaultOptions()
+	if *det != "" {
+		opts.DetectorExpr = *det
+	}
+	res, err := instrument.RewriteDir(*dir, opts, *write)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tsvd-instrument: %v\n", err)
+		os.Exit(1)
+	}
+
+	mode := "would instrument (dry run; use -w to write)"
+	if *write {
+		mode = "instrumented"
+	}
+	fmt.Printf("%s %d file(s), %d thread-unsafe call site(s):\n",
+		mode, len(res.FilesChanged), len(res.CallSites()))
+	for _, s := range res.Sites {
+		kind := "read "
+		if s.Write {
+			kind = "write"
+		}
+		if s.Constructor {
+			kind = "ctor "
+		}
+		fmt.Printf("  %s:%d  %s %s.%s\n", s.File, s.Line, kind, s.Class, s.Method)
+	}
+}

@@ -1,0 +1,111 @@
+// Command tsvd-run executes a generated workload suite (or the Table-4
+// open-source scenarios) under a chosen detection technique and prints the
+// bug reports and statistics — the command-line face of the integrated
+// build-and-test deployment the paper describes (§2.1).
+//
+// Usage:
+//
+//	tsvd-run -modules 50 -runs 2 -algo tsvd
+//	tsvd-run -scenarios
+//	tsvd-run -modules 20 -algo tsvdhb -v
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/config"
+	"repro/internal/experiments"
+	"repro/internal/harness"
+	"repro/internal/trapfile"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		algoName  = flag.String("algo", "tsvd", "technique: tsvd, tsvdhb, dynamicrandom, datacollider")
+		modules   = flag.Int("modules", 50, "number of generated modules")
+		runs      = flag.Int("runs", 2, "consecutive runs (trap set persists between runs)")
+		seed      = flag.Int64("seed", 2019, "suite seed")
+		scale     = flag.Float64("scale", 0.02, "time scale (1.0 = the paper's 100ms delays)")
+		verbose   = flag.Bool("v", false, "print each bug's two-sided report")
+		jsonOut   = flag.Bool("json", false, "emit the bug report as JSON on stdout")
+		scenario  = flag.Bool("scenarios", false, "run the 9 open-source scenarios instead")
+		trapsFile = flag.String("trapfile", "", "trap file to load before run 1 and save after the last run (§3.4.6)")
+	)
+	flag.Parse()
+
+	algos := map[string]config.Algorithm{
+		"tsvd":          config.AlgoTSVD,
+		"tsvdhb":        config.AlgoTSVDHB,
+		"dynamicrandom": config.AlgoDynamicRandom,
+		"datacollider":  config.AlgoStaticRandom,
+	}
+	algo, ok := algos[*algoName]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "tsvd-run: unknown algorithm %q\n", *algoName)
+		os.Exit(2)
+	}
+
+	if *scenario {
+		experiments.Table4(experiments.DefaultParams(), os.Stdout)
+		return
+	}
+
+	suite := workload.GenerateSuite(*seed, *modules)
+	opts := harness.Options{
+		Config: config.Defaults(algo).Scaled(*scale),
+		Runs:   *runs,
+	}
+	if *trapsFile != "" {
+		pairs, err := trapfile.Load(*trapsFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tsvd-run: %v\n", err)
+			os.Exit(1)
+		}
+		opts.InitialTraps = pairs
+	}
+	out := harness.Run(suite, opts)
+	if *trapsFile != "" {
+		if err := trapfile.Save(*trapsFile, algo.String(), out.FinalTraps); err != nil {
+			fmt.Fprintf(os.Stderr, "tsvd-run: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *jsonOut {
+		if err := out.Reports.WriteJSON(os.Stdout, algo.String(), *verbose); err != nil {
+			fmt.Fprintf(os.Stderr, "tsvd-run: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	fmt.Printf("%s over %d modules (%d planted TSVs), %d run(s):\n",
+		algo, *modules, suite.TotalPlantedBugs(), *runs)
+	fmt.Printf("  unique bugs found: %d", out.TotalFound())
+	for i, n := range out.NewBugsByRun {
+		fmt.Printf("  run%d:%d", i+1, n)
+	}
+	fmt.Println()
+	st := out.Stats
+	fmt.Printf("  delays injected: %d (total %v)  near-misses: %d  pairs: +%d -hb:%d -decay:%d\n",
+		st.DelaysInjected, st.TotalDelay, st.NearMisses,
+		st.PairsAdded, st.PairsPrunedHB, st.PairsPrunedDecay)
+	fmt.Printf("  instrumented calls: %d  locations: %d (%d seen concurrent)\n",
+		st.OnCalls, st.LocationsSeen, st.LocationsSeenConcurrent)
+	if st.NearMissGaps.Total() > 0 {
+		fmt.Printf("  near-miss gap histogram: %s\n", st.NearMissGaps)
+	}
+	if len(out.UnknownPairs) > 0 {
+		fmt.Printf("  WARNING: %d reported pairs outside ground truth\n", len(out.UnknownPairs))
+	}
+	if *verbose {
+		for _, bug := range out.Reports.Bugs() {
+			fmt.Println()
+			fmt.Print(bug.First.String())
+			fmt.Printf("  occurrences: %d, distinct stack pairs: %d\n",
+				bug.Occurrences, bug.StackPairs)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package tsvd_test
+
+import (
+	"fmt"
+	"time"
+
+	tsvd "repro"
+)
+
+// Example_detectViolation shows the whole workflow: install the detector,
+// run racing code over an instrumented container, read the deduplicated
+// bug reports.
+func Example_detectViolation() {
+	// Scaled 10× faster than the paper's 100ms delays, for a quick demo.
+	if err := tsvd.Install(tsvd.DefaultConfig().Scaled(0.1)); err != nil {
+		fmt.Println("install:", err)
+		return
+	}
+
+	dict := tsvd.NewDictionary[string, int]()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 150; i++ {
+			dict.Set("key1", i) // write API
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	for i := 0; i < 150; i++ {
+		dict.ContainsKey("key2") // read API — still a violation (Figure 1)
+		time.Sleep(time.Millisecond)
+	}
+	<-done
+
+	if len(tsvd.Bugs()) > 0 {
+		fmt.Println("caught a thread-safety violation red-handed")
+	}
+	// Output:
+	// caught a thread-safety violation red-handed
+}
+
+// Example_tasks shows the TPL-style task substrate whose fork/join events
+// feed the TSVDHB variant.
+func Example_tasks() {
+	cfg := tsvd.DefaultConfig()
+	cfg.Algorithm = tsvd.Nop // no detection needed for this example
+	if err := tsvd.Install(cfg); err != nil {
+		fmt.Println("install:", err)
+		return
+	}
+	sched := tsvd.NewScheduler()
+
+	squares := tsvd.Go(sched, func() []int {
+		out := make([]int, 5)
+		for i := range out {
+			out[i] = i * i
+		}
+		return out
+	})
+	total := tsvd.ContinueWith(squares, func(xs []int) int {
+		sum := 0
+		for _, x := range xs {
+			sum += x
+		}
+		return sum
+	})
+	fmt.Println("sum of squares:", total.Result())
+	// Output:
+	// sum of squares: 30
+}

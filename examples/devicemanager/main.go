@@ -1,0 +1,65 @@
+// Device manager: the Figure 10(a) bug. A listener thread handles client
+// messages by spawning an asynchronous status-update task per message; two
+// clients sending at the same time produce two concurrent Dictionary-set
+// operations on the shared GlobalStatus table, silently corrupting it.
+//
+//	go run ./examples/devicemanager
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	tsvd "repro"
+)
+
+// deviceManager owns the shared status table and the task scheduler.
+type deviceManager struct {
+	globalStatus *tsvd.Dictionary[int, string]
+	sched        *tsvd.Scheduler
+}
+
+// clientStatusUpdate is the async task body of Figure 10(a):
+// GlobalStatus[clientID] = s.
+func (m *deviceManager) clientStatusUpdate(clientID int, status string) *tsvd.Task[struct{}] {
+	return tsvd.Go(m.sched, func() struct{} {
+		m.globalStatus.Set(clientID, status) // line 4 of Figure 10(a)
+		return struct{}{}
+	})
+}
+
+func main() {
+	if err := tsvd.Install(tsvd.DefaultConfig().Scaled(0.1)); err != nil {
+		log.Fatal(err)
+	}
+	mgr := &deviceManager{
+		globalStatus: tsvd.NewDictionary[int, string](),
+		sched:        tsvd.NewScheduler(),
+	}
+
+	// The listening thread: each received message spawns an update task
+	// and immediately continues listening. Two clients send bursts of
+	// messages at similar times.
+	var pending []*tsvd.Task[struct{}]
+	for round := 0; round < 100; round++ {
+		pending = append(pending,
+			mgr.clientStatusUpdate(1, fmt.Sprintf("online-%d", round)),
+			mgr.clientStatusUpdate(2, fmt.Sprintf("busy-%d", round)),
+		)
+		time.Sleep(2 * time.Millisecond)
+	}
+	for _, t := range pending {
+		t.Wait()
+	}
+
+	bugs := tsvd.Bugs()
+	fmt.Printf("device manager: %d violation(s) on GlobalStatus\n\n", len(bugs))
+	for _, bug := range bugs {
+		fmt.Print(bug.First.String())
+		fmt.Println()
+	}
+	if len(bugs) == 0 {
+		log.Fatal("expected the concurrent-write violation of Figure 10(a)")
+	}
+}

@@ -1,0 +1,49 @@
+// Network validation: the Figure 10(b) bug. A startup validator verifies
+// every host's configuration with Parallel.ForEach, storing results into an
+// unprotected configuration cache — the ForEach workers race their
+// Dictionary-set operations.
+//
+//	go run ./examples/netvalidation
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	tsvd "repro"
+)
+
+func main() {
+	if err := tsvd.Install(tsvd.DefaultConfig().Scaled(0.1)); err != nil {
+		log.Fatal(err)
+	}
+	sched := tsvd.NewScheduler()
+	configureCache := tsvd.NewDictionary[string, int]()
+
+	hostlist := make([]string, 60)
+	for i := range hostlist {
+		hostlist[i] = fmt.Sprintf("host-%03d", i)
+	}
+
+	getConfigLevel := func(host string) int {
+		time.Sleep(2 * time.Millisecond) // "read the host's configuration"
+		return len(host)
+	}
+
+	// Parallel.ForEach(hostlist, host => configureCache[host] = cl);
+	tsvd.ForEach(sched, hostlist, 6, func(host string) {
+		cl := getConfigLevel(host)
+		configureCache.Set(host, cl) // line 4 of Figure 10(b)
+	})
+
+	bugs := tsvd.Bugs()
+	fmt.Printf("network validation: %d violation(s) on configureCache\n\n", len(bugs))
+	for _, bug := range bugs {
+		fmt.Print(bug.First.String())
+		fmt.Println()
+	}
+	if len(bugs) == 0 {
+		log.Fatal("expected the Parallel.ForEach concurrent-write violation of Figure 10(b)")
+	}
+}

@@ -1,0 +1,35 @@
+// Open-source scenarios: run the nine Table-4 bug reproductions (telemetry
+// broadcaster, date cache, equality-strategy cache, k8s watch, message
+// broker, type cacher, statsd gauge, dynamic class factory, connection
+// string singleton) under TSVD and print the Table-4 row shape.
+//
+//	go run ./examples/opensource
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/config"
+	"repro/internal/scenarios"
+)
+
+func main() {
+	cfg := config.Defaults(config.AlgoTSVD).Scaled(0.4)
+	fmt.Printf("%-22s %7s %6s %6s %9s\n", "project", "#tests", "#run", "#TSV", "overhead")
+	failures := 0
+	for _, s := range scenarios.All() {
+		out, err := scenarios.Run(s, cfg, 2)
+		if err != nil {
+			log.Fatalf("%s: %v", s.Name, err)
+		}
+		fmt.Printf("%-22s %7d %6d %6d %8.1f%%\n",
+			out.Name, out.Tests, out.RunsUsed, out.TSVs, 100*out.Overhead)
+		if out.TSVs < s.MinTSVs {
+			failures++
+		}
+	}
+	if failures > 0 {
+		log.Fatalf("%d scenario(s) below their expected TSV count", failures)
+	}
+}

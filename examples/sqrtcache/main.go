@@ -1,0 +1,68 @@
+// Square-root cache: the Figure 3/4 bug. getSqrt consults an unprotected
+// cache dictionary, computes misses on a background task, and stores the
+// result after the await — so two concurrent getSqrt calls race both
+// ContainsKey vs Add (read-write) and Add vs Add (write-write).
+//
+//	go run ./examples/sqrtcache
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	tsvd "repro"
+)
+
+// getSqrt mirrors the C# snippet of Figure 3: check the cache, compute on a
+// background task, save to the cache after the await.
+func getSqrt(sched *tsvd.Scheduler, x float64, dict *tsvd.Dictionary[float64, float64]) *tsvd.Task[float64] {
+	return tsvd.Go(sched, func() float64 {
+		if dict.ContainsKey(x) { // line 3
+			return dict.Get(x) // line 4: fetch from cache
+		}
+		t := tsvd.Go(sched, func() float64 { // line 6: background work
+			return math.Sqrt(x)
+		})
+		s := t.Result() // line 8: await
+		defer func() {
+			// A concurrent Add of the same key panics, like .NET's
+			// ArgumentException — one visible symptom of this TSV.
+			_ = recover()
+		}()
+		dict.Add(x, s) // line 9: save to cache
+		return s
+	})
+}
+
+func main() {
+	if err := tsvd.Install(tsvd.DefaultConfig().Scaled(0.1)); err != nil {
+		log.Fatal(err)
+	}
+	sched := tsvd.NewScheduler()
+	dict := tsvd.NewDictionary[float64, float64]()
+
+	// Lines 13–16: two concurrent getSqrt calls on an empty cache.
+	// Repeat with fresh keys until the detector converts a near miss.
+	for round := 0; round < 120 && len(tsvd.Bugs()) == 0; round++ {
+		a := float64(round)*2 + 2
+		b := float64(round)*2 + 3
+		sqrtA := getSqrt(sched, a, dict)
+		sqrtB := getSqrt(sched, b, dict)
+		fmt.Printf("\rround %3d: sqrt(%v)+sqrt(%v) = %.3f", round, a, b,
+			sqrtA.Result()+sqrtB.Result())
+		dict.Remove(a)
+		dict.Remove(b)
+	}
+	fmt.Println()
+
+	bugs := tsvd.Bugs()
+	fmt.Printf("sqrt cache: %d violation(s), as predicted by Figure 4\n\n", len(bugs))
+	for _, bug := range bugs {
+		fmt.Print(bug.First.String())
+		fmt.Println()
+	}
+	if len(bugs) == 0 {
+		log.Fatal("expected the Figure 3 cache violations")
+	}
+}

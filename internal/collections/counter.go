@@ -1,0 +1,110 @@
+package collections
+
+import "repro/internal/rawcol"
+
+// Counter is an instrumented scalar counter — the unprotected gauge of the
+// statsd scenario in Table 4. Increment and Decrement are read-modify-write
+// sequences over the raw cell, so concurrent calls lose updates exactly like
+// an unprotected field.
+type Counter struct {
+	instrumented
+	raw *rawcol.Cell[int64]
+}
+
+// NewCounter returns a Counter starting at zero.
+func NewCounter(det Detector) *Counter {
+	return &Counter{
+		instrumented: newInstrumented(det, "Counter"),
+		raw:          rawcol.NewCell[int64](0),
+	}
+}
+
+// Value returns the current count. Read API.
+func (c *Counter) Value() int64 {
+	c.onCall("Value", Read)
+	return c.raw.Get()
+}
+
+// Increment adds one. Write API.
+func (c *Counter) Increment() {
+	c.onCall("Increment", Write)
+	c.raw.Set(c.raw.Get() + 1)
+}
+
+// Decrement subtracts one. Write API.
+func (c *Counter) Decrement() {
+	c.onCall("Decrement", Write)
+	c.raw.Set(c.raw.Get() - 1)
+}
+
+// AddDelta adds d. Write API.
+func (c *Counter) AddDelta(d int64) {
+	c.onCall("AddDelta", Write)
+	c.raw.Set(c.raw.Get() + d)
+}
+
+// SetValue replaces the count. Write API.
+func (c *Counter) SetValue(v int64) {
+	c.onCall("SetValue", Write)
+	c.raw.Set(v)
+}
+
+// MultiMap is an instrumented map from key to a list of values (.NET's
+// common Dictionary<K, List<V>> composite, e.g. the message-broker
+// subscription table of Table 4).
+type MultiMap[K comparable, V any] struct {
+	instrumented
+	raw *rawcol.Map[K, *rawcol.Array[V]]
+}
+
+// NewMultiMap returns an empty MultiMap reporting to det.
+func NewMultiMap[K comparable, V any](det Detector) *MultiMap[K, V] {
+	return &MultiMap[K, V]{
+		instrumented: newInstrumented(det, "MultiMap"),
+		raw:          rawcol.NewMap[K, *rawcol.Array[V]](),
+	}
+}
+
+// Get returns a snapshot of the values for k. Read API.
+func (m *MultiMap[K, V]) Get(k K) []V {
+	m.onCall("Get", Read)
+	if a, ok := m.raw.Get(k); ok {
+		return a.Snapshot()
+	}
+	return nil
+}
+
+// ContainsKey reports whether k has any values. Read API.
+func (m *MultiMap[K, V]) ContainsKey(k K) bool {
+	m.onCall("ContainsKey", Read)
+	return m.raw.Contains(k)
+}
+
+// Count returns the number of distinct keys. Read API.
+func (m *MultiMap[K, V]) Count() int {
+	m.onCall("Count", Read)
+	return m.raw.Len()
+}
+
+// Add appends v under k. Write API.
+func (m *MultiMap[K, V]) Add(k K, v V) {
+	m.onCall("Add", Write)
+	a, ok := m.raw.Get(k)
+	if !ok {
+		a = rawcol.NewArray[V]()
+		m.raw.Set(k, a)
+	}
+	a.Append(v)
+}
+
+// RemoveKey deletes k and its values. Write API.
+func (m *MultiMap[K, V]) RemoveKey(k K) bool {
+	m.onCall("RemoveKey", Write)
+	return m.raw.Delete(k)
+}
+
+// Clear removes all keys. Write API.
+func (m *MultiMap[K, V]) Clear() {
+	m.onCall("Clear", Write)
+	m.raw.Clear()
+}

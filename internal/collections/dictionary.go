@@ -1,0 +1,97 @@
+package collections
+
+import "repro/internal/rawcol"
+
+// Dictionary is the instrumented hash map, the analogue of .NET's
+// Dictionary<TKey,TValue> — the class involved in 55% of the paper's bugs.
+// Its thread-safety contract allows concurrent reads but requires writes to
+// be exclusive; violating it (Figure 1) corrupts or panics the raw map.
+type Dictionary[K comparable, V any] struct {
+	instrumented
+	raw *rawcol.Map[K, V]
+}
+
+// NewDictionary returns an empty Dictionary reporting to det (nil for an
+// uninstrumented container).
+func NewDictionary[K comparable, V any](det Detector) *Dictionary[K, V] {
+	return &Dictionary[K, V]{
+		instrumented: newInstrumented(det, "Dictionary"),
+		raw:          rawcol.NewMap[K, V](),
+	}
+}
+
+// ContainsKey reports whether k is present. Read API.
+func (d *Dictionary[K, V]) ContainsKey(k K) bool {
+	d.onCall("ContainsKey", Read)
+	return d.raw.Contains(k)
+}
+
+// TryGetValue returns the value for k and whether it was present. Read API.
+func (d *Dictionary[K, V]) TryGetValue(k K) (V, bool) {
+	d.onCall("TryGetValue", Read)
+	return d.raw.Get(k)
+}
+
+// Get returns the value for k, panicking when absent (.NET indexer-get).
+// Read API.
+func (d *Dictionary[K, V]) Get(k K) V {
+	d.onCall("Get", Read)
+	return d.raw.MustGet(k)
+}
+
+// Count returns the number of entries. Read API.
+func (d *Dictionary[K, V]) Count() int {
+	d.onCall("Count", Read)
+	return d.raw.Len()
+}
+
+// Keys returns a snapshot of the keys. Read API.
+func (d *Dictionary[K, V]) Keys() []K {
+	d.onCall("Keys", Read)
+	return d.raw.Keys()
+}
+
+// Values returns a snapshot of the values. Read API.
+func (d *Dictionary[K, V]) Values() []V {
+	d.onCall("Values", Read)
+	return d.raw.Values()
+}
+
+// ForEach iterates the entries; it panics if the dictionary is mutated
+// mid-iteration, like a .NET enumerator. Read API.
+func (d *Dictionary[K, V]) ForEach(fn func(K, V) bool) {
+	d.onCall("ForEach", Read)
+	d.raw.Range(fn)
+}
+
+// Add inserts k→v, panicking on a duplicate key (.NET Dictionary.Add).
+// Write API.
+func (d *Dictionary[K, V]) Add(k K, v V) {
+	d.onCall("Add", Write)
+	d.raw.Add(k, v)
+}
+
+// Set inserts or replaces k→v (.NET indexer-set). Write API.
+func (d *Dictionary[K, V]) Set(k K, v V) {
+	d.onCall("Set", Write)
+	d.raw.Set(k, v)
+}
+
+// GetOrAdd returns the existing value or inserts v. Write API (it may
+// mutate, and the contract must assume it does).
+func (d *Dictionary[K, V]) GetOrAdd(k K, v V) (V, bool) {
+	d.onCall("GetOrAdd", Write)
+	return d.raw.GetOrAdd(k, v)
+}
+
+// Remove deletes k, reporting whether it was present. Write API.
+func (d *Dictionary[K, V]) Remove(k K) bool {
+	d.onCall("Remove", Write)
+	return d.raw.Delete(k)
+}
+
+// Clear removes all entries. Write API.
+func (d *Dictionary[K, V]) Clear() {
+	d.onCall("Clear", Write)
+	d.raw.Clear()
+}

@@ -1,0 +1,174 @@
+package collections
+
+import "repro/internal/rawcol"
+
+// PriorityQueue is the instrumented binary heap (.NET
+// PriorityQueue<TElement,TPriority> with the priority folded into less).
+// Dequeue on empty panics like InvalidOperationException.
+type PriorityQueue[T any] struct {
+	instrumented
+	raw *rawcol.Heap[T]
+}
+
+// NewPriorityQueue returns an empty PriorityQueue ordered by less.
+func NewPriorityQueue[T any](det Detector, less func(a, b T) bool) *PriorityQueue[T] {
+	return &PriorityQueue[T]{
+		instrumented: newInstrumented(det, "PriorityQueue"),
+		raw:          rawcol.NewHeap[T](less),
+	}
+}
+
+// Peek returns the minimum element without removing it. Read API.
+func (q *PriorityQueue[T]) Peek() (T, bool) {
+	q.onCall("Peek", Read)
+	return q.raw.Peek()
+}
+
+// Count returns the number of elements. Read API.
+func (q *PriorityQueue[T]) Count() int {
+	q.onCall("Count", Read)
+	return q.raw.Len()
+}
+
+// ToSlice returns the elements in heap order. Read API.
+func (q *PriorityQueue[T]) ToSlice() []T {
+	q.onCall("ToSlice", Read)
+	return q.raw.Snapshot()
+}
+
+// Enqueue inserts v. Write API.
+func (q *PriorityQueue[T]) Enqueue(v T) {
+	q.onCall("Enqueue", Write)
+	q.raw.Push(v)
+}
+
+// Dequeue removes and returns the minimum element, panicking when empty.
+// Write API.
+func (q *PriorityQueue[T]) Dequeue() T {
+	q.onCall("Dequeue", Write)
+	return q.raw.Pop()
+}
+
+// Clear removes all elements. Write API.
+func (q *PriorityQueue[T]) Clear() {
+	q.onCall("Clear", Write)
+	q.raw.Clear()
+}
+
+// SortedSet is the instrumented ordered set (.NET SortedSet<T>).
+type SortedSet[T any] struct {
+	instrumented
+	raw *rawcol.SortedMap[T, struct{}]
+}
+
+// NewSortedSet returns an empty SortedSet ordered by less.
+func NewSortedSet[T any](det Detector, less func(a, b T) bool) *SortedSet[T] {
+	return &SortedSet[T]{
+		instrumented: newInstrumented(det, "SortedSet"),
+		raw:          rawcol.NewSortedMap[T, struct{}](less),
+	}
+}
+
+// Contains reports membership. Read API.
+func (s *SortedSet[T]) Contains(v T) bool {
+	s.onCall("Contains", Read)
+	return s.raw.Contains(v)
+}
+
+// Count returns the number of elements. Read API.
+func (s *SortedSet[T]) Count() int {
+	s.onCall("Count", Read)
+	return s.raw.Len()
+}
+
+// Min returns the smallest element. Read API.
+func (s *SortedSet[T]) Min() (T, bool) {
+	s.onCall("Min", Read)
+	k, _, ok := s.raw.Min()
+	return k, ok
+}
+
+// Max returns the largest element. Read API.
+func (s *SortedSet[T]) Max() (T, bool) {
+	s.onCall("Max", Read)
+	k, _, ok := s.raw.Max()
+	return k, ok
+}
+
+// ToSlice returns the elements in order. Read API.
+func (s *SortedSet[T]) ToSlice() []T {
+	s.onCall("ToSlice", Read)
+	return s.raw.Keys()
+}
+
+// Add inserts v, reporting whether it was newly added. Write API.
+func (s *SortedSet[T]) Add(v T) bool {
+	s.onCall("Add", Write)
+	if s.raw.Contains(v) {
+		return false
+	}
+	s.raw.Set(v, struct{}{})
+	return true
+}
+
+// Remove deletes v, reporting whether it was present. Write API.
+func (s *SortedSet[T]) Remove(v T) bool {
+	s.onCall("Remove", Write)
+	return s.raw.Delete(v)
+}
+
+// Clear removes all elements. Write API.
+func (s *SortedSet[T]) Clear() {
+	s.onCall("Clear", Write)
+	s.raw.Clear()
+}
+
+// BitArray is the instrumented fixed-size bit vector (.NET BitArray).
+type BitArray struct {
+	instrumented
+	raw *rawcol.Bits
+}
+
+// NewBitArray returns a BitArray of the given size, all false.
+func NewBitArray(det Detector, size int) *BitArray {
+	return &BitArray{
+		instrumented: newInstrumented(det, "BitArray"),
+		raw:          rawcol.NewBits(size),
+	}
+}
+
+// Get returns bit i, panicking out of range. Read API.
+func (b *BitArray) Get(i int) bool {
+	b.onCall("Get", Read)
+	return b.raw.Get(i)
+}
+
+// Size returns the number of bits. Read API.
+func (b *BitArray) Size() int {
+	b.onCall("Size", Read)
+	return b.raw.Size()
+}
+
+// OnesCount returns the number of set bits. Read API.
+func (b *BitArray) OnesCount() int {
+	b.onCall("OnesCount", Read)
+	return b.raw.OnesCount()
+}
+
+// Set assigns bit i. Write API.
+func (b *BitArray) Set(i int, v bool) {
+	b.onCall("Set", Write)
+	b.raw.Set(i, v)
+}
+
+// Flip inverts bit i, returning the new value. Write API.
+func (b *BitArray) Flip(i int) bool {
+	b.onCall("Flip", Write)
+	return b.raw.Flip(i)
+}
+
+// SetAll assigns every bit. Write API.
+func (b *BitArray) SetAll(v bool) {
+	b.onCall("SetAll", Write)
+	b.raw.SetAll(v)
+}

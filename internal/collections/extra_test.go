@@ -1,0 +1,151 @@
+package collections
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestPriorityQueueBehaviour(t *testing.T) {
+	q := NewPriorityQueue[int](nil, func(a, b int) bool { return a < b })
+	for _, v := range []int{5, 1, 4, 2, 3} {
+		q.Enqueue(v)
+	}
+	if q.Count() != 5 {
+		t.Fatalf("Count = %d", q.Count())
+	}
+	if v, ok := q.Peek(); !ok || v != 1 {
+		t.Fatalf("Peek = %v,%v", v, ok)
+	}
+	for want := 1; want <= 5; want++ {
+		if got := q.Dequeue(); got != want {
+			t.Fatalf("Dequeue = %d, want %d", got, want)
+		}
+	}
+	q.Enqueue(9)
+	if len(q.ToSlice()) != 1 {
+		t.Fatal("ToSlice wrong")
+	}
+	q.Clear()
+	if q.Count() != 0 {
+		t.Fatal("Clear wrong")
+	}
+}
+
+func TestPriorityQueueEmptyDequeuePanics(t *testing.T) {
+	q := NewPriorityQueue[int](nil, func(a, b int) bool { return a < b })
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Dequeue on empty did not panic")
+		}
+	}()
+	q.Dequeue()
+}
+
+// TestPriorityQueueHeapProperty: any insertion order drains in sorted
+// order.
+func TestPriorityQueueHeapProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := NewPriorityQueue[int](nil, func(a, b int) bool { return a < b })
+		n := rng.Intn(200)
+		var model []int
+		for i := 0; i < n; i++ {
+			v := rng.Intn(1000)
+			q.Enqueue(v)
+			model = append(model, v)
+		}
+		sort.Ints(model)
+		for _, want := range model {
+			if q.Dequeue() != want {
+				return false
+			}
+		}
+		return q.Count() == 0
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSortedSetBehaviour(t *testing.T) {
+	s := NewSortedSet[string](nil, func(a, b string) bool { return a < b })
+	if !s.Add("m") || s.Add("m") {
+		t.Fatal("Add wrong")
+	}
+	s.Add("a")
+	s.Add("z")
+	if s.Count() != 3 || !s.Contains("a") || s.Contains("q") {
+		t.Fatal("Count/Contains wrong")
+	}
+	if mn, ok := s.Min(); !ok || mn != "a" {
+		t.Fatalf("Min = %q,%v", mn, ok)
+	}
+	if mx, ok := s.Max(); !ok || mx != "z" {
+		t.Fatalf("Max = %q,%v", mx, ok)
+	}
+	if got := s.ToSlice(); got[0] != "a" || got[2] != "z" {
+		t.Fatalf("ToSlice = %v", got)
+	}
+	if !s.Remove("a") || s.Remove("a") {
+		t.Fatal("Remove wrong")
+	}
+	s.Clear()
+	if s.Count() != 0 {
+		t.Fatal("Clear wrong")
+	}
+	if _, ok := s.Min(); ok {
+		t.Fatal("Min on empty returned ok")
+	}
+}
+
+func TestBitArrayBehaviour(t *testing.T) {
+	b := NewBitArray(nil, 130) // spans three words
+	if b.Size() != 130 || b.OnesCount() != 0 {
+		t.Fatal("fresh BitArray wrong")
+	}
+	b.Set(0, true)
+	b.Set(64, true)
+	b.Set(129, true)
+	if !b.Get(0) || !b.Get(64) || !b.Get(129) || b.Get(1) {
+		t.Fatal("Get/Set wrong")
+	}
+	if b.OnesCount() != 3 {
+		t.Fatalf("OnesCount = %d, want 3", b.OnesCount())
+	}
+	if b.Flip(1) != true || b.Flip(1) != false {
+		t.Fatal("Flip wrong")
+	}
+	b.Set(64, false)
+	if b.Get(64) || b.OnesCount() != 2 {
+		t.Fatal("clearing a bit wrong")
+	}
+	b.SetAll(true)
+	if b.OnesCount() != 130 {
+		t.Fatalf("SetAll(true) OnesCount = %d, want 130", b.OnesCount())
+	}
+	b.SetAll(false)
+	if b.OnesCount() != 0 {
+		t.Fatal("SetAll(false) wrong")
+	}
+}
+
+func TestBitArrayOutOfRangePanics(t *testing.T) {
+	b := NewBitArray(nil, 8)
+	for _, fn := range []func(){
+		func() { b.Get(8) },
+		func() { b.Get(-1) },
+		func() { b.Set(8, true) },
+		func() { b.Flip(100) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("out-of-range access did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

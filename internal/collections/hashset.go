@@ -1,0 +1,62 @@
+package collections
+
+import "repro/internal/rawcol"
+
+// HashSet is the instrumented set, the analogue of .NET's HashSet<T>.
+type HashSet[T comparable] struct {
+	instrumented
+	raw *rawcol.Map[T, struct{}]
+}
+
+// NewHashSet returns an empty HashSet reporting to det.
+func NewHashSet[T comparable](det Detector) *HashSet[T] {
+	return &HashSet[T]{
+		instrumented: newInstrumented(det, "HashSet"),
+		raw:          rawcol.NewMap[T, struct{}](),
+	}
+}
+
+// Contains reports membership. Read API.
+func (s *HashSet[T]) Contains(v T) bool {
+	s.onCall("Contains", Read)
+	return s.raw.Contains(v)
+}
+
+// Count returns the number of elements. Read API.
+func (s *HashSet[T]) Count() int {
+	s.onCall("Count", Read)
+	return s.raw.Len()
+}
+
+// ToSlice returns a snapshot of the elements. Read API.
+func (s *HashSet[T]) ToSlice() []T {
+	s.onCall("ToSlice", Read)
+	return s.raw.Keys()
+}
+
+// Add inserts v, reporting whether it was newly added. Write API.
+func (s *HashSet[T]) Add(v T) bool {
+	s.onCall("Add", Write)
+	_, existed := s.raw.GetOrAdd(v, struct{}{})
+	return !existed
+}
+
+// Remove deletes v, reporting whether it was present. Write API.
+func (s *HashSet[T]) Remove(v T) bool {
+	s.onCall("Remove", Write)
+	return s.raw.Delete(v)
+}
+
+// Clear removes all elements. Write API.
+func (s *HashSet[T]) Clear() {
+	s.onCall("Clear", Write)
+	s.raw.Clear()
+}
+
+// UnionWith inserts every element of vs. Write API.
+func (s *HashSet[T]) UnionWith(vs []T) {
+	s.onCall("UnionWith", Write)
+	for _, v := range vs {
+		s.raw.GetOrAdd(v, struct{}{})
+	}
+}

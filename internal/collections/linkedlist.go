@@ -1,0 +1,95 @@
+package collections
+
+import "repro/internal/rawcol"
+
+// LinkedList is the instrumented doubly-linked list (.NET LinkedList<T>).
+type LinkedList[T comparable] struct {
+	instrumented
+	raw *rawcol.Chain[T]
+}
+
+// NewLinkedList returns an empty LinkedList reporting to det.
+func NewLinkedList[T comparable](det Detector) *LinkedList[T] {
+	return &LinkedList[T]{
+		instrumented: newInstrumented(det, "LinkedList"),
+		raw:          rawcol.NewChain[T](),
+	}
+}
+
+// First returns the head element. Read API.
+func (l *LinkedList[T]) First() (T, bool) {
+	l.onCall("First", Read)
+	return l.raw.PeekFront()
+}
+
+// Last returns the tail element. Read API.
+func (l *LinkedList[T]) Last() (T, bool) {
+	l.onCall("Last", Read)
+	return l.raw.PeekBack()
+}
+
+// Count returns the number of elements. Read API.
+func (l *LinkedList[T]) Count() int {
+	l.onCall("Count", Read)
+	return l.raw.Len()
+}
+
+// ToSlice returns a snapshot head-to-tail. Read API.
+func (l *LinkedList[T]) ToSlice() []T {
+	l.onCall("ToSlice", Read)
+	return l.raw.Snapshot()
+}
+
+// Contains reports whether v is present. Read API.
+func (l *LinkedList[T]) Contains(v T) bool {
+	l.onCall("Contains", Read)
+	for _, x := range l.raw.Snapshot() {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// AddFirst prepends v. Write API.
+func (l *LinkedList[T]) AddFirst(v T) {
+	l.onCall("AddFirst", Write)
+	l.raw.PushFront(v)
+}
+
+// AddLast appends v. Write API.
+func (l *LinkedList[T]) AddLast(v T) {
+	l.onCall("AddLast", Write)
+	l.raw.PushBack(v)
+}
+
+// RemoveFirst removes the head, panicking when empty. Write API.
+func (l *LinkedList[T]) RemoveFirst() T {
+	l.onCall("RemoveFirst", Write)
+	return l.raw.PopFront()
+}
+
+// RemoveLast removes the tail, panicking when empty. Write API.
+func (l *LinkedList[T]) RemoveLast() T {
+	l.onCall("RemoveLast", Write)
+	return l.raw.PopBack()
+}
+
+// Remove deletes the first occurrence of v, reporting success. Write API.
+func (l *LinkedList[T]) Remove(v T) bool {
+	l.onCall("Remove", Write)
+	return l.raw.RemoveFunc(func(x T) bool { return x == v })
+}
+
+// RemoveFunc deletes the first element matching pred, reporting success.
+// Write API.
+func (l *LinkedList[T]) RemoveFunc(pred func(T) bool) bool {
+	l.onCall("RemoveFunc", Write)
+	return l.raw.RemoveFunc(pred)
+}
+
+// Clear removes all elements. Write API.
+func (l *LinkedList[T]) Clear() {
+	l.onCall("Clear", Write)
+	l.raw.Clear()
+}

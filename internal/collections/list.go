@@ -1,0 +1,114 @@
+package collections
+
+import "repro/internal/rawcol"
+
+// List is the instrumented dynamic array, the analogue of .NET's List<T>
+// (37% of the paper's bugs). Index errors panic like .NET's
+// ArgumentOutOfRangeException — the typical crash when a concurrent
+// RemoveAt races a Get.
+type List[T comparable] struct {
+	instrumented
+	raw *rawcol.Array[T]
+}
+
+// NewList returns an empty List reporting to det.
+func NewList[T comparable](det Detector) *List[T] {
+	return &List[T]{
+		instrumented: newInstrumented(det, "List"),
+		raw:          rawcol.NewArray[T](),
+	}
+}
+
+// Get returns the element at index i. Read API.
+func (l *List[T]) Get(i int) T {
+	l.onCall("Get", Read)
+	return l.raw.Get(i)
+}
+
+// Count returns the number of elements. Read API.
+func (l *List[T]) Count() int {
+	l.onCall("Count", Read)
+	return l.raw.Len()
+}
+
+// Contains reports whether v is present. Read API.
+func (l *List[T]) Contains(v T) bool {
+	l.onCall("Contains", Read)
+	return l.raw.IndexFunc(func(x T) bool { return x == v }) >= 0
+}
+
+// IndexOf returns the index of v or -1. Read API.
+func (l *List[T]) IndexOf(v T) int {
+	l.onCall("IndexOf", Read)
+	return l.raw.IndexFunc(func(x T) bool { return x == v })
+}
+
+// ForEach iterates the elements, panicking on concurrent modification.
+// Read API.
+func (l *List[T]) ForEach(fn func(int, T) bool) {
+	l.onCall("ForEach", Read)
+	l.raw.Range(fn)
+}
+
+// ToSlice returns a snapshot copy. Read API.
+func (l *List[T]) ToSlice() []T {
+	l.onCall("ToSlice", Read)
+	return l.raw.Snapshot()
+}
+
+// Add appends v. Write API.
+func (l *List[T]) Add(v T) {
+	l.onCall("Add", Write)
+	l.raw.Append(v)
+}
+
+// Insert places v at index i. Write API.
+func (l *List[T]) Insert(i int, v T) {
+	l.onCall("Insert", Write)
+	l.raw.Insert(i, v)
+}
+
+// Set replaces the element at index i. Write API.
+func (l *List[T]) Set(i int, v T) {
+	l.onCall("Set", Write)
+	l.raw.Set(i, v)
+}
+
+// RemoveAt deletes the element at index i. Write API.
+func (l *List[T]) RemoveAt(i int) {
+	l.onCall("RemoveAt", Write)
+	l.raw.RemoveAt(i)
+}
+
+// Remove deletes the first occurrence of v, reporting success. Write API.
+func (l *List[T]) Remove(v T) bool {
+	l.onCall("Remove", Write)
+	return l.raw.RemoveFunc(func(x T) bool { return x == v })
+}
+
+// IndexFunc returns the index of the first element matching pred, or -1.
+// Read API.
+func (l *List[T]) IndexFunc(pred func(T) bool) int {
+	l.onCall("IndexFunc", Read)
+	return l.raw.IndexFunc(pred)
+}
+
+// RemoveFunc deletes the first element matching pred, reporting success.
+// Write API.
+func (l *List[T]) RemoveFunc(pred func(T) bool) bool {
+	l.onCall("RemoveFunc", Write)
+	return l.raw.RemoveFunc(pred)
+}
+
+// Clear removes all elements. Write API.
+func (l *List[T]) Clear() {
+	l.onCall("Clear", Write)
+	l.raw.Clear()
+}
+
+// Sort orders the elements by less. Two unsynchronized concurrent Sorts are
+// the production-incident bug of §5.6. Write API.
+func (l *List[T]) Sort(less func(a, b T) bool) {
+	l.onCall("Sort", Write)
+	l.raw.Sort(less)
+}

@@ -1,0 +1,105 @@
+package collections
+
+import "repro/internal/rawcol"
+
+// Queue is the instrumented FIFO queue (.NET Queue<T>). Dequeue on empty
+// panics like InvalidOperationException — the crash signature of the
+// "check Count, then Dequeue" TSV.
+type Queue[T any] struct {
+	instrumented
+	raw *rawcol.Chain[T]
+}
+
+// NewQueue returns an empty Queue reporting to det.
+func NewQueue[T any](det Detector) *Queue[T] {
+	return &Queue[T]{
+		instrumented: newInstrumented(det, "Queue"),
+		raw:          rawcol.NewChain[T](),
+	}
+}
+
+// Peek returns the head without removing it. Read API.
+func (q *Queue[T]) Peek() (T, bool) {
+	q.onCall("Peek", Read)
+	return q.raw.PeekFront()
+}
+
+// Count returns the number of elements. Read API.
+func (q *Queue[T]) Count() int {
+	q.onCall("Count", Read)
+	return q.raw.Len()
+}
+
+// ToSlice returns a snapshot head-to-tail. Read API.
+func (q *Queue[T]) ToSlice() []T {
+	q.onCall("ToSlice", Read)
+	return q.raw.Snapshot()
+}
+
+// Enqueue appends v at the tail. Write API.
+func (q *Queue[T]) Enqueue(v T) {
+	q.onCall("Enqueue", Write)
+	q.raw.PushBack(v)
+}
+
+// Dequeue removes and returns the head, panicking when empty. Write API.
+func (q *Queue[T]) Dequeue() T {
+	q.onCall("Dequeue", Write)
+	return q.raw.PopFront()
+}
+
+// Clear removes all elements. Write API.
+func (q *Queue[T]) Clear() {
+	q.onCall("Clear", Write)
+	q.raw.Clear()
+}
+
+// Stack is the instrumented LIFO stack (.NET Stack<T>).
+type Stack[T any] struct {
+	instrumented
+	raw *rawcol.Chain[T]
+}
+
+// NewStack returns an empty Stack reporting to det.
+func NewStack[T any](det Detector) *Stack[T] {
+	return &Stack[T]{
+		instrumented: newInstrumented(det, "Stack"),
+		raw:          rawcol.NewChain[T](),
+	}
+}
+
+// Peek returns the top without removing it. Read API.
+func (s *Stack[T]) Peek() (T, bool) {
+	s.onCall("Peek", Read)
+	return s.raw.PeekBack()
+}
+
+// Count returns the number of elements. Read API.
+func (s *Stack[T]) Count() int {
+	s.onCall("Count", Read)
+	return s.raw.Len()
+}
+
+// ToSlice returns a snapshot bottom-to-top. Read API.
+func (s *Stack[T]) ToSlice() []T {
+	s.onCall("ToSlice", Read)
+	return s.raw.Snapshot()
+}
+
+// Push places v on top. Write API.
+func (s *Stack[T]) Push(v T) {
+	s.onCall("Push", Write)
+	s.raw.PushBack(v)
+}
+
+// Pop removes and returns the top, panicking when empty. Write API.
+func (s *Stack[T]) Pop() T {
+	s.onCall("Pop", Write)
+	return s.raw.PopBack()
+}
+
+// Clear removes all elements. Write API.
+func (s *Stack[T]) Clear() {
+	s.onCall("Clear", Write)
+	s.raw.Clear()
+}

@@ -1,0 +1,72 @@
+package collections
+
+import "repro/internal/rawcol"
+
+// SortedDictionary is the instrumented ordered map (.NET
+// SortedDictionary<TKey,TValue>).
+type SortedDictionary[K any, V any] struct {
+	instrumented
+	raw *rawcol.SortedMap[K, V]
+}
+
+// NewSortedDictionary returns an empty SortedDictionary ordered by less.
+func NewSortedDictionary[K any, V any](det Detector, less func(a, b K) bool) *SortedDictionary[K, V] {
+	return &SortedDictionary[K, V]{
+		instrumented: newInstrumented(det, "SortedDictionary"),
+		raw:          rawcol.NewSortedMap[K, V](less),
+	}
+}
+
+// ContainsKey reports whether k is present. Read API.
+func (d *SortedDictionary[K, V]) ContainsKey(k K) bool {
+	d.onCall("ContainsKey", Read)
+	return d.raw.Contains(k)
+}
+
+// TryGetValue returns the value for k and whether it was present. Read API.
+func (d *SortedDictionary[K, V]) TryGetValue(k K) (V, bool) {
+	d.onCall("TryGetValue", Read)
+	return d.raw.Get(k)
+}
+
+// Count returns the number of entries. Read API.
+func (d *SortedDictionary[K, V]) Count() int {
+	d.onCall("Count", Read)
+	return d.raw.Len()
+}
+
+// Keys returns the keys in order. Read API.
+func (d *SortedDictionary[K, V]) Keys() []K {
+	d.onCall("Keys", Read)
+	return d.raw.Keys()
+}
+
+// Min returns the smallest key and its value. Read API.
+func (d *SortedDictionary[K, V]) Min() (K, V, bool) {
+	d.onCall("Min", Read)
+	return d.raw.Min()
+}
+
+// Add inserts k→v, panicking on a duplicate key. Write API.
+func (d *SortedDictionary[K, V]) Add(k K, v V) {
+	d.onCall("Add", Write)
+	d.raw.Add(k, v)
+}
+
+// Set inserts or replaces k→v. Write API.
+func (d *SortedDictionary[K, V]) Set(k K, v V) {
+	d.onCall("Set", Write)
+	d.raw.Set(k, v)
+}
+
+// Remove deletes k, reporting whether it was present. Write API.
+func (d *SortedDictionary[K, V]) Remove(k K) bool {
+	d.onCall("Remove", Write)
+	return d.raw.Delete(k)
+}
+
+// Clear removes all entries. Write API.
+func (d *SortedDictionary[K, V]) Clear() {
+	d.onCall("Clear", Write)
+	d.raw.Clear()
+}

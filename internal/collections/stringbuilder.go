@@ -1,0 +1,56 @@
+package collections
+
+import (
+	"strings"
+
+	"repro/internal/rawcol"
+)
+
+// StringBuilder is the instrumented text accumulator (.NET StringBuilder),
+// the class behind the connection-string-buffer singleton bug of Table 4.
+type StringBuilder struct {
+	instrumented
+	raw *rawcol.Array[string]
+}
+
+// NewStringBuilder returns an empty StringBuilder reporting to det.
+func NewStringBuilder(det Detector) *StringBuilder {
+	return &StringBuilder{
+		instrumented: newInstrumented(det, "StringBuilder"),
+		raw:          rawcol.NewArray[string](),
+	}
+}
+
+// String concatenates the accumulated text. Read API.
+func (b *StringBuilder) String() string {
+	b.onCall("String", Read)
+	return strings.Join(b.raw.Snapshot(), "")
+}
+
+// Len returns the accumulated length in bytes. Read API.
+func (b *StringBuilder) Len() int {
+	b.onCall("Len", Read)
+	n := 0
+	for _, s := range b.raw.Snapshot() {
+		n += len(s)
+	}
+	return n
+}
+
+// Append adds s. Write API.
+func (b *StringBuilder) Append(s string) {
+	b.onCall("Append", Write)
+	b.raw.Append(s)
+}
+
+// AppendLine adds s plus a newline. Write API.
+func (b *StringBuilder) AppendLine(s string) {
+	b.onCall("AppendLine", Write)
+	b.raw.Append(s + "\n")
+}
+
+// Reset clears the accumulated text. Write API.
+func (b *StringBuilder) Reset() {
+	b.onCall("Reset", Write)
+	b.raw.Clear()
+}

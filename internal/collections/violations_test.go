@@ -1,0 +1,197 @@
+package collections
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/core"
+)
+
+// TestEveryContainerClassDetectable plants a write-write race in each of
+// the ten container classes and requires TSVD to catch it — the per-class
+// analogue of the paper's 14-class API list all being live.
+func TestEveryContainerClassDetectable(t *testing.T) {
+	type racer struct {
+		name  string
+		setup func(det core.Detector) (writeA func(i int), writeB func(i int))
+	}
+	racers := []racer{
+		{"Dictionary", func(det core.Detector) (func(int), func(int)) {
+			d := NewDictionary[int, int](det)
+			return func(i int) { d.Set(i, i) }, func(i int) { d.Remove(i) }
+		}},
+		{"List", func(det core.Detector) (func(int), func(int)) {
+			l := NewList[int](det)
+			return func(i int) { l.Add(i) }, func(i int) { l.Clear() }
+		}},
+		{"HashSet", func(det core.Detector) (func(int), func(int)) {
+			s := NewHashSet[int](det)
+			return func(i int) { s.Add(i) }, func(i int) { s.Remove(i) }
+		}},
+		{"Queue", func(det core.Detector) (func(int), func(int)) {
+			q := NewQueue[int](det)
+			return func(i int) { q.Enqueue(i) }, func(i int) { q.Clear() }
+		}},
+		{"Stack", func(det core.Detector) (func(int), func(int)) {
+			s := NewStack[int](det)
+			return func(i int) { s.Push(i) }, func(i int) { s.Clear() }
+		}},
+		{"SortedDictionary", func(det core.Detector) (func(int), func(int)) {
+			d := NewSortedDictionary[int, int](det, func(a, b int) bool { return a < b })
+			return func(i int) { d.Set(i, i) }, func(i int) { d.Remove(i) }
+		}},
+		{"LinkedList", func(det core.Detector) (func(int), func(int)) {
+			l := NewLinkedList[int](det)
+			return func(i int) { l.AddLast(i) }, func(i int) { l.Clear() }
+		}},
+		{"StringBuilder", func(det core.Detector) (func(int), func(int)) {
+			b := NewStringBuilder(det)
+			return func(i int) { b.Append("x") }, func(i int) { b.Reset() }
+		}},
+		{"Counter", func(det core.Detector) (func(int), func(int)) {
+			c := NewCounter(det)
+			return func(i int) { c.Increment() }, func(i int) { c.SetValue(int64(i)) }
+		}},
+		{"MultiMap", func(det core.Detector) (func(int), func(int)) {
+			m := NewMultiMap[int, int](det)
+			return func(i int) { m.Add(i%3, i) }, func(i int) { m.RemoveKey(i % 3) }
+		}},
+		{"PriorityQueue", func(det core.Detector) (func(int), func(int)) {
+			q := NewPriorityQueue[int](det, func(a, b int) bool { return a < b })
+			return func(i int) { q.Enqueue(i) }, func(i int) { q.Clear() }
+		}},
+		{"SortedSet", func(det core.Detector) (func(int), func(int)) {
+			s := NewSortedSet[int](det, func(a, b int) bool { return a < b })
+			return func(i int) { s.Add(i) }, func(i int) { s.Remove(i) }
+		}},
+		{"BitArray", func(det core.Detector) (func(int), func(int)) {
+			b := NewBitArray(det, 64)
+			return func(i int) { b.Set(i%64, true) }, func(i int) { b.SetAll(false) }
+		}},
+	}
+	for _, rc := range racers {
+		rc := rc
+		t.Run(rc.name, func(t *testing.T) {
+			t.Parallel()
+			det := newDet(t, config.AlgoTSVD)
+			writeA, writeB := rc.setup(det)
+			done1 := make(chan struct{})
+			done2 := make(chan struct{})
+			go func() {
+				defer close(done1)
+				for i := 0; i < 150; i++ {
+					func() {
+						defer func() { recover() }()
+						writeA(i)
+					}()
+					time.Sleep(time.Millisecond)
+				}
+			}()
+			go func() {
+				defer close(done2)
+				for i := 0; i < 150; i++ {
+					func() {
+						defer func() { recover() }()
+						writeB(i)
+					}()
+					time.Sleep(time.Millisecond)
+				}
+			}()
+			<-done1
+			<-done2
+			if det.Reports().UniqueBugs() == 0 {
+				t.Fatalf("%s: planted write-write race not detected", rc.name)
+			}
+			v := det.Reports().Violations()[0]
+			if v.Trapped.Class != rc.name && v.Conflicting.Class != rc.name {
+				t.Fatalf("%s: report names class %q/%q",
+					rc.name, v.Trapped.Class, v.Conflicting.Class)
+			}
+		})
+	}
+}
+
+// TestReadersDoNotConflict: concurrent read APIs on every class are within
+// contract and must never be reported.
+func TestReadersDoNotConflict(t *testing.T) {
+	det := newDet(t, config.AlgoTSVD)
+	d := NewDictionary[int, int](det)
+	l := NewList[int](det)
+	s := NewHashSet[int](det)
+	d.Set(1, 1)
+	l.Add(1)
+	s.Add(1)
+
+	read := func() {
+		for i := 0; i < 200; i++ {
+			d.ContainsKey(1)
+			d.TryGetValue(1)
+			d.Count()
+			l.Get(0)
+			l.Contains(1)
+			l.Count()
+			s.Contains(1)
+			s.Count()
+		}
+	}
+	done1 := make(chan struct{})
+	done2 := make(chan struct{})
+	go func() { defer close(done1); read() }()
+	go func() { defer close(done2); read() }()
+	<-done1
+	<-done2
+	if n := det.Reports().UniqueBugs(); n != 0 {
+		t.Fatalf("concurrent readers reported as %d bugs", n)
+	}
+}
+
+// TestViolationManifestsAsContractPanic: when TSVD aligns a duplicate-key
+// Add with another Add of the same key, the underlying container panics the
+// way .NET throws — the violation's visible symptom — while the detector
+// reports the pair.
+func TestViolationManifestsAsContractPanic(t *testing.T) {
+	det := newDet(t, config.AlgoTSVD)
+	d := NewDictionary[string, int](det)
+	var panics atomic.Int64
+	done1 := make(chan struct{})
+	done2 := make(chan struct{})
+	addSame := func(done chan struct{}) {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			func() {
+				defer func() {
+					if recover() != nil {
+						panics.Add(1)
+					}
+				}()
+				d.Add("same-key", i)
+			}()
+			d.Remove("same-key")
+			time.Sleep(time.Millisecond)
+		}
+	}
+	go addSame(done1)
+	go func() {
+		defer close(done2)
+		for i := 0; i < 200; i++ {
+			func() {
+				defer func() {
+					if recover() != nil {
+						panics.Add(1)
+					}
+				}()
+				d.Add("same-key", i)
+			}()
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	<-done1
+	<-done2
+	if det.Reports().UniqueBugs() == 0 {
+		t.Fatal("same-key Add race not detected")
+	}
+	t.Logf("observed %d contract panics alongside %d reported bugs",
+		panics.Load(), det.Reports().UniqueBugs())
+}

@@ -1,0 +1,212 @@
+// Package config holds every tunable of the TSVD runtime with the defaults
+// the paper settles on in §5.4 (Figure 9). One Config value fully describes
+// a detector run, which keeps parameter-sweep experiments trivial.
+package config
+
+import "time"
+
+// Algorithm selects which detection variant the runtime executes (§3).
+type Algorithm int
+
+const (
+	// AlgoNop performs no analysis and injects no delays. It is the
+	// uninstrumented baseline used to compute overheads.
+	AlgoNop Algorithm = iota
+	// AlgoTSVD is the paper's contribution (§3.4): near-miss tracking,
+	// concurrent-phase inference, HB inference, delay decay, trap-file
+	// persistence, same-run planning+injection.
+	AlgoTSVD
+	// AlgoTSVDHB is the RaceFuzzer-style variant (§3.5): full vector-clock
+	// happens-before analysis over monitored synchronization, with the
+	// paper's immutable-clock optimizations, same-run injection.
+	AlgoTSVDHB
+	// AlgoDynamicRandom injects a delay at every TSVD point with a fixed
+	// small probability (§3.2).
+	AlgoDynamicRandom
+	// AlgoStaticRandom emulates DataCollider: static program locations are
+	// sampled uniformly, irrespective of how often each executes (§3.3).
+	AlgoStaticRandom
+)
+
+// String returns the name used in the paper's tables.
+func (a Algorithm) String() string {
+	switch a {
+	case AlgoNop:
+		return "Nop"
+	case AlgoTSVD:
+		return "TSVD"
+	case AlgoTSVDHB:
+		return "TSVDHB"
+	case AlgoDynamicRandom:
+		return "DynamicRandom"
+	case AlgoStaticRandom:
+		return "DataCollider"
+	default:
+		return "unknown"
+	}
+}
+
+// Config is the complete parameter set for one detector instance.
+type Config struct {
+	Algorithm Algorithm
+
+	// --- Near-miss tracking (§3.4.2, Fig. 9b/9c) ---
+
+	// ObjHistory (N_nm) is the number of recent accesses kept per object.
+	ObjHistory int
+	// NearMissWindow (T_nm) is the physical-time window within which two
+	// conflicting accesses from different threads count as a near miss.
+	NearMissWindow time.Duration
+
+	// --- HB inference (§3.4.4, Fig. 9d/9e) ---
+
+	// HBBlockThreshold (δ_hb) scales DelayTime to the minimum inter-access
+	// gap that is attributed to an injected delay.
+	HBBlockThreshold float64
+	// HBInferenceWindow (k_hb) is how many subsequent accesses of the
+	// blocked thread inherit the inferred happens-after relationship.
+	HBInferenceWindow int
+	// DisableHBInference turns §3.4.4 off entirely (Table 3 ablation).
+	DisableHBInference bool
+
+	// --- Concurrent-phase inference (§3.4.3, Fig. 9f) ---
+
+	// PhaseBufferSize is the length of the global ring buffer of recently
+	// executed TSVD points; >1 distinct threads in the buffer means the
+	// program is in a concurrent phase.
+	PhaseBufferSize int
+	// DisablePhaseDetection turns §3.4.3 off (Table 3 ablation).
+	DisablePhaseDetection bool
+
+	// DisableNearMissWindow makes every pair of conflicting accesses by
+	// different threads a near miss regardless of the time gap
+	// ("No windowing" row of Table 3).
+	DisableNearMissWindow bool
+
+	// --- Delay injection (§3.4.5/§3.4.6, Fig. 9g/9h) ---
+
+	// DelayTime is the length of one injected delay.
+	DelayTime time.Duration
+	// DecayFactor f reduces a location's injection probability to
+	// P·(1-f) after every delay that exposes no conflict. 0 disables decay
+	// (the pathological configuration of Fig. 9g).
+	DecayFactor float64
+	// PruneProbability is the threshold below which a location's delay
+	// probability is treated as zero and its pairs leave the trap set.
+	PruneProbability float64
+	// AvoidOverlappingDelays suppresses a delay when another thread is
+	// already parked (the rejected alternative design in §3.4.6, kept as
+	// an ablation).
+	AvoidOverlappingDelays bool
+	// MaxDelayPerThread caps the total delay charged to one thread so
+	// instrumented tests do not time out (§4 runtime feature 2).
+	// Zero means unlimited.
+	MaxDelayPerThread time.Duration
+
+	// --- Random variants (§3.2/§3.3) ---
+
+	// RandomDelayProbability is DynamicRandom's per-call delay
+	// probability.
+	RandomDelayProbability float64
+	// StaticSampleProbability is StaticRandom's (DataCollider's)
+	// per-window location-arming probability: the analogue of its
+	// breakpoint-set size.
+	StaticSampleProbability float64
+
+	// Seed drives every probabilistic decision the detector makes, so runs
+	// are reproducible.
+	Seed int64
+
+	// TimeScale uniformly shrinks (or stretches) every physical duration
+	// above: DelayTime, NearMissWindow and MaxDelayPerThread are multiplied
+	// by it when the detector starts. 1.0 reproduces the paper's scale;
+	// tests use small values to run fast. Ratios are unaffected.
+	TimeScale float64
+}
+
+// Defaults returns the paper's default configuration for the given variant
+// (§5.4: N_nm=5, T_nm=100ms, δ_hb=0.5, k_hb=5, buffer=16, delay=100ms;
+// DynamicRandom probability 0.05 per Table 2).
+func Defaults(algo Algorithm) Config {
+	return Config{
+		Algorithm:               algo,
+		ObjHistory:              5,
+		NearMissWindow:          100 * time.Millisecond,
+		HBBlockThreshold:        0.5,
+		HBInferenceWindow:       5,
+		PhaseBufferSize:         16,
+		DelayTime:               100 * time.Millisecond,
+		DecayFactor:             0.5,
+		PruneProbability:        0.02,
+		MaxDelayPerThread:       5 * time.Second,
+		RandomDelayProbability:  0.05,
+		StaticSampleProbability: 0.25,
+		Seed:                    1,
+		TimeScale:               1.0,
+	}
+}
+
+// Scaled returns a copy of c with TimeScale set, for fast tests/benches.
+func (c Config) Scaled(factor float64) Config {
+	c.TimeScale = factor
+	return c
+}
+
+// EffectiveDelay returns DelayTime after TimeScale is applied.
+func (c Config) EffectiveDelay() time.Duration {
+	return scale(c.DelayTime, c.TimeScale)
+}
+
+// EffectiveNearMissWindow returns NearMissWindow after TimeScale is applied.
+func (c Config) EffectiveNearMissWindow() time.Duration {
+	return scale(c.NearMissWindow, c.TimeScale)
+}
+
+// EffectiveMaxDelayPerThread returns MaxDelayPerThread after TimeScale.
+func (c Config) EffectiveMaxDelayPerThread() time.Duration {
+	return scale(c.MaxDelayPerThread, c.TimeScale)
+}
+
+func scale(d time.Duration, f float64) time.Duration {
+	if f == 0 || f == 1.0 {
+		return d
+	}
+	s := time.Duration(float64(d) * f)
+	if s <= 0 && d > 0 {
+		s = time.Microsecond
+	}
+	return s
+}
+
+// Validate reports whether the configuration is internally consistent.
+func (c Config) Validate() error {
+	switch {
+	case c.ObjHistory < 1:
+		return errValue("ObjHistory must be >= 1")
+	case c.NearMissWindow <= 0:
+		return errValue("NearMissWindow must be positive")
+	case c.HBBlockThreshold < 0:
+		return errValue("HBBlockThreshold must be >= 0")
+	case c.HBInferenceWindow < 0:
+		return errValue("HBInferenceWindow must be >= 0")
+	case c.PhaseBufferSize < 2 && !c.DisablePhaseDetection:
+		return errValue("PhaseBufferSize must be >= 2")
+	case c.DelayTime <= 0:
+		return errValue("DelayTime must be positive")
+	case c.DecayFactor < 0 || c.DecayFactor >= 1:
+		return errValue("DecayFactor must be in [0,1)")
+	case c.PruneProbability < 0 || c.PruneProbability >= 1:
+		return errValue("PruneProbability must be in [0,1)")
+	case c.RandomDelayProbability < 0 || c.RandomDelayProbability > 1:
+		return errValue("RandomDelayProbability must be in [0,1]")
+	case c.StaticSampleProbability < 0 || c.StaticSampleProbability > 1:
+		return errValue("StaticSampleProbability must be in [0,1]")
+	case c.TimeScale < 0:
+		return errValue("TimeScale must be >= 0")
+	}
+	return nil
+}
+
+type errValue string
+
+func (e errValue) Error() string { return "config: " + string(e) }

@@ -1,0 +1,259 @@
+// Package core implements the TSVD detection algorithm (SOSP '19 §3) and the
+// alternative designs it is evaluated against: the happens-before variant
+// TSVDHB (§3.5), DynamicRandom (§3.2) and StaticRandom/DataCollider (§3.3).
+//
+// All variants share the trap framework of Figure 5: instrumented code calls
+// OnCall immediately before every thread-unsafe API call; OnCall may park the
+// calling thread ("set a trap") for a delay, and every other thread entering
+// OnCall checks whether it conflicts with a currently set trap. A conflict —
+// different threads, same object, at least one write — is a thread-safety
+// violation caught red-handed, so reports have no false positives by
+// construction.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/config"
+	"repro/internal/ids"
+	"repro/internal/report"
+)
+
+// Kind classifies a thread-unsafe API as read or write, per the API list the
+// instrumenter ships with (§4).
+type Kind uint8
+
+const (
+	// KindRead may run concurrently with other reads.
+	KindRead Kind = iota
+	// KindWrite requires exclusive access.
+	KindWrite
+)
+
+// Conflicts reports whether two access kinds violate the thread-safety
+// contract when concurrent: at least one of them must be a write.
+func Conflicts(a, b Kind) bool { return a == KindWrite || b == KindWrite }
+
+// Access describes one instrumented thread-unsafe call, the (thread_id,
+// obj_id, op_id) triple of §3.1 plus reporting metadata.
+type Access struct {
+	Thread ids.ThreadID
+	Obj    ids.ObjectID
+	Op     ids.OpID
+	Kind   Kind
+	// Class and Method name the API for reports, e.g. "Dictionary", "Add".
+	Class  string
+	Method string
+}
+
+// Detector is the runtime interface instrumented programs call into.
+//
+// OnCall is the hot path, invoked before every thread-unsafe operation.
+// The On{Fork,Join,Lock*} synchronization hooks exist only for the TSVDHB
+// variant; TSVD deliberately ignores them — not needing synchronization
+// monitoring is its core design point — and the default implementations are
+// no-ops.
+type Detector interface {
+	// OnCall is invoked right before a thread-unsafe API call executes.
+	// It may block the calling goroutine for an injected delay.
+	OnCall(a Access)
+
+	// OnFork records that parent spawned child.
+	OnFork(parent, child ids.ThreadID)
+	// OnJoin records that waiter observed done's completion.
+	OnJoin(waiter, done ids.ThreadID)
+	// OnLockAcquire records that t acquired lock.
+	OnLockAcquire(t ids.ThreadID, lock ids.ObjectID)
+	// OnLockRelease records that t released lock.
+	OnLockRelease(t ids.ThreadID, lock ids.ObjectID)
+
+	// Reports returns the violations collected so far.
+	Reports() *report.Collector
+	// Stats returns a snapshot of the detector's counters.
+	Stats() Stats
+	// ExportTraps returns the current dangerous-pair set for trap-file
+	// persistence (§3.4.6); variants without a trap set return nil.
+	ExportTraps() []report.PairKey
+}
+
+// Stats are the counters the evaluation section reports: delay counts for
+// Table 2, trap-set churn for understanding pruning, and coverage counters
+// (§5.2 "Actionable Reports" mentions instrumentation-point coverage).
+type Stats struct {
+	// OnCalls counts instrumented calls observed.
+	OnCalls int64
+	// DelaysInjected counts injected delays (Table 2 "# delay").
+	DelaysInjected int64
+	// TotalDelay is the cumulative injected delay time.
+	TotalDelay time.Duration
+	// NearMisses counts dangerous-pair sightings (§3.4.2).
+	NearMisses int64
+	// PairsAdded counts unique pairs ever added to the trap set.
+	PairsAdded int64
+	// PairsPrunedHB counts pairs pruned by happens-before inference
+	// (or analysis, for TSVDHB).
+	PairsPrunedHB int64
+	// PairsPrunedDecay counts pairs pruned by probability decay.
+	PairsPrunedDecay int64
+	// Violations counts dynamic violations (pre-dedup).
+	Violations int64
+	// LocationsSeen counts distinct static TSVD points executed.
+	LocationsSeen int64
+	// LocationsSeenConcurrent counts distinct TSVD points executed during
+	// a concurrent phase (coverage statistics, §5.2).
+	LocationsSeenConcurrent int64
+	// SequentialSkips counts near-miss candidates discarded because the
+	// program was in a sequential phase (§3.4.3).
+	SequentialSkips int64
+	// NearMissGaps is a log₂ histogram of the time gap between the two
+	// sides of each near miss, in microseconds: bucket i counts gaps in
+	// [2^i, 2^(i+1)) µs. It quantifies the coarse-interleaving-hypothesis
+	// discussion of §6 (Snorlax observed 154–3505 µs windows).
+	NearMissGaps GapHistogram
+}
+
+// GapHistogram is a log₂-bucketed duration histogram (µs granularity).
+type GapHistogram [20]int64
+
+// Observe adds one gap to the histogram.
+func (h *GapHistogram) Observe(d time.Duration) {
+	us := d.Microseconds()
+	b := 0
+	for us > 1 && b < len(h)-1 {
+		us >>= 1
+		b++
+	}
+	h[b]++
+}
+
+// Add folds another histogram into h.
+func (h *GapHistogram) Add(other GapHistogram) {
+	for i := range h {
+		h[i] += other[i]
+	}
+}
+
+// Total counts all observations.
+func (h GapHistogram) Total() int64 {
+	var n int64
+	for _, c := range h {
+		n += c
+	}
+	return n
+}
+
+// String renders the non-empty buckets as "≥2^i µs: count" pairs.
+func (h GapHistogram) String() string {
+	var b []byte
+	for i, c := range h {
+		if c == 0 {
+			continue
+		}
+		if len(b) > 0 {
+			b = append(b, ' ')
+		}
+		b = append(b, []byte(fmt.Sprintf("[%dµs,%dµs):%d", 1<<i, 1<<(i+1), c))...)
+	}
+	if len(b) == 0 {
+		return "(empty)"
+	}
+	return string(b)
+}
+
+// Option configures a detector at construction.
+type Option func(*options)
+
+type options struct {
+	clk          clock.Clock
+	initialTraps []report.PairKey
+}
+
+// WithClock substitutes the time source (tests use scaled clocks).
+func WithClock(c clock.Clock) Option {
+	return func(o *options) { o.clk = c }
+}
+
+// WithInitialTraps seeds the trap set from a previous run's trap file, so
+// the second run can inject delays at pairs on their very first occurrence
+// (§3.4.6 "Multiple testing runs").
+func WithInitialTraps(pairs []report.PairKey) Option {
+	return func(o *options) { o.initialTraps = append([]report.PairKey(nil), pairs...) }
+}
+
+// New builds the detector selected by cfg.Algorithm.
+func New(cfg config.Config, opts ...Option) (Detector, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	o := options{clk: clock.Real{}}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	switch cfg.Algorithm {
+	case config.AlgoNop:
+		return NewNop(), nil
+	case config.AlgoTSVD:
+		return newTSVD(cfg, o), nil
+	case config.AlgoTSVDHB:
+		return newTSVDHB(cfg, o), nil
+	case config.AlgoDynamicRandom:
+		return newDynamicRandom(cfg, o), nil
+	case config.AlgoStaticRandom:
+		return newStaticRandom(cfg, o), nil
+	default:
+		return nil, errUnknownAlgo
+	}
+}
+
+type coreError string
+
+func (e coreError) Error() string { return "core: " + string(e) }
+
+var errUnknownAlgo = coreError("unknown algorithm")
+
+// NopDetector ignores everything; it is the uninstrumented baseline used for
+// overhead measurements and the zero value other variants embed for the
+// synchronization hooks they ignore.
+type NopDetector struct {
+	reports *report.Collector
+}
+
+// NewNop returns a detector that does nothing.
+func NewNop() *NopDetector {
+	return &NopDetector{reports: report.NewCollector()}
+}
+
+// OnCall implements Detector.
+func (*NopDetector) OnCall(Access) {}
+
+// OnFork implements Detector.
+func (*NopDetector) OnFork(parent, child ids.ThreadID) {}
+
+// OnJoin implements Detector.
+func (*NopDetector) OnJoin(waiter, done ids.ThreadID) {}
+
+// OnLockAcquire implements Detector.
+func (*NopDetector) OnLockAcquire(t ids.ThreadID, lock ids.ObjectID) {}
+
+// OnLockRelease implements Detector.
+func (*NopDetector) OnLockRelease(t ids.ThreadID, lock ids.ObjectID) {}
+
+// Reports implements Detector.
+func (n *NopDetector) Reports() *report.Collector { return n.reports }
+
+// Stats implements Detector.
+func (*NopDetector) Stats() Stats { return Stats{} }
+
+// ExportTraps implements Detector.
+func (*NopDetector) ExportTraps() []report.PairKey { return nil }
+
+// nopSyncHooks provides the no-op synchronization hooks that TSVD and the
+// random variants embed: they are oblivious to synchronization by design.
+type nopSyncHooks struct{}
+
+func (nopSyncHooks) OnFork(parent, child ids.ThreadID)               {}
+func (nopSyncHooks) OnJoin(waiter, done ids.ThreadID)                {}
+func (nopSyncHooks) OnLockAcquire(t ids.ThreadID, lock ids.ObjectID) {}
+func (nopSyncHooks) OnLockRelease(t ids.ThreadID, lock ids.ObjectID) {}

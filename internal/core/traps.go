@@ -1,0 +1,240 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/config"
+	"repro/internal/ids"
+	"repro/internal/report"
+)
+
+// trap is one parked thread inside OnCall (Figure 5): the triple that
+// identifies it plus everything needed to emit a two-sided report and to
+// wake the sleeper early once a conflict is caught.
+type trap struct {
+	access Access
+	stack  string
+	// cancel wakes the delayed thread early when a conflict is detected.
+	cancel chan struct{}
+	// conflict is set under the runtime mutex when another thread ran into
+	// this trap; the owner reads it after waking to decide decay.
+	conflict bool
+	// canceled guards double-close of cancel.
+	canceled bool
+}
+
+// runtime is the state shared by every detector variant: configuration,
+// time source, the active trap table, delay budgets, statistics and the
+// report collector. Detector-specific state lives in the variant structs.
+// One mutex guards everything; injected delays always sleep outside it, so
+// any number of traps can be parked concurrently (§3.4.6 "Parallel delay
+// injection").
+type runtime struct {
+	cfg config.Config
+	clk clock.Clock
+
+	mu      sync.Mutex
+	start   time.Time
+	rng     *rand.Rand
+	traps   map[ids.ObjectID][]*trap
+	budgets map[ids.ThreadID]*clock.Budget
+	stats   Stats
+	reports *report.Collector
+	// locsSeen / locsSeenConcurrent back the coverage counters.
+	locsSeen           map[ids.OpID]struct{}
+	locsSeenConcurrent map[ids.OpID]struct{}
+
+	// Effective (time-scaled) durations, precomputed.
+	delayTime      time.Duration
+	nearMissWindow time.Duration
+	maxDelay       time.Duration
+}
+
+func newRuntime(cfg config.Config, o options) runtime {
+	return runtime{
+		cfg:                cfg,
+		clk:                o.clk,
+		start:              o.clk.Now(),
+		rng:                rand.New(rand.NewSource(cfg.Seed)),
+		traps:              map[ids.ObjectID][]*trap{},
+		budgets:            map[ids.ThreadID]*clock.Budget{},
+		reports:            report.NewCollector(),
+		locsSeen:           map[ids.OpID]struct{}{},
+		locsSeenConcurrent: map[ids.OpID]struct{}{},
+		delayTime:          cfg.EffectiveDelay(),
+		nearMissWindow:     cfg.EffectiveNearMissWindow(),
+		maxDelay:           cfg.EffectiveMaxDelayPerThread(),
+	}
+}
+
+// now returns the time since detector start. Caller need not hold the mutex.
+func (r *runtime) now() time.Duration { return r.clk.Now().Sub(r.start) }
+
+// checkForTraps implements check_for_trap (Figure 5 line 2): it scans the
+// traps registered on a's object and reports a violation for every
+// conflicting one. Caller holds the mutex. It returns the pair keys of the
+// violations found so variants can prune them from their trap sets.
+func (r *runtime) checkForTraps(a Access, stackOf func() string) []report.PairKey {
+	var found []report.PairKey
+	for _, t := range r.traps[a.Obj] {
+		if t.access.Thread == a.Thread || !Conflicts(t.access.Kind, a.Kind) {
+			continue
+		}
+		r.stats.Violations++
+		v := report.Violation{
+			Object: a.Obj,
+			Trapped: report.Side{
+				Thread: t.access.Thread,
+				Op:     t.access.Op,
+				Write:  t.access.Kind == KindWrite,
+				Class:  t.access.Class,
+				Method: t.access.Method,
+				Stack:  t.stack,
+			},
+			Conflicting: report.Side{
+				Thread: a.Thread,
+				Op:     a.Op,
+				Write:  a.Kind == KindWrite,
+				Class:  a.Class,
+				Method: a.Method,
+				Stack:  stackOf(),
+			},
+			When: r.now(),
+		}
+		r.reports.Add(v)
+		t.conflict = true
+		if !t.canceled {
+			t.canceled = true
+			close(t.cancel)
+		}
+		found = append(found, v.Key())
+	}
+	return found
+}
+
+// registerTrap adds a trap for a. Caller holds the mutex.
+func (r *runtime) registerTrap(a Access, stack string) *trap {
+	t := &trap{access: a, stack: stack, cancel: make(chan struct{})}
+	r.traps[a.Obj] = append(r.traps[a.Obj], t)
+	return t
+}
+
+// unregisterTrap removes t. Caller holds the mutex.
+func (r *runtime) unregisterTrap(t *trap) {
+	list := r.traps[t.access.Obj]
+	for i := range list {
+		if list[i] == t {
+			list[i] = list[len(list)-1]
+			list = list[:len(list)-1]
+			break
+		}
+	}
+	if len(list) == 0 {
+		delete(r.traps, t.access.Obj)
+	} else {
+		r.traps[t.access.Obj] = list
+	}
+}
+
+// anyTrapSet reports whether some thread is currently parked. Caller holds
+// the mutex. Used by the AvoidOverlappingDelays ablation.
+func (r *runtime) anyTrapSet() bool { return len(r.traps) > 0 }
+
+// budgetFor returns the per-thread delay budget, creating it on first use.
+// Caller holds the mutex.
+func (r *runtime) budgetFor(t ids.ThreadID) *clock.Budget {
+	b := r.budgets[t]
+	if b == nil {
+		b = &clock.Budget{Max: r.maxDelay}
+		r.budgets[t] = b
+	}
+	return b
+}
+
+// injectDelay parks the calling thread in a trap for up to d (clipped by the
+// thread's budget), sleeping outside the mutex. It returns the trap (whose
+// conflict flag tells the caller whether the delay was productive) and the
+// nominal duration actually slept. Caller holds the mutex; it is reacquired
+// before returning.
+func (r *runtime) injectDelay(a Access, d time.Duration) (*trap, time.Duration) {
+	budget := r.budgetFor(a.Thread)
+	grant := budget.Allow(d)
+	if grant <= 0 {
+		return nil, 0
+	}
+	t := r.registerTrap(a, ids.Stack())
+	r.stats.DelaysInjected++
+	r.mu.Unlock()
+
+	slept, woken := r.clk.Sleep(grant, t.cancel)
+
+	r.mu.Lock()
+	r.unregisterTrap(t)
+	if woken && slept < grant {
+		budget.Refund(grant - slept)
+	}
+	if slept > grant {
+		slept = grant
+	}
+	r.stats.TotalDelay += slept
+	return t, slept
+}
+
+// markSeen updates the coverage counters for op. Caller holds the mutex.
+func (r *runtime) markSeen(op ids.OpID, concurrent bool) {
+	if _, ok := r.locsSeen[op]; !ok {
+		r.locsSeen[op] = struct{}{}
+		r.stats.LocationsSeen++
+	}
+	if concurrent {
+		if _, ok := r.locsSeenConcurrent[op]; !ok {
+			r.locsSeenConcurrent[op] = struct{}{}
+			r.stats.LocationsSeenConcurrent++
+		}
+	}
+}
+
+// snapshotStats returns a copy of the counters. Takes the mutex itself.
+func (r *runtime) snapshotStats() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
+}
+
+// phaseRing is the global history buffer of §3.4.3: the thread ids of the
+// most recently executed TSVD points. The execution is considered to be in
+// a concurrent phase iff the buffer holds more than one distinct thread.
+type phaseRing struct {
+	buf  []ids.ThreadID
+	next int
+	full bool
+}
+
+func newPhaseRing(size int) *phaseRing {
+	return &phaseRing{buf: make([]ids.ThreadID, size)}
+}
+
+// observe records t and reports whether the execution is in a concurrent
+// phase.
+func (p *phaseRing) observe(t ids.ThreadID) bool {
+	p.buf[p.next] = t
+	p.next++
+	if p.next == len(p.buf) {
+		p.next = 0
+		p.full = true
+	}
+	n := len(p.buf)
+	if !p.full {
+		n = p.next
+	}
+	first := p.buf[0]
+	for i := 1; i < n; i++ {
+		if p.buf[i] != first {
+			return true
+		}
+	}
+	return false
+}

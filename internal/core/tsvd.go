@@ -1,0 +1,292 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/ids"
+	"repro/internal/report"
+)
+
+// TSVD is the paper's detector (§3.4). It identifies dangerous pairs by
+// near-miss tracking, restricts them to concurrent phases, prunes them with
+// happens-before *inference* driven by its own delay injections, decays
+// unproductive delay locations, and performs planning and injection in the
+// same run.
+type TSVD struct {
+	nopSyncHooks // TSVD is oblivious to synchronization by design
+
+	rt    runtime
+	phase *phaseRing
+	set   trapSet
+
+	// objHist keeps the last N_nm accesses per object (§3.4.2). Rather
+	// than hanging this state off the objects themselves, the paper keeps
+	// a global table indexed by object id; so do we.
+	objHist map[ids.ObjectID]*objHistory
+	// threads tracks each thread's previous access for HB inference.
+	threads map[ids.ThreadID]*threadState
+	// recentDelays holds finished delays for gap attribution (§3.4.4).
+	recentDelays []delayRecord
+}
+
+type histEntry struct {
+	thread ids.ThreadID
+	op     ids.OpID
+	kind   Kind
+	at     time.Duration
+}
+
+// objHistory is a fixed-capacity ring of the most recent accesses.
+type objHistory struct {
+	entries []histEntry
+	next    int
+	full    bool
+}
+
+func newObjHistory(capacity int) *objHistory {
+	return &objHistory{entries: make([]histEntry, capacity)}
+}
+
+func (h *objHistory) add(e histEntry) {
+	h.entries[h.next] = e
+	h.next++
+	if h.next == len(h.entries) {
+		h.next = 0
+		h.full = true
+	}
+}
+
+// each visits the recorded entries (order unspecified).
+func (h *objHistory) each(fn func(histEntry)) {
+	n := len(h.entries)
+	if !h.full {
+		n = h.next
+	}
+	for i := 0; i < n; i++ {
+		fn(h.entries[i])
+	}
+}
+
+type threadState struct {
+	lastAccess time.Duration
+	hasAccess  bool
+	// ownDelay accumulates delay injected into this thread since its last
+	// access, so a self-inflicted gap is not attributed to another
+	// thread's delay during HB inference.
+	ownDelay time.Duration
+	// inherits carries the k_hb-access happens-after windows (§3.4.4:
+	// "the next k_hb accesses in thread Thd2 are also considered as
+	// likely happens-after loc1").
+	inherits []inheritance
+}
+
+type inheritance struct {
+	from      ids.OpID
+	remaining int
+}
+
+type delayRecord struct {
+	thread     ids.ThreadID
+	op         ids.OpID
+	start, end time.Duration
+}
+
+// maxRecentDelays bounds the delay log scanned by HB inference. Delays
+// older than every thread's previous access can never satisfy the overlap
+// condition, so a short suffix is sufficient.
+const maxRecentDelays = 256
+
+func newTSVD(cfg config.Config, o options) *TSVD {
+	d := &TSVD{
+		rt:      newRuntime(cfg, o),
+		set:     newTrapSet(),
+		objHist: map[ids.ObjectID]*objHistory{},
+		threads: map[ids.ThreadID]*threadState{},
+	}
+	if !cfg.DisablePhaseDetection {
+		d.phase = newPhaseRing(cfg.PhaseBufferSize)
+	}
+	for _, key := range o.initialTraps {
+		d.set.add(key, &d.rt.stats)
+	}
+	return d
+}
+
+// OnCall implements Detector; it is the OnCall of Figure 5 with TSVD's
+// should_delay (§3.4.1–§3.4.6).
+func (d *TSVD) OnCall(a Access) {
+	t := d.rt.now()
+	d.rt.mu.Lock()
+	d.rt.stats.OnCalls++
+
+	// check_for_trap: catch conflicting parked threads red-handed. A pair
+	// with a reported violation leaves the trap set for good.
+	for _, key := range d.rt.checkForTraps(a, ids.Stack) {
+		d.set.suppress(key)
+	}
+
+	// Happens-before inference on this thread's inter-access gap, plus
+	// consumption of any pending k_hb inheritance windows.
+	if !d.rt.cfg.DisableHBInference {
+		d.inferHB(a, t)
+	}
+
+	// Concurrent-phase inference.
+	concurrent := true
+	if d.phase != nil {
+		concurrent = d.phase.observe(a.Thread)
+	}
+	d.rt.markSeen(a.Op, concurrent)
+
+	// Near-miss tracking over the object's recent accesses.
+	if h := d.objHist[a.Obj]; h != nil {
+		h.each(func(e histEntry) {
+			if e.thread == a.Thread || !Conflicts(e.kind, a.Kind) {
+				return
+			}
+			if !d.rt.cfg.DisableNearMissWindow && t-e.at > d.rt.nearMissWindow {
+				return
+			}
+			if !concurrent {
+				d.rt.stats.SequentialSkips++
+				return
+			}
+			d.rt.stats.NearMisses++
+			d.rt.stats.NearMissGaps.Observe(t - e.at)
+			d.set.add(report.KeyOf(e.op, a.Op), &d.rt.stats)
+		})
+	}
+
+	d.recordAccess(a, t)
+
+	// should_delay: the location must participate in a live dangerous
+	// pair, and its decayed probability must pass a coin flip.
+	inject := false
+	if d.set.hasLoc(a.Op) && d.rt.rng.Float64() < d.set.prob(a.Op) {
+		inject = !(d.rt.cfg.AvoidOverlappingDelays && d.rt.anyTrapSet())
+	}
+	if inject {
+		trap, slept := d.rt.injectDelay(a, d.rt.delayTime) // sleeps unlocked
+		if trap != nil {
+			end := d.rt.now()
+			d.recentDelays = append(d.recentDelays, delayRecord{
+				thread: a.Thread, op: a.Op, start: t, end: end,
+			})
+			if len(d.recentDelays) > maxRecentDelays {
+				d.recentDelays = d.recentDelays[len(d.recentDelays)-maxRecentDelays:]
+			}
+			if st := d.threads[a.Thread]; st != nil {
+				st.ownDelay += slept
+			}
+			if !trap.conflict {
+				d.set.decayAfterFailedDelay(a.Op, d.rt.cfg.DecayFactor,
+					d.rt.cfg.PruneProbability, &d.rt.stats)
+			}
+		}
+	}
+	d.rt.mu.Unlock()
+}
+
+// inferHB implements §3.4.4. Caller holds the mutex.
+func (d *TSVD) inferHB(a Access, t time.Duration) {
+	st := d.threads[a.Thread]
+	if st == nil {
+		return
+	}
+
+	// Consume pending inheritance windows: this access likely
+	// happens-after each recorded delay location.
+	if len(st.inherits) > 0 {
+		kept := st.inherits[:0]
+		for _, inh := range st.inherits {
+			d.pruneHB(report.KeyOf(inh.from, a.Op))
+			if inh.remaining--; inh.remaining > 0 {
+				kept = append(kept, inh)
+			}
+		}
+		st.inherits = kept
+	}
+
+	if !st.hasAccess {
+		return
+	}
+	threshold := time.Duration(d.rt.cfg.HBBlockThreshold * float64(d.rt.delayTime))
+	gap := t - st.lastAccess - st.ownDelay
+	if gap < threshold {
+		return
+	}
+	// Attribute the gap to the most recently finished delay of another
+	// thread that overlaps it (t0 ≤ t1end).
+	best := -1
+	for i := len(d.recentDelays) - 1; i >= 0; i-- {
+		dr := d.recentDelays[i]
+		if dr.thread == a.Thread || dr.end < st.lastAccess || dr.end > t {
+			continue
+		}
+		if best == -1 || dr.end > d.recentDelays[best].end {
+			best = i
+		}
+	}
+	if best == -1 {
+		return
+	}
+	from := d.recentDelays[best].op
+	d.pruneHB(report.KeyOf(from, a.Op))
+	if k := d.rt.cfg.HBInferenceWindow; k > 0 {
+		st.inherits = append(st.inherits, inheritance{from: from, remaining: k})
+	}
+}
+
+// pruneHB marks a pair as happens-before ordered: it leaves the trap set
+// and can never re-enter it.
+func (d *TSVD) pruneHB(key report.PairKey) {
+	if key.A == key.B {
+		// A location trivially happens-before itself on one thread; the
+		// same location racing with itself across threads is exactly the
+		// "same operation" bug class (34% in Table 1), so never suppress.
+		return
+	}
+	if d.set.suppress(key) {
+		d.rt.stats.PairsPrunedHB++
+	}
+}
+
+func (d *TSVD) recordAccess(a Access, t time.Duration) {
+	h := d.objHist[a.Obj]
+	if h == nil {
+		h = newObjHistory(d.rt.cfg.ObjHistory)
+		d.objHist[a.Obj] = h
+	}
+	h.add(histEntry{thread: a.Thread, op: a.Op, kind: a.Kind, at: t})
+
+	st := d.threads[a.Thread]
+	if st == nil {
+		st = &threadState{}
+		d.threads[a.Thread] = st
+	}
+	st.lastAccess = t
+	st.hasAccess = true
+	st.ownDelay = 0
+}
+
+// Reports implements Detector.
+func (d *TSVD) Reports() *report.Collector { return d.rt.reports }
+
+// Stats implements Detector.
+func (d *TSVD) Stats() Stats { return d.rt.snapshotStats() }
+
+// ExportTraps implements Detector: the trap file contents (§3.4.6).
+func (d *TSVD) ExportTraps() []report.PairKey {
+	d.rt.mu.Lock()
+	defer d.rt.mu.Unlock()
+	return d.set.export()
+}
+
+// TrapSetSize reports the number of live dangerous pairs (for tests and the
+// coverage statistics).
+func (d *TSVD) TrapSetSize() int {
+	d.rt.mu.Lock()
+	defer d.rt.mu.Unlock()
+	return d.set.size()
+}

@@ -1,0 +1,199 @@
+package core
+
+import (
+	"repro/internal/config"
+	"repro/internal/ids"
+	"repro/internal/report"
+	"repro/internal/vclock"
+)
+
+// TSVDHB is the RaceFuzzer-style variant (§3.5): it monitors synchronization
+// operations (forks, joins, locks) reported by the task substrate, maintains
+// vector clocks, and only adds a pair of conflicting accesses to the trap
+// set when the clocks prove the accesses concurrent. Delay injection,
+// probability decay and trap-file persistence are shared with TSVD.
+//
+// It carries the paper's three optimizations for async-heavy programs:
+//
+//  1. local timestamps increment at TSVD points (rare) rather than at
+//     synchronization operations (frequent);
+//  2. clocks are immutable AVL tree-maps, so a message-send (fork, lock
+//     release) copies a clock by reference in O(1);
+//  3. join-message receives use a reference-equality fast path before the
+//     O(n) element-wise max.
+type TSVDHB struct {
+	rt  runtime
+	set trapSet
+
+	threadVC map[ids.ThreadID]vclock.Tree
+	lockVC   map[ids.ObjectID]vclock.Tree
+	objHist  map[ids.ObjectID]*hbHistory
+}
+
+type hbEntry struct {
+	thread ids.ThreadID
+	op     ids.OpID
+	kind   Kind
+	// epoch is the entry thread's own clock component at the access
+	// (post-tick); the access happened-before a later access c on thread
+	// u iff u's clock at entry.thread has reached epoch.
+	epoch uint64
+}
+
+type hbHistory struct {
+	entries []hbEntry
+	next    int
+	full    bool
+}
+
+func newHBHistory(capacity int) *hbHistory {
+	return &hbHistory{entries: make([]hbEntry, capacity)}
+}
+
+func (h *hbHistory) add(e hbEntry) {
+	h.entries[h.next] = e
+	h.next++
+	if h.next == len(h.entries) {
+		h.next = 0
+		h.full = true
+	}
+}
+
+func (h *hbHistory) each(fn func(hbEntry)) {
+	n := len(h.entries)
+	if !h.full {
+		n = h.next
+	}
+	for i := 0; i < n; i++ {
+		fn(h.entries[i])
+	}
+}
+
+func newTSVDHB(cfg config.Config, o options) *TSVDHB {
+	d := &TSVDHB{
+		rt:       newRuntime(cfg, o),
+		set:      newTrapSet(),
+		threadVC: map[ids.ThreadID]vclock.Tree{},
+		lockVC:   map[ids.ObjectID]vclock.Tree{},
+		objHist:  map[ids.ObjectID]*hbHistory{},
+	}
+	for _, key := range o.initialTraps {
+		d.set.add(key, &d.rt.stats)
+	}
+	return d
+}
+
+// OnFork implements Detector: the child inherits the parent's clock by
+// reference (O(1) message-send with immutable clocks).
+func (d *TSVDHB) OnFork(parent, child ids.ThreadID) {
+	d.rt.mu.Lock()
+	d.threadVC[child] = d.threadVC[parent]
+	d.rt.mu.Unlock()
+}
+
+// OnJoin implements Detector: the waiter receives the finished task's clock.
+// When the task passed through no TSVD point since fork, both clocks are the
+// identical tree and the max is skipped entirely.
+func (d *TSVDHB) OnJoin(waiter, done ids.ThreadID) {
+	d.rt.mu.Lock()
+	w, dn := d.threadVC[waiter], d.threadVC[done]
+	if !vclock.SameRef(w, dn) {
+		d.threadVC[waiter] = vclock.Join(w, dn)
+	}
+	d.rt.mu.Unlock()
+}
+
+// OnLockAcquire implements Detector: the thread receives the lock's clock.
+func (d *TSVDHB) OnLockAcquire(t ids.ThreadID, lock ids.ObjectID) {
+	d.rt.mu.Lock()
+	tv, lv := d.threadVC[t], d.lockVC[lock]
+	if !vclock.SameRef(tv, lv) {
+		d.threadVC[t] = vclock.Join(tv, lv)
+	}
+	d.rt.mu.Unlock()
+}
+
+// OnLockRelease implements Detector: the lock stores the thread's clock by
+// reference.
+func (d *TSVDHB) OnLockRelease(t ids.ThreadID, lock ids.ObjectID) {
+	d.rt.mu.Lock()
+	d.lockVC[lock] = d.threadVC[t]
+	d.rt.mu.Unlock()
+}
+
+// OnCall implements Detector.
+func (d *TSVDHB) OnCall(a Access) {
+	d.rt.mu.Lock()
+	d.rt.stats.OnCalls++
+
+	for _, key := range d.rt.checkForTraps(a, ids.Stack) {
+		d.set.suppress(key)
+	}
+
+	// Local timestamp increments happen here, at the (relatively rare)
+	// TSVD points — not at synchronization operations.
+	vc := d.threadVC[a.Thread].Tick(int64(a.Thread))
+	d.threadVC[a.Thread] = vc
+	d.rt.markSeen(a.Op, true)
+
+	// Precise concurrency check against the object's recent accesses.
+	h := d.objHist[a.Obj]
+	if h == nil {
+		h = newHBHistory(d.rt.cfg.ObjHistory)
+		d.objHist[a.Obj] = h
+	}
+	h.each(func(e hbEntry) {
+		if e.thread == a.Thread || !Conflicts(e.kind, a.Kind) {
+			return
+		}
+		if vc.Get(int64(e.thread)) >= e.epoch {
+			// The previous access happens-before this one: not a
+			// dangerous pair.
+			d.rt.stats.PairsPrunedHB++
+			return
+		}
+		d.rt.stats.NearMisses++
+		d.set.add(report.KeyOf(e.op, a.Op), &d.rt.stats)
+	})
+	h.add(hbEntry{
+		thread: a.Thread, op: a.Op, kind: a.Kind,
+		epoch: vc.Get(int64(a.Thread)),
+	})
+
+	// Injection and decay are identical to TSVD (§3.5 "When to inject").
+	inject := false
+	if d.set.hasLoc(a.Op) && d.rt.rng.Float64() < d.set.prob(a.Op) {
+		inject = !(d.rt.cfg.AvoidOverlappingDelays && d.rt.anyTrapSet())
+	}
+	if inject {
+		trap, _ := d.rt.injectDelay(a, d.rt.delayTime) // sleeps unlocked
+		if trap != nil && !trap.conflict {
+			d.set.decayAfterFailedDelay(a.Op, d.rt.cfg.DecayFactor,
+				d.rt.cfg.PruneProbability, &d.rt.stats)
+		}
+	}
+	d.rt.mu.Unlock()
+}
+
+// Reports implements Detector.
+func (d *TSVDHB) Reports() *report.Collector { return d.rt.reports }
+
+// Stats implements Detector.
+func (d *TSVDHB) Stats() Stats { return d.rt.snapshotStats() }
+
+// ExportTraps implements Detector.
+func (d *TSVDHB) ExportTraps() []report.PairKey {
+	d.rt.mu.Lock()
+	defer d.rt.mu.Unlock()
+	return d.set.export()
+}
+
+// TrapSetSize reports the number of live dangerous pairs.
+func (d *TSVDHB) TrapSetSize() int {
+	d.rt.mu.Lock()
+	defer d.rt.mu.Unlock()
+	return d.set.size()
+}
+
+// sameClockRef is a test hook exposing vclock.SameRef over thread clocks.
+func sameClockRef(a, b vclock.Tree) bool { return vclock.SameRef(a, b) }

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/ids"
+	"repro/internal/report"
+)
+
+// DynamicRandom (§3.2) treats every TSVD point as an eligible delay location
+// and injects a delay at a random subset of dynamic occurrences: should_delay
+// returns true with a small fixed probability, and the delay length itself is
+// random. Hot paths therefore soak up most of the delays — the weakness
+// StaticRandom and TSVD address.
+type DynamicRandom struct {
+	nopSyncHooks
+	rt runtime
+}
+
+func newDynamicRandom(cfg config.Config, o options) *DynamicRandom {
+	return &DynamicRandom{rt: newRuntime(cfg, o)}
+}
+
+// OnCall implements Detector.
+func (d *DynamicRandom) OnCall(a Access) {
+	d.rt.mu.Lock()
+	d.rt.stats.OnCalls++
+	d.rt.checkForTraps(a, ids.Stack)
+	d.rt.markSeen(a.Op, false)
+	if d.rt.rng.Float64() < d.rt.cfg.RandomDelayProbability {
+		// "the thread sleeps for a random amount of time" — uniform in
+		// (0, DelayTime].
+		dur := time.Duration(d.rt.rng.Int63n(int64(d.rt.delayTime))) + 1
+		d.rt.injectDelay(a, dur)
+	}
+	d.rt.mu.Unlock()
+}
+
+// Reports implements Detector.
+func (d *DynamicRandom) Reports() *report.Collector { return d.rt.reports }
+
+// Stats implements Detector.
+func (d *DynamicRandom) Stats() Stats { return d.rt.snapshotStats() }
+
+// ExportTraps implements Detector; random variants keep no trap set.
+func (d *DynamicRandom) ExportTraps() []report.PairKey { return nil }
+
+// StaticRandom (§3.3) emulates DataCollider: static program locations are
+// sampled uniformly, irrespective of how often each executes, so cold paths
+// get the same attention as hot loops.
+//
+// Mechanically (mirroring DataCollider's continuously replenished code
+// breakpoints): every known location is armed with probability
+// StaticSampleProbability per sampling window; an armed location fires a
+// full-length delay on its next execution and disarms until the window
+// rolls over (every resamplePeriod observed calls). Delay volume therefore
+// scales with the number of static locations — the "many delay locations,
+// no analysis" corner of Figure 2 — rather than with execution counts.
+type StaticRandom struct {
+	nopSyncHooks
+	rt    runtime
+	armed map[ids.OpID]bool
+	calls int64
+}
+
+// resamplePeriod is how many OnCalls pass between re-arming rounds.
+const resamplePeriod = 200
+
+func newStaticRandom(cfg config.Config, o options) *StaticRandom {
+	return &StaticRandom{
+		rt:    newRuntime(cfg, o),
+		armed: map[ids.OpID]bool{},
+	}
+}
+
+// OnCall implements Detector.
+func (s *StaticRandom) OnCall(a Access) {
+	s.rt.mu.Lock()
+	s.rt.stats.OnCalls++
+	s.rt.checkForTraps(a, ids.Stack)
+	s.rt.markSeen(a.Op, false)
+
+	armed, known := s.armed[a.Op]
+	if !known {
+		armed = s.rt.rng.Float64() < s.rt.cfg.StaticSampleProbability
+		s.armed[a.Op] = armed
+	}
+	s.calls++
+	if s.calls%resamplePeriod == 0 {
+		for op, isArmed := range s.armed {
+			if !isArmed {
+				s.armed[op] = s.rt.rng.Float64() < s.rt.cfg.StaticSampleProbability
+			}
+		}
+	}
+	if armed {
+		s.armed[a.Op] = false // breakpoints fire once per arming
+		s.rt.injectDelay(a, s.rt.delayTime)
+	}
+	s.rt.mu.Unlock()
+}
+
+// Reports implements Detector.
+func (s *StaticRandom) Reports() *report.Collector { return s.rt.reports }
+
+// Stats implements Detector.
+func (s *StaticRandom) Stats() Stats { return s.rt.snapshotStats() }
+
+// ExportTraps implements Detector.
+func (s *StaticRandom) ExportTraps() []report.PairKey { return nil }

@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/harness"
+	"repro/internal/scenarios"
+	"repro/internal/workload"
+)
+
+// Table4 runs the nine open-source scenarios (§5.7) under TSVD with the
+// paper's default parameters (time-scaled) and prints the Table-4 row
+// shape: tests, runs used, TSVs found, overhead.
+func Table4(p Params, w io.Writer) {
+	// Scenario tests pace at 2ms, so run with a 40ms window/20ms delay.
+	cfg := config.Defaults(config.AlgoTSVD).Scaled(0.4)
+	fmt.Fprintf(w, "Table 4: TSVD results on open-source-modeled projects\n")
+	fmt.Fprintf(w, "%-22s %7s %6s %6s %9s\n", "project", "#tests", "#run", "#TSV", "overhead")
+	for _, s := range scenarios.All() {
+		out, err := scenarios.Run(s, cfg, 2)
+		if err != nil {
+			fmt.Fprintf(w, "%-22s error: %v\n", s.Name, err)
+			continue
+		}
+		fmt.Fprintf(w, "%-22s %7d %6d %6d %8.1f%%\n",
+			out.Name, out.Tests, out.RunsUsed, out.TSVs, 100*out.Overhead)
+	}
+}
+
+// ResourceUsage reproduces §5.5: memory and CPU cost of running with TSVD
+// against the uninstrumented baseline, measured over the Small suite.
+func ResourceUsage(p Params, w io.Writer) {
+	suite := workload.GenerateSuite(p.Seed, p.SmallModules)
+
+	measure := func(algo config.Algorithm) (time.Duration, uint64) {
+		runtime.GC()
+		var before runtime.MemStats
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		if algo == config.AlgoNop {
+			harness.Baseline(suite, p.opts(config.AlgoTSVD, 1))
+		} else {
+			harness.Run(suite, p.opts(algo, 1))
+		}
+		dur := time.Since(start)
+		var after runtime.MemStats
+		runtime.ReadMemStats(&after)
+		return dur, after.TotalAlloc - before.TotalAlloc
+	}
+
+	baseDur, baseAlloc := measure(config.AlgoNop)
+	tsvdDur, tsvdAlloc := measure(config.AlgoTSVD)
+
+	fmt.Fprintf(w, "§5.5 resource usage over the Small suite (one run)\n")
+	fmt.Fprintf(w, "%-14s %12s %14s\n", "config", "wall time", "allocations")
+	fmt.Fprintf(w, "%-14s %12v %13dK\n", "baseline", baseDur.Round(time.Millisecond), baseAlloc/1024)
+	fmt.Fprintf(w, "%-14s %12v %13dK\n", "TSVD", tsvdDur.Round(time.Millisecond), tsvdAlloc/1024)
+	if baseAlloc > 0 {
+		fmt.Fprintf(w, "allocation increase: %.0f%%\n",
+			100*(float64(tsvdAlloc)/float64(baseAlloc)-1))
+	}
+}
+
+// AsyncInlining reproduces the §4 observation: with the CLR-style
+// fast-async inlining emulation enabled (and TSVD's force-async
+// instrumentation therefore absent), async bugs hide.
+func AsyncInlining(p Params, w io.Writer) {
+	suite := workload.GenerateSuite(p.Seed, p.SmallModules)
+	planted := suite.BugsByKind()
+
+	forced := harness.Run(suite, p.opts(config.AlgoTSVD, 2))
+	inlineOpts := p.opts(config.AlgoTSVD, 2)
+	inlineOpts.InlineFastAsync = true
+	inlined := harness.Run(suite, inlineOpts)
+
+	fmt.Fprintf(w, "§4 async-inlining ablation (async bugs planted: %d)\n",
+		planted[workload.BugAsync])
+	fmt.Fprintf(w, "%-28s %11s %10s\n", "scheduler mode", "async bugs", "all bugs")
+	fmt.Fprintf(w, "%-28s %11d %10d\n", "force-async (TSVD's §4 fix)",
+		forced.FoundByKind(suite)[workload.BugAsync], forced.TotalFound())
+	fmt.Fprintf(w, "%-28s %11d %10d\n", "CLR fast-async inlining",
+		inlined.FoundByKind(suite)[workload.BugAsync], inlined.TotalFound())
+}
+
+// DelayOverlap reproduces the §3.4.6 design discussion: suppressing
+// overlapping delays finds fewer bugs under the same budget.
+func DelayOverlap(p Params, w io.Writer) {
+	suite := workload.GenerateSuite(p.Seed, p.SmallModules)
+	aggressive := harness.Run(suite, p.opts(config.AlgoTSVD, 2))
+	avoidOpts := p.opts(config.AlgoTSVD, 2)
+	avoidOpts.Config.AvoidOverlappingDelays = true
+	avoiding := harness.Run(suite, avoidOpts)
+
+	fmt.Fprintf(w, "§3.4.6 parallel delay injection ablation\n")
+	fmt.Fprintf(w, "%-26s %6s %9s\n", "policy", "bugs", "#delay")
+	fmt.Fprintf(w, "%-26s %6d %9d\n", "aggressive (TSVD)",
+		aggressive.TotalFound(), aggressive.Stats.DelaysInjected)
+	fmt.Fprintf(w, "%-26s %6d %9d\n", "avoid overlaps",
+		avoiding.TotalFound(), avoiding.Stats.DelaysInjected)
+}

@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/harness"
+	"repro/internal/workload"
+)
+
+// sweep runs TSVD twice per configuration over the Small suite and reports
+// bugs/overhead per point.
+func (p Params) sweep(w io.Writer, title string, labels []string,
+	mutate func(*config.Config, int)) {
+
+	suite := workload.GenerateSuite(p.Seed, p.SmallModules)
+	base := harness.Baseline(suite, p.opts(config.AlgoTSVD, 1))
+	fmt.Fprintf(w, "%s\n%-12s %6s %9s %9s\n", title, "value", "bugs", "overhead", "#delay")
+	for i, label := range labels {
+		o := p.opts(config.AlgoTSVD, 2)
+		mutate(&o.Config, i)
+		out := harness.Run(suite, o)
+		fmt.Fprintf(w, "%-12s %6d %8.0f%% %9d\n",
+			label, out.TotalFound(),
+			100*harness.Overhead(out.WallTime, 2*base),
+			out.Stats.DelaysInjected)
+	}
+}
+
+// Figure9a runs TSVD repeatedly with identical parameters but different
+// probabilistic seeds: the variance experiment.
+func Figure9a(p Params, w io.Writer) {
+	suite := workload.GenerateSuite(p.Seed, p.SmallModules)
+	base := harness.Baseline(suite, p.opts(config.AlgoTSVD, 1))
+	const tries = 12
+	fmt.Fprintf(w, "Figure 9(a): %d tries of TSVD with default parameters\n", tries)
+	fmt.Fprintf(w, "%-6s %6s %9s\n", "try", "bugs", "overhead")
+	minB, maxB := 1<<30, 0
+	for i := 1; i <= tries; i++ {
+		o := p.opts(config.AlgoTSVD, 2)
+		o.Config.Seed = int64(i) * 997
+		out := harness.Run(suite, o)
+		b := out.TotalFound()
+		if b < minB {
+			minB = b
+		}
+		if b > maxB {
+			maxB = b
+		}
+		fmt.Fprintf(w, "%-6d %6d %8.0f%%\n", i, b,
+			100*harness.Overhead(out.WallTime, 2*base))
+	}
+	fmt.Fprintf(w, "bug-count range across tries: %d..%d\n", minB, maxB)
+}
+
+// Figure9b sweeps the per-object history length N_nm.
+func Figure9b(p Params, w io.Writer) {
+	values := []int{1, 2, 5, 10, 50}
+	labels := make([]string, len(values))
+	for i, v := range values {
+		labels[i] = fmt.Sprintf("N_nm=%d", v)
+	}
+	p.sweep(w, "Figure 9(b): object history length (N_nm)", labels,
+		func(c *config.Config, i int) { c.ObjHistory = values[i] })
+}
+
+// Figure9c sweeps the near-miss window T_nm.
+func Figure9c(p Params, w io.Writer) {
+	values := []time.Duration{
+		time.Millisecond, 10 * time.Millisecond,
+		100 * time.Millisecond, time.Second,
+	}
+	labels := make([]string, len(values))
+	for i, v := range values {
+		labels[i] = fmt.Sprintf("T_nm=%v", v)
+	}
+	p.sweep(w, "Figure 9(c): near-miss window (T_nm, pre-scale)", labels,
+		func(c *config.Config, i int) { c.NearMissWindow = values[i] })
+}
+
+// Figure9d sweeps the causal-delay blocking threshold δ_hb.
+func Figure9d(p Params, w io.Writer) {
+	values := []float64{0, 0.2, 0.5, 0.8}
+	labels := make([]string, len(values))
+	for i, v := range values {
+		labels[i] = fmt.Sprintf("δ_hb=%.1f", v)
+	}
+	p.sweep(w, "Figure 9(d): HB blocking threshold (δ_hb)", labels,
+		func(c *config.Config, i int) { c.HBBlockThreshold = values[i] })
+}
+
+// Figure9e sweeps the HB inference window k_hb.
+func Figure9e(p Params, w io.Writer) {
+	values := []int{0, 2, 5, 20, 100}
+	labels := make([]string, len(values))
+	for i, v := range values {
+		labels[i] = fmt.Sprintf("k_hb=%d", v)
+	}
+	p.sweep(w, "Figure 9(e): HB inference window (k_hb)", labels,
+		func(c *config.Config, i int) { c.HBInferenceWindow = values[i] })
+}
+
+// Figure9f sweeps the concurrent-phase buffer size.
+func Figure9f(p Params, w io.Writer) {
+	values := []int{2, 4, 16, 64, 256}
+	labels := make([]string, len(values))
+	for i, v := range values {
+		labels[i] = fmt.Sprintf("buf=%d", v)
+	}
+	p.sweep(w, "Figure 9(f): phase buffer size", labels,
+		func(c *config.Config, i int) { c.PhaseBufferSize = values[i] })
+}
+
+// Figure9g sweeps the decay factor (0 disables decay — the pathological
+// configuration the paper calls out).
+func Figure9g(p Params, w io.Writer) {
+	values := []float64{0, 0.25, 0.5, 0.75, 0.9}
+	labels := make([]string, len(values))
+	for i, v := range values {
+		labels[i] = fmt.Sprintf("decay=%.2f", v)
+	}
+	p.sweep(w, "Figure 9(g): decay factor", labels,
+		func(c *config.Config, i int) { c.DecayFactor = values[i] })
+}
+
+// Figure9h sweeps the delay length.
+func Figure9h(p Params, w io.Writer) {
+	values := []time.Duration{
+		10 * time.Millisecond, 50 * time.Millisecond, 100 * time.Millisecond,
+		200 * time.Millisecond, 500 * time.Millisecond,
+	}
+	labels := make([]string, len(values))
+	for i, v := range values {
+		labels[i] = fmt.Sprintf("delay=%v", v)
+	}
+	p.sweep(w, "Figure 9(h): delay time (pre-scale)", labels,
+		func(c *config.Config, i int) { c.DelayTime = values[i] })
+}

@@ -1,0 +1,329 @@
+// Package harness executes workload suites under detector configurations
+// and aggregates the measurements the paper's evaluation reports: unique
+// bugs per run, runtime overhead against an uninstrumented baseline, delay
+// counts, and the Table-1 population statistics. Modules run Parallelism at
+// a time — the paper runs 10 modules at a time on its small server (§5.1) —
+// with one detector instance per module per run, matching the deployment
+// model of one instrumented test process per module.
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/task"
+	"repro/internal/workload"
+)
+
+// Options configures one suite execution.
+type Options struct {
+	// Config is the detector configuration (algorithm, parameters,
+	// TimeScale).
+	Config config.Config
+	// Runs is the number of consecutive runs; trap sets persist between
+	// runs per module (§3.4.6).
+	Runs int
+	// RunSeedBase varies workload schedule randomness per run.
+	RunSeedBase int64
+	// Parallelism is the number of modules in flight at once.
+	Parallelism int
+	// InlineFastAsync emulates the CLR fast-async optimization instead of
+	// TSVD's force-async instrumentation (§4). Default false applies
+	// force-async uniformly, as the paper does for every technique.
+	InlineFastAsync bool
+	// InitialTraps seeds every module's first run from a trap file
+	// written by a previous process (§3.4.6). Pairs belonging to other
+	// modules are inert.
+	InitialTraps []report.PairKey
+}
+
+func (o Options) withDefaults() Options {
+	if o.Runs == 0 {
+		o.Runs = 1
+	}
+	if o.Parallelism == 0 {
+		o.Parallelism = 10
+	}
+	if o.RunSeedBase == 0 {
+		o.RunSeedBase = 42
+	}
+	return o
+}
+
+// Outcome aggregates one suite execution.
+type Outcome struct {
+	Algo config.Algorithm
+
+	// FoundBugs maps each detected planted bug to the 1-based run in
+	// which it was first caught.
+	FoundBugs map[report.PairKey]int
+	// NewBugsByRun[i] counts planted bugs first found in run i+1.
+	NewBugsByRun []int
+	// UnknownPairs are reported pairs absent from ground truth. The
+	// workload is constructed so this must stay empty — reported bugs are
+	// caught red-handed, and every truly racy pair is planted.
+	UnknownPairs []report.PairKey
+
+	// WallTime sums module durations across runs (server-time model).
+	WallTime time.Duration
+	// Stats sums detector counters across modules and runs.
+	Stats core.Stats
+	// Reports merges every module's violations (Table 1 statistics).
+	Reports *report.Collector
+	// ModulesWithBugs counts modules where at least one bug was found.
+	ModulesWithBugs int
+	// Panics counts test-body panics (all recovered).
+	Panics int
+	// FinalTraps is the union of every module's dangerous pairs after the
+	// last run — the contents of the next trap file.
+	FinalTraps []report.PairKey
+}
+
+// FoundByKind tallies found planted bugs by kind.
+func (o *Outcome) FoundByKind(suite *workload.Suite) map[workload.BugKind]int {
+	planted := suite.PlantedPairs()
+	out := map[workload.BugKind]int{}
+	for pair := range o.FoundBugs {
+		if b, ok := planted[pair]; ok {
+			out[b.Kind]++
+		}
+	}
+	return out
+}
+
+// TotalFound is the number of unique planted bugs detected.
+func (o *Outcome) TotalFound() int { return len(o.FoundBugs) }
+
+// timing derives the workload pacing from the detector configuration: the
+// pace is a quarter of the near-miss window so looped conflicting accesses
+// reliably near-miss, and test deadlines leave room for injected delays.
+type timing struct {
+	pace  time.Duration
+	delay time.Duration
+}
+
+func timingFor(cfg config.Config) timing {
+	pace := cfg.EffectiveNearMissWindow() / 4
+	if pace < 200*time.Microsecond {
+		pace = 200 * time.Microsecond
+	}
+	return timing{pace: pace, delay: cfg.EffectiveDelay()}
+}
+
+// Baseline measures the suite uninstrumented (Nop detector): the
+// denominator of every overhead figure.
+func Baseline(suite *workload.Suite, opts Options) time.Duration {
+	opts = opts.withDefaults()
+	cfg := opts.Config
+	cfg.Algorithm = config.AlgoNop
+	o := runSuite(suite, opts, cfg, nil, 1)
+	return o.WallTime
+}
+
+// Run executes the suite under opts.Config for opts.Runs consecutive runs,
+// carrying each module's trap set forward between runs.
+func Run(suite *workload.Suite, opts Options) *Outcome {
+	opts = opts.withDefaults()
+	out := &Outcome{
+		Algo:      opts.Config.Algorithm,
+		FoundBugs: map[report.PairKey]int{},
+		Reports:   report.NewCollector(),
+	}
+	planted := suite.PlantedPairs()
+	modulesWithFound := map[string]bool{}
+
+	traps := make([][]report.PairKey, len(suite.Modules))
+	if len(opts.InitialTraps) > 0 {
+		for mi := range traps {
+			traps[mi] = opts.InitialTraps
+		}
+	}
+	for run := 1; run <= opts.Runs; run++ {
+		ro := runSuite(suite, opts, opts.Config, traps, run)
+		out.WallTime += ro.WallTime
+		out.Stats = sumStats(out.Stats, ro.Stats)
+		out.Panics += ro.Panics
+		out.Reports.Merge(ro.Reports)
+
+		newBugs := 0
+		for _, bug := range ro.Reports.Bugs() {
+			pair := bug.Key
+			if _, known := planted[pair]; !known {
+				out.UnknownPairs = append(out.UnknownPairs, pair)
+				continue
+			}
+			if _, seen := out.FoundBugs[pair]; !seen {
+				out.FoundBugs[pair] = run
+				newBugs++
+			}
+		}
+		for name, found := range ro.modulesFound {
+			if found {
+				modulesWithFound[name] = true
+			}
+		}
+		out.NewBugsByRun = append(out.NewBugsByRun, newBugs)
+	}
+	out.ModulesWithBugs = len(modulesWithFound)
+	seen := map[report.PairKey]bool{}
+	for _, pairs := range traps {
+		for _, p := range pairs {
+			if !seen[p] {
+				seen[p] = true
+				out.FinalTraps = append(out.FinalTraps, p)
+			}
+		}
+	}
+	return out
+}
+
+// runResult is one run over the whole suite.
+type runResult struct {
+	WallTime     time.Duration
+	Stats        core.Stats
+	Reports      *report.Collector
+	Panics       int
+	modulesFound map[string]bool
+}
+
+// runSuite executes every module once. traps, when non-nil, is the per-
+// module trap persistence slot (read before, written after). run is the
+// 1-based run number.
+func runSuite(suite *workload.Suite, opts Options, cfg config.Config,
+	traps [][]report.PairKey, run int) *runResult {
+
+	res := &runResult{Reports: report.NewCollector(), modulesFound: map[string]bool{}}
+	tm := timingFor(cfg)
+
+	var mu sync.Mutex
+	sem := make(chan struct{}, opts.Parallelism)
+	var wg sync.WaitGroup
+	for mi := range suite.Modules {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(mi int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			mod := suite.Modules[mi]
+
+			mcfg := cfg
+			mcfg.Seed = cfg.Seed + int64(mi)*1009 + int64(run)*7919
+			var detOpts []core.Option
+			if traps != nil && traps[mi] != nil {
+				detOpts = append(detOpts, core.WithInitialTraps(traps[mi]))
+			}
+			det, err := core.New(mcfg, detOpts...)
+			if err != nil {
+				panic(fmt.Sprintf("harness: detector config invalid: %v", err))
+			}
+
+			schedOpts := []task.SchedulerOption{task.WithForceAsync()}
+			if opts.InlineFastAsync {
+				// "Fast" scales with the workload pace: anything under
+				// ~20 pace units is a fast mock by this suite's measure.
+				schedOpts = []task.SchedulerOption{
+					task.WithInlineFastTasks(),
+					task.WithInlineThreshold(20 * tm.pace),
+				}
+			}
+			schedDet := det
+			if _, isNop := det.(*core.NopDetector); isNop {
+				schedDet = nil // baseline: no monitoring cost at all
+			}
+			sched := task.NewScheduler(schedDet, schedOpts...)
+
+			start := time.Now()
+			panics := runModule(mod, det, sched, opts, tm, mi, run)
+			sched.WaitIdle()
+			dur := time.Since(start)
+
+			mu.Lock()
+			res.WallTime += dur
+			res.Stats = sumStats(res.Stats, det.Stats())
+			res.Panics += panics
+			res.modulesFound[mod.Name] = det.Reports().UniqueBugs() > 0
+			res.Reports.Merge(det.Reports())
+			if traps != nil {
+				traps[mi] = det.ExportTraps()
+			}
+			mu.Unlock()
+		}(mi)
+	}
+	wg.Wait()
+	return res
+}
+
+// runModule executes the module's tests sequentially, as a test runner
+// does, recovering from test-body panics.
+func runModule(mod *workload.Module, det core.Detector, sched *task.Scheduler,
+	opts Options, tm timing, mi, run int) int {
+
+	panics := 0
+	for ti, test := range mod.Tests {
+		// The baseline is truly uninstrumented: a nil detector skips the
+		// OnCall prologue entirely, like running the original binary.
+		envDet := det
+		if _, isNop := det.(*core.NopDetector); isNop {
+			envDet = nil
+		}
+		env := &workload.Env{
+			Det:   envDet,
+			Sched: sched,
+			Rng: rand.New(rand.NewSource(
+				opts.RunSeedBase + int64(run)*1_000_003 + int64(mi)*10_007 + int64(ti))),
+			Pace:  tm.pace,
+			Delay: tm.delay,
+			Deadline: time.Now().
+				Add(time.Duration(3*test.NominalUnits*float64(tm.pace)) + 12*tm.delay),
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					panics++
+				}
+			}()
+			test.Body(env)
+		}()
+	}
+	return panics
+}
+
+func sumStats(a, b core.Stats) core.Stats {
+	a.OnCalls += b.OnCalls
+	a.DelaysInjected += b.DelaysInjected
+	a.TotalDelay += b.TotalDelay
+	a.NearMisses += b.NearMisses
+	a.PairsAdded += b.PairsAdded
+	a.PairsPrunedHB += b.PairsPrunedHB
+	a.PairsPrunedDecay += b.PairsPrunedDecay
+	a.Violations += b.Violations
+	a.LocationsSeen += b.LocationsSeen
+	a.LocationsSeenConcurrent += b.LocationsSeenConcurrent
+	a.SequentialSkips += b.SequentialSkips
+	a.NearMissGaps.Add(b.NearMissGaps)
+	return a
+}
+
+// Overhead computes the relative slowdown of measured against baseline.
+func Overhead(measured, baseline time.Duration) float64 {
+	if baseline <= 0 {
+		return 0
+	}
+	return float64(measured-baseline) / float64(baseline)
+}
+
+// StackDepthOf counts frames in a captured stack (two lines per frame).
+func StackDepthOf(stack string) int {
+	n := 0
+	for _, c := range stack {
+		if c == '\n' {
+			n++
+		}
+	}
+	return n / 2
+}

@@ -1,0 +1,186 @@
+package harness
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/workload"
+)
+
+// scale keeps harness tests fast: 2ms delays and windows.
+const scale = 0.02
+
+func opts(algo config.Algorithm, runs int) Options {
+	return Options{
+		Config:      config.Defaults(algo).Scaled(scale),
+		Runs:        runs,
+		Parallelism: 10,
+		RunSeedBase: 1234,
+	}
+}
+
+// TestTSVDEndToEnd is the headline integration test: over a small suite,
+// TSVD must find a solid majority of planted bugs within two runs, most of
+// them in run 1, with zero unknown (non-planted) pairs reported.
+func TestTSVDEndToEnd(t *testing.T) {
+	suite := workload.GenerateSuite(21, 40)
+	total := suite.TotalPlantedBugs()
+	if total == 0 {
+		t.Fatal("suite has no planted bugs")
+	}
+	out := Run(suite, opts(config.AlgoTSVD, 2))
+
+	if len(out.UnknownPairs) != 0 {
+		t.Fatalf("reported non-planted pairs: %v", out.UnknownPairs)
+	}
+	found := out.TotalFound()
+	if found*2 < total {
+		t.Fatalf("TSVD found %d of %d planted bugs in 2 runs", found, total)
+	}
+	if out.NewBugsByRun[0] < out.NewBugsByRun[1] {
+		t.Fatalf("run 1 (%d) should find at least as many as run 2 (%d)",
+			out.NewBugsByRun[0], out.NewBugsByRun[1])
+	}
+	if out.Stats.DelaysInjected == 0 || out.Stats.NearMisses == 0 {
+		t.Fatalf("stats incomplete: %+v", out.Stats)
+	}
+	if out.Panics != 0 {
+		t.Fatalf("%d test bodies panicked", out.Panics)
+	}
+}
+
+// TestColdBugsNeedRunTwo: single-occurrence bugs are invisible to TSVD's
+// same-run injection and require the trap file.
+func TestColdBugsNeedRunTwo(t *testing.T) {
+	// A suite dense in cold bugs: generate until we have a few.
+	suite := workload.GenerateSuite(33, 120)
+	kinds := suite.BugsByKind()
+	if kinds[workload.BugCold] < 3 {
+		t.Fatalf("suite has only %d cold bugs", kinds[workload.BugCold])
+	}
+	one := Run(suite, opts(config.AlgoTSVD, 1))
+	two := Run(suite, opts(config.AlgoTSVD, 2))
+
+	coldOne := one.FoundByKind(suite)[workload.BugCold]
+	coldTwo := two.FoundByKind(suite)[workload.BugCold]
+	if coldTwo <= coldOne {
+		t.Fatalf("trap file did not help cold bugs: run1-only=%d, two-runs=%d",
+			coldOne, coldTwo)
+	}
+	// And the cold bugs found in the two-run config mostly landed in run 2.
+	lateCold := 0
+	planted := suite.PlantedPairs()
+	for pair, run := range two.FoundBugs {
+		if planted[pair].Kind == workload.BugCold && run == 2 {
+			lateCold++
+		}
+	}
+	if lateCold == 0 {
+		t.Fatal("no cold bug was first found in run 2")
+	}
+}
+
+// TestTSVDBeatsRandomBaselines on bugs found under the same two-run budget.
+func TestTSVDBeatsRandomBaselines(t *testing.T) {
+	suite := workload.GenerateSuite(55, 40)
+	tsvd := Run(suite, opts(config.AlgoTSVD, 2))
+	dyn := Run(suite, opts(config.AlgoDynamicRandom, 2))
+	if tsvd.TotalFound() <= dyn.TotalFound() {
+		t.Fatalf("TSVD (%d) did not beat DynamicRandom (%d)",
+			tsvd.TotalFound(), dyn.TotalFound())
+	}
+}
+
+// TestNoFalsePositivesAcrossAllVariants: every variant reports only
+// red-handed catches, so only planted pairs may ever appear.
+func TestNoFalsePositivesAcrossAllVariants(t *testing.T) {
+	suite := workload.GenerateSuite(77, 25)
+	for _, algo := range []config.Algorithm{
+		config.AlgoTSVD, config.AlgoTSVDHB,
+		config.AlgoDynamicRandom, config.AlgoStaticRandom,
+	} {
+		out := Run(suite, opts(algo, 2))
+		if len(out.UnknownPairs) != 0 {
+			t.Fatalf("%v reported non-planted pairs: %v", algo, out.UnknownPairs)
+		}
+	}
+}
+
+// TestDelaySelectivity: TSVD must spend far less injected-delay time than
+// DynamicRandom, because it only delays at dangerous pairs while the random
+// baseline pays on every hot sequential path (Table 2's shape; asserted on
+// injected-delay totals, which are noise-free, rather than wall clock).
+func TestDelaySelectivity(t *testing.T) {
+	suite := workload.GenerateSuite(99, 30)
+	base := Baseline(suite, opts(config.AlgoTSVD, 1))
+	if base <= 0 {
+		t.Fatal("baseline did not run")
+	}
+	tsvd := Run(suite, opts(config.AlgoTSVD, 1))
+	dyn := Run(suite, opts(config.AlgoDynamicRandom, 1))
+	if tsvd.Stats.TotalDelay >= dyn.Stats.TotalDelay {
+		t.Fatalf("TSVD delay time %v not below DynamicRandom %v",
+			tsvd.Stats.TotalDelay, dyn.Stats.TotalDelay)
+	}
+	// TSVD also injects far fewer delays than it has OnCalls.
+	if tsvd.Stats.DelaysInjected*4 > tsvd.Stats.OnCalls {
+		t.Fatalf("TSVD injected %d delays for %d calls — not selective",
+			tsvd.Stats.DelaysInjected, tsvd.Stats.OnCalls)
+	}
+}
+
+// TestBaselineStableAcrossAlgorithms: the baseline ignores the configured
+// algorithm (it always runs Nop).
+func TestBaselineUsesNop(t *testing.T) {
+	suite := workload.GenerateSuite(13, 8)
+	a := Baseline(suite, opts(config.AlgoTSVD, 1))
+	b := Baseline(suite, opts(config.AlgoDynamicRandom, 1))
+	ratio := float64(a) / float64(b)
+	if ratio < 0.5 || ratio > 2.0 {
+		t.Fatalf("baselines differ wildly: %v vs %v", a, b)
+	}
+}
+
+// TestOutcomeBookkeeping checks run attribution and module counting.
+func TestOutcomeBookkeeping(t *testing.T) {
+	suite := workload.GenerateSuite(21, 40)
+	out := Run(suite, opts(config.AlgoTSVD, 2))
+	if len(out.NewBugsByRun) != 2 {
+		t.Fatalf("NewBugsByRun = %v", out.NewBugsByRun)
+	}
+	sum := out.NewBugsByRun[0] + out.NewBugsByRun[1]
+	if sum != out.TotalFound() {
+		t.Fatalf("per-run sums %d != total %d", sum, out.TotalFound())
+	}
+	for pair, run := range out.FoundBugs {
+		if run < 1 || run > 2 {
+			t.Fatalf("bug %v attributed to run %d", pair, run)
+		}
+	}
+	if out.ModulesWithBugs == 0 {
+		t.Fatal("no module recorded as buggy")
+	}
+	if out.Reports.UniqueBugs() < out.TotalFound() {
+		t.Fatal("merged reports lost bugs")
+	}
+}
+
+func TestStackDepthOf(t *testing.T) {
+	stack := "func1()\n\tfile1.go:10\nfunc2()\n\tfile2.go:20\n"
+	if d := StackDepthOf(stack); d != 2 {
+		t.Fatalf("StackDepthOf = %d, want 2", d)
+	}
+	if StackDepthOf("") != 0 {
+		t.Fatal("empty stack depth wrong")
+	}
+}
+
+func TestOverheadMath(t *testing.T) {
+	if Overhead(150*time.Millisecond, 100*time.Millisecond) != 0.5 {
+		t.Fatal("overhead math wrong")
+	}
+	if Overhead(100, 0) != 0 {
+		t.Fatal("zero baseline not guarded")
+	}
+}

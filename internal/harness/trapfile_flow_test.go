@@ -1,0 +1,81 @@
+package harness
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/trapfile"
+	"repro/internal/workload"
+)
+
+// TestTrapFileAcrossProcesses models the paper's two-process deployment:
+// process 1 runs once and writes its trap file; process 2 (a fresh harness
+// invocation seeded from that file) catches single-occurrence bugs on its
+// very first run.
+func TestTrapFileAcrossProcesses(t *testing.T) {
+	suite := workload.GenerateSuite(33, 120) // cold-bug-rich seed
+	if suite.BugsByKind()[workload.BugCold] < 3 {
+		t.Fatalf("suite has too few cold bugs: %v", suite.BugsByKind())
+	}
+
+	// Process 1: one run, then serialize the final trap set.
+	p1 := Run(suite, opts(config.AlgoTSVD, 1))
+	if len(p1.FinalTraps) == 0 {
+		t.Fatal("process 1 produced no trap file contents")
+	}
+	persisted := trapfile.FromKeys(p1.FinalTraps)
+	if len(persisted) == 0 {
+		t.Fatal("trap pairs did not serialize (sites not interned?)")
+	}
+
+	// Process 2: load (round-tripping through the wire format) and run
+	// once with the seeded trap set.
+	o := opts(config.AlgoTSVD, 1)
+	o.InitialTraps = trapfile.ToKeys(persisted)
+	p2 := Run(suite, o)
+
+	coldP1 := p1.FoundByKind(suite)[workload.BugCold]
+	coldP2 := p2.FoundByKind(suite)[workload.BugCold]
+	if coldP2 <= coldP1 {
+		t.Fatalf("trap file across processes did not help cold bugs: p1=%d p2=%d",
+			coldP1, coldP2)
+	}
+}
+
+// TestGapHistogramObserved: near misses populate the gap histogram and it
+// survives harness aggregation.
+func TestGapHistogramObserved(t *testing.T) {
+	suite := workload.GenerateSuite(21, 20)
+	out := Run(suite, opts(config.AlgoTSVD, 1))
+	if out.Stats.NearMisses == 0 {
+		t.Fatal("no near misses to histogram")
+	}
+	if got := out.Stats.NearMissGaps.Total(); got != out.Stats.NearMisses {
+		t.Fatalf("histogram total %d != near misses %d", got, out.Stats.NearMisses)
+	}
+	if out.Stats.NearMissGaps.String() == "(empty)" {
+		t.Fatal("histogram rendered empty")
+	}
+}
+
+// TestGapHistogramBuckets pins the log₂ bucketing contract.
+func TestGapHistogramBuckets(t *testing.T) {
+	var h core.GapHistogram
+	h.Observe(0)                  // bucket 0
+	h.Observe(1500 * 1000)        // 1500µs → bucket 10 ([1024,2048))
+	h.Observe(3 * 1000)           // 3µs → bucket 1
+	h.Observe(1 << 40 * 1000_000) // absurd: clamps to last bucket
+	if h[0] != 1 || h[1] != 1 || h[10] != 1 || h[len(h)-1] != 1 {
+		t.Fatalf("bucketing wrong: %v", h)
+	}
+	if h.Total() != 4 {
+		t.Fatalf("Total = %d", h.Total())
+	}
+	var sum core.GapHistogram
+	sum.Add(h)
+	sum.Add(h)
+	if sum.Total() != 8 {
+		t.Fatalf("Add broken: %d", sum.Total())
+	}
+}

@@ -1,0 +1,173 @@
+// Package ids provides the identity primitives the TSVD runtime is built on:
+// goroutine ("thread") identifiers, static program locations (call-site PCs),
+// per-object identity tokens, and stack capture for bug reports.
+//
+// The TSVD algorithm (SOSP '19, §3.1) only ever sees three identifiers per
+// access — thread_id, obj_id, op_id — so this package is the entire surface
+// between the Go runtime and the detector.
+package ids
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// ThreadID identifies a thread of execution. In this Go port a "thread" is a
+// goroutine; the algorithm only requires the ids to be unique and stable for
+// the lifetime of the goroutine.
+type ThreadID int64
+
+// OpID identifies a static program location (a TSVD point): the source
+// file:line of a call into a thread-unsafe API. IDs are interned — the same
+// source location always yields the same OpID, even when the compiler
+// inlines the enclosing function into several callers and the physical
+// program counters diverge.
+type OpID uint64
+
+// ObjectID identifies one instance of a thread-unsafe object. IDs are
+// assigned from an atomic counter at construction time so they are unique
+// and GC-safe (no pointer-to-integer conversions).
+type ObjectID uint64
+
+var objectCounter atomic.Uint64
+
+// NewObjectID returns a fresh, process-unique object identifier.
+func NewObjectID() ObjectID {
+	return ObjectID(objectCounter.Add(1))
+}
+
+var goroutinePrefix = []byte("goroutine ")
+
+// CurrentThreadID returns the id of the calling goroutine.
+//
+// Go deliberately hides goroutine ids, so we parse the header line of
+// runtime.Stack, the only stable, stdlib-only way to obtain one. The cost is
+// on the order of a microsecond, which is far below the delay granularity the
+// detector works at, and it is paid once per instrumented call.
+func CurrentThreadID() ThreadID {
+	var buf [64]byte
+	n := runtime.Stack(buf[:], false)
+	b := buf[:n]
+	if !bytes.HasPrefix(b, goroutinePrefix) {
+		return -1
+	}
+	b = b[len(goroutinePrefix):]
+	i := bytes.IndexByte(b, ' ')
+	if i < 0 {
+		return -1
+	}
+	id, err := strconv.ParseInt(string(b[:i]), 10, 64)
+	if err != nil {
+		return -1
+	}
+	return ThreadID(id)
+}
+
+var (
+	// pcToOp caches the physical-PC → OpID mapping (hot path).
+	pcToOp sync.Map // uintptr → OpID
+	opMu   sync.RWMutex
+	keyOps = map[string]OpID{}
+	opLocs = map[OpID]string{}
+	opKeys = map[OpID]string{}
+)
+
+// CallerOp returns the OpID of the call site `skip` frames above the caller
+// of CallerOp. skip=0 means the immediate caller of the function that calls
+// CallerOp. The instrumented collections use this to attribute every access
+// to the user call site rather than to the wrapper method.
+func CallerOp(skip int) OpID {
+	var pcs [1]uintptr
+	// +3: runtime.Callers itself, CallerOp, and the function calling
+	// CallerOp — leaving that function's own call site as the first PC.
+	if runtime.Callers(skip+3, pcs[:]) == 0 {
+		return 0
+	}
+	pc := pcs[0]
+	if v, ok := pcToOp.Load(pc); ok {
+		return v.(OpID)
+	}
+	frames := runtime.CallersFrames([]uintptr{pc})
+	frame, _ := frames.Next()
+	key := fmt.Sprintf("%s:%d", frame.File, frame.Line)
+	loc := fmt.Sprintf("%s (%s)", key, frame.Function)
+	if frame.File == "" {
+		key = fmt.Sprintf("pc=0x%x", pc)
+		loc = key
+	}
+	opMu.Lock()
+	op, ok := keyOps[key]
+	if !ok {
+		// Interned ids start high so tests can fabricate small literal
+		// OpIDs without colliding with real call sites.
+		op = OpID(1<<32 + uint64(len(keyOps)) + 1)
+		keyOps[key] = op
+		opLocs[op] = loc
+		opKeys[op] = key
+	}
+	opMu.Unlock()
+	pcToOp.Store(pc, op)
+	return op
+}
+
+// Location resolves an OpID to its "file:line (function)" string. OpIDs not
+// produced by CallerOp (e.g. fabricated in tests) render as "op#N".
+func (op OpID) Location() string {
+	opMu.RLock()
+	s, ok := opLocs[op]
+	opMu.RUnlock()
+	if ok {
+		return s
+	}
+	return fmt.Sprintf("op#%d", uint64(op))
+}
+
+// InternKey returns the stable OpID for an arbitrary location key. The same
+// key always maps to the same OpID within a process, and keys themselves are
+// stable across processes, which is what trap files persist (§3.4.6). The
+// synthetic workload generator also uses this to give every generated call
+// site a distinct static identity.
+func InternKey(key string) OpID {
+	opMu.Lock()
+	defer opMu.Unlock()
+	op, ok := keyOps[key]
+	if !ok {
+		op = OpID(1<<32 + uint64(len(keyOps)) + 1)
+		keyOps[key] = op
+		opLocs[op] = key
+		opKeys[op] = key
+	}
+	return op
+}
+
+// Key returns the persistent location key for an OpID, or "" for ids that
+// were never interned (e.g. fabricated test constants).
+func (op OpID) Key() string {
+	opMu.RLock()
+	defer opMu.RUnlock()
+	return opKeys[op]
+}
+
+// Stack captures the current goroutine's stack trace as text, trimmed of the
+// header line. Used for the two-sided stack traces in bug reports.
+func Stack() string {
+	buf := make([]byte, 16<<10)
+	n := runtime.Stack(buf, false)
+	b := buf[:n]
+	if i := bytes.IndexByte(b, '\n'); i >= 0 {
+		b = b[i+1:]
+	}
+	return string(b)
+}
+
+// StackDepth reports the number of frames in the current goroutine's stack
+// below (and excluding) this function. Used for the "avg stack depth"
+// statistic in Table 1.
+func StackDepth() int {
+	var pcs [128]uintptr
+	return runtime.Callers(2, pcs[:])
+}

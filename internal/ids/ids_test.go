@@ -1,0 +1,125 @@
+package ids
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCurrentThreadIDStable(t *testing.T) {
+	a := CurrentThreadID()
+	b := CurrentThreadID()
+	if a <= 0 {
+		t.Fatalf("thread id = %d, want > 0", a)
+	}
+	if a != b {
+		t.Fatalf("thread id changed within one goroutine: %d != %d", a, b)
+	}
+}
+
+func TestCurrentThreadIDDistinctAcrossGoroutines(t *testing.T) {
+	const n = 50
+	var mu sync.Mutex
+	seen := map[ThreadID]bool{}
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			id := CurrentThreadID()
+			mu.Lock()
+			seen[id] = true
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	if len(seen) != n {
+		t.Fatalf("saw %d distinct ids for %d goroutines", len(seen), n)
+	}
+	if seen[CurrentThreadID()] {
+		t.Fatal("a child goroutine shares the parent's id")
+	}
+}
+
+func TestNewObjectIDUnique(t *testing.T) {
+	const n = 1000
+	seen := map[ObjectID]bool{}
+	for i := 0; i < n; i++ {
+		id := NewObjectID()
+		if seen[id] {
+			t.Fatalf("duplicate object id %d", id)
+		}
+		seen[id] = true
+	}
+}
+
+//go:noinline
+func callerOpProbe() OpID { return CallerOp(0) }
+
+func TestCallerOpIdentifiesCallSite(t *testing.T) {
+	op1 := callerOpProbe()
+	op2 := callerOpProbe()
+	op3 := callerOpProbe()
+	if op1 == 0 {
+		t.Fatal("CallerOp returned 0")
+	}
+	// Three distinct call sites must produce three distinct OpIDs.
+	if op1 == op2 || op2 == op3 || op1 == op3 {
+		t.Fatalf("distinct call sites share an OpID: %v %v %v", op1, op2, op3)
+	}
+	loc := op1.Location()
+	if !strings.Contains(loc, "ids_test.go") {
+		t.Fatalf("Location() = %q, want it to mention ids_test.go", loc)
+	}
+	// Cached second resolution must match.
+	if loc2 := op1.Location(); loc2 != loc {
+		t.Fatalf("cached location mismatch: %q != %q", loc2, loc)
+	}
+}
+
+func TestCallerOpSameSiteStable(t *testing.T) {
+	var ops [3]OpID
+	for i := range ops {
+		ops[i] = callerOpProbe() // one call site, three executions
+	}
+	if ops[0] != ops[1] || ops[1] != ops[2] {
+		t.Fatalf("one call site produced different OpIDs: %v", ops)
+	}
+}
+
+func TestStackMentionsCaller(t *testing.T) {
+	s := Stack()
+	if !strings.Contains(s, "TestStackMentionsCaller") {
+		t.Fatalf("stack does not mention the caller:\n%s", s)
+	}
+	if strings.HasPrefix(s, "goroutine ") {
+		t.Fatal("stack header line was not trimmed")
+	}
+}
+
+func TestStackDepthGrowsWithRecursion(t *testing.T) {
+	var depthAt func(n int) int
+	depthAt = func(n int) int {
+		if n == 0 {
+			return StackDepth()
+		}
+		return depthAt(n - 1)
+	}
+	shallow := depthAt(0)
+	deep := depthAt(10)
+	if deep <= shallow {
+		t.Fatalf("depth did not grow with recursion: shallow=%d deep=%d", shallow, deep)
+	}
+}
+
+func BenchmarkCurrentThreadID(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		CurrentThreadID()
+	}
+}
+
+func BenchmarkCallerOp(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		CallerOp(0)
+	}
+}

@@ -1,0 +1,169 @@
+package rawcol
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Array is a growable dynamic array, the backing store for the instrumented
+// List. Like .NET's List<T>, index errors panic and mutation during
+// iteration invalidates enumerators. See the package comment for the shield
+// mutex rationale.
+type Array[T any] struct {
+	shield  sync.Mutex
+	items   []T
+	version uint64
+}
+
+// NewArray returns an empty Array.
+func NewArray[T any]() *Array[T] {
+	return &Array[T]{}
+}
+
+// Len returns the number of elements.
+func (a *Array[T]) Len() int {
+	a.shield.Lock()
+	defer a.shield.Unlock()
+	return len(a.items)
+}
+
+// Version returns the mutation counter.
+func (a *Array[T]) Version() uint64 {
+	a.shield.Lock()
+	defer a.shield.Unlock()
+	return a.version
+}
+
+// Append adds v at the end.
+func (a *Array[T]) Append(v T) {
+	a.shield.Lock()
+	defer a.shield.Unlock()
+	a.items = append(a.items, v)
+	a.version++
+}
+
+// Insert places v at index i, shifting later elements right. Panics if i is
+// out of [0, Len()].
+func (a *Array[T]) Insert(i int, v T) {
+	a.shield.Lock()
+	defer a.shield.Unlock()
+	if i < 0 || i > len(a.items) {
+		panic(fmt.Sprintf("rawcol: insert index %d out of range [0,%d]", i, len(a.items)))
+	}
+	var zero T
+	a.items = append(a.items, zero)
+	copy(a.items[i+1:], a.items[i:])
+	a.items[i] = v
+	a.version++
+}
+
+// Get returns the element at i, panicking on an out-of-range index — the
+// classic crash signature when a concurrent RemoveAt races a read.
+func (a *Array[T]) Get(i int) T {
+	a.shield.Lock()
+	defer a.shield.Unlock()
+	if i < 0 || i >= len(a.items) {
+		panic(fmt.Sprintf("rawcol: index %d out of range [0,%d)", i, len(a.items)))
+	}
+	return a.items[i]
+}
+
+// Set replaces the element at i.
+func (a *Array[T]) Set(i int, v T) {
+	a.shield.Lock()
+	defer a.shield.Unlock()
+	if i < 0 || i >= len(a.items) {
+		panic(fmt.Sprintf("rawcol: index %d out of range [0,%d)", i, len(a.items)))
+	}
+	a.items[i] = v
+	a.version++
+}
+
+// RemoveAt deletes the element at i.
+func (a *Array[T]) RemoveAt(i int) {
+	a.shield.Lock()
+	defer a.shield.Unlock()
+	if i < 0 || i >= len(a.items) {
+		panic(fmt.Sprintf("rawcol: remove index %d out of range [0,%d)", i, len(a.items)))
+	}
+	a.items = append(a.items[:i], a.items[i+1:]...)
+	a.version++
+}
+
+// RemoveFunc deletes the first element matching eq, reporting success.
+func (a *Array[T]) RemoveFunc(eq func(T) bool) bool {
+	a.shield.Lock()
+	defer a.shield.Unlock()
+	for i := range a.items {
+		if eq(a.items[i]) {
+			a.items = append(a.items[:i], a.items[i+1:]...)
+			a.version++
+			return true
+		}
+	}
+	return false
+}
+
+// IndexFunc returns the index of the first element matching eq, or -1.
+func (a *Array[T]) IndexFunc(eq func(T) bool) int {
+	a.shield.Lock()
+	defer a.shield.Unlock()
+	for i := range a.items {
+		if eq(a.items[i]) {
+			return i
+		}
+	}
+	return -1
+}
+
+// Clear removes all elements.
+func (a *Array[T]) Clear() {
+	a.shield.Lock()
+	defer a.shield.Unlock()
+	a.items = nil
+	a.version++
+}
+
+// Sort orders the elements by less. Two concurrent unprotected Sorts are the
+// production-incident bug of §5.6.
+func (a *Array[T]) Sort(less func(x, y T) bool) {
+	a.shield.Lock()
+	defer a.shield.Unlock()
+	sort.SliceStable(a.items, func(i, j int) bool { return less(a.items[i], a.items[j]) })
+	a.version++
+}
+
+// Snapshot returns a copy of the elements.
+func (a *Array[T]) Snapshot() []T {
+	a.shield.Lock()
+	defer a.shield.Unlock()
+	out := make([]T, len(a.items))
+	copy(out, a.items)
+	return out
+}
+
+// Range calls fn for each element until fn returns false, panicking on
+// concurrent modification like a .NET enumerator.
+func (a *Array[T]) Range(fn func(int, T) bool) {
+	a.shield.Lock()
+	startVersion := a.version
+	n := len(a.items)
+	a.shield.Unlock()
+	for i := 0; i < n; i++ {
+		a.shield.Lock()
+		modified := a.version != startVersion
+		var v T
+		ok := false
+		if !modified && i < len(a.items) {
+			v, ok = a.items[i], true
+		}
+		a.shield.Unlock()
+		if modified {
+			panic("rawcol: array modified during iteration")
+		}
+		if ok && !fn(i, v) {
+			return
+		}
+	}
+}

@@ -1,0 +1,306 @@
+package rawcol
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestArrayBasic(t *testing.T) {
+	a := NewArray[int]()
+	a.Append(1)
+	a.Append(2)
+	a.Append(3)
+	if a.Len() != 3 {
+		t.Fatalf("len = %d, want 3", a.Len())
+	}
+	if v := a.Get(1); v != 2 {
+		t.Fatalf("Get(1) = %d, want 2", v)
+	}
+	a.Set(1, 20)
+	if v := a.Get(1); v != 20 {
+		t.Fatalf("Get(1) after Set = %d, want 20", v)
+	}
+	a.Insert(0, 99)
+	if got := a.Snapshot(); got[0] != 99 || got[1] != 1 || len(got) != 4 {
+		t.Fatalf("after Insert: %v", got)
+	}
+	a.RemoveAt(0)
+	if got := a.Snapshot(); got[0] != 1 || len(got) != 3 {
+		t.Fatalf("after RemoveAt: %v", got)
+	}
+}
+
+func TestArrayOutOfRangePanics(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   func(a *Array[int])
+	}{
+		{"Get", func(a *Array[int]) { a.Get(5) }},
+		{"GetNegative", func(a *Array[int]) { a.Get(-1) }},
+		{"Set", func(a *Array[int]) { a.Set(5, 0) }},
+		{"RemoveAt", func(a *Array[int]) { a.RemoveAt(5) }},
+		{"InsertFar", func(a *Array[int]) { a.Insert(9, 0) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a := NewArray[int]()
+			a.Append(1)
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s out of range did not panic", tc.name)
+				}
+			}()
+			tc.fn(a)
+		})
+	}
+}
+
+func TestArrayInsertAtEnd(t *testing.T) {
+	a := NewArray[int]()
+	a.Insert(0, 1) // insert into empty at index 0 is legal
+	a.Insert(1, 2) // insert at Len() is legal (append)
+	if got := a.Snapshot(); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("snapshot = %v", got)
+	}
+}
+
+func TestArraySort(t *testing.T) {
+	a := NewArray[int]()
+	for _, v := range []int{5, 3, 9, 1, 7} {
+		a.Append(v)
+	}
+	a.Sort(func(x, y int) bool { return x < y })
+	got := a.Snapshot()
+	want := []int{1, 3, 5, 7, 9}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sorted = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestArrayRemoveIndexFunc(t *testing.T) {
+	a := NewArray[string]()
+	a.Append("x")
+	a.Append("y")
+	a.Append("z")
+	if i := a.IndexFunc(func(s string) bool { return s == "y" }); i != 1 {
+		t.Fatalf("IndexFunc(y) = %d, want 1", i)
+	}
+	if !a.RemoveFunc(func(s string) bool { return s == "y" }) {
+		t.Fatal("RemoveFunc(y) = false")
+	}
+	if a.RemoveFunc(func(s string) bool { return s == "y" }) {
+		t.Fatal("second RemoveFunc(y) = true")
+	}
+	if i := a.IndexFunc(func(s string) bool { return s == "nope" }); i != -1 {
+		t.Fatalf("IndexFunc(nope) = %d, want -1", i)
+	}
+}
+
+func TestArrayRangeDetectsModification(t *testing.T) {
+	a := NewArray[int]()
+	for i := 0; i < 10; i++ {
+		a.Append(i)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Range over mutated array did not panic")
+		}
+	}()
+	a.Range(func(i, v int) bool {
+		a.Append(100)
+		return true
+	})
+}
+
+func TestArrayMatchesModel(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := NewArray[int]()
+		var model []int
+		for step := 0; step < 1000; step++ {
+			switch rng.Intn(4) {
+			case 0:
+				v := rng.Int()
+				a.Append(v)
+				model = append(model, v)
+			case 1:
+				if len(model) == 0 {
+					continue
+				}
+				i := rng.Intn(len(model))
+				a.RemoveAt(i)
+				model = append(model[:i], model[i+1:]...)
+			case 2:
+				v := rng.Int()
+				i := rng.Intn(len(model) + 1)
+				a.Insert(i, v)
+				model = append(model, 0)
+				copy(model[i+1:], model[i:])
+				model[i] = v
+			case 3:
+				if len(model) == 0 {
+					continue
+				}
+				i := rng.Intn(len(model))
+				if a.Get(i) != model[i] {
+					return false
+				}
+			}
+			if a.Len() != len(model) {
+				return false
+			}
+		}
+		got := a.Snapshot()
+		for i := range model {
+			if got[i] != model[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSortedMapBasic(t *testing.T) {
+	m := NewSortedMap[int, string](func(a, b int) bool { return a < b })
+	m.Add(3, "c")
+	m.Add(1, "a")
+	m.Add(2, "b")
+	if m.Len() != 3 {
+		t.Fatalf("len = %d, want 3", m.Len())
+	}
+	keys := m.Keys()
+	for i, want := range []int{1, 2, 3} {
+		if keys[i] != want {
+			t.Fatalf("keys = %v, want sorted", keys)
+		}
+	}
+	if v, ok := m.Get(2); !ok || v != "b" {
+		t.Fatalf("Get(2) = %q,%v", v, ok)
+	}
+	if k, v, ok := m.Min(); !ok || k != 1 || v != "a" {
+		t.Fatalf("Min = %v,%v,%v", k, v, ok)
+	}
+	m.Set(2, "B")
+	if v, _ := m.Get(2); v != "B" {
+		t.Fatalf("Get(2) after Set = %q", v)
+	}
+	if !m.Delete(1) || m.Delete(1) {
+		t.Fatal("Delete behaviour wrong")
+	}
+	if !m.Contains(3) || m.Contains(1) {
+		t.Fatal("Contains behaviour wrong")
+	}
+	m.Clear()
+	if m.Len() != 0 {
+		t.Fatal("Clear did not empty the map")
+	}
+	if _, _, ok := m.Min(); ok {
+		t.Fatal("Min on empty returned ok")
+	}
+}
+
+func TestSortedMapDuplicateAddPanics(t *testing.T) {
+	m := NewSortedMap[int, int](func(a, b int) bool { return a < b })
+	m.Add(1, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate Add did not panic")
+		}
+	}()
+	m.Add(1, 2)
+}
+
+func TestChainBasic(t *testing.T) {
+	c := NewChain[int]()
+	c.PushBack(2)
+	c.PushBack(3)
+	c.PushFront(1)
+	if c.Len() != 3 {
+		t.Fatalf("len = %d, want 3", c.Len())
+	}
+	if got := c.Snapshot(); got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("snapshot = %v", got)
+	}
+	if v, ok := c.PeekFront(); !ok || v != 1 {
+		t.Fatalf("PeekFront = %v,%v", v, ok)
+	}
+	if v, ok := c.PeekBack(); !ok || v != 3 {
+		t.Fatalf("PeekBack = %v,%v", v, ok)
+	}
+	if v := c.PopFront(); v != 1 {
+		t.Fatalf("PopFront = %d, want 1", v)
+	}
+	if v := c.PopBack(); v != 3 {
+		t.Fatalf("PopBack = %d, want 3", v)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("len = %d, want 1", c.Len())
+	}
+	if !c.RemoveFunc(func(v int) bool { return v == 2 }) {
+		t.Fatal("RemoveFunc(2) = false")
+	}
+	if c.Len() != 0 {
+		t.Fatalf("len = %d, want 0", c.Len())
+	}
+	if _, ok := c.PeekFront(); ok {
+		t.Fatal("PeekFront on empty returned ok")
+	}
+}
+
+func TestChainPopEmptyPanics(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		fn   func(c *Chain[int])
+	}{
+		{"PopFront", func(c *Chain[int]) { c.PopFront() }},
+		{"PopBack", func(c *Chain[int]) { c.PopBack() }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s on empty did not panic", tc.name)
+				}
+			}()
+			tc.fn(NewChain[int]())
+		})
+	}
+}
+
+func TestChainRemoveMiddleAndEnds(t *testing.T) {
+	build := func() *Chain[int] {
+		c := NewChain[int]()
+		for i := 1; i <= 5; i++ {
+			c.PushBack(i)
+		}
+		return c
+	}
+	for _, target := range []int{1, 3, 5} {
+		c := build()
+		if !c.RemoveFunc(func(v int) bool { return v == target }) {
+			t.Fatalf("RemoveFunc(%d) = false", target)
+		}
+		for _, v := range c.Snapshot() {
+			if v == target {
+				t.Fatalf("value %d still present", target)
+			}
+		}
+		if c.Len() != 4 {
+			t.Fatalf("len = %d, want 4", c.Len())
+		}
+	}
+	c := build()
+	c.Clear()
+	if c.Len() != 0 {
+		t.Fatal("Clear did not empty chain")
+	}
+	c.PushBack(9) // usable after clear
+	if v := c.PopFront(); v != 9 {
+		t.Fatalf("PopFront after Clear = %d", v)
+	}
+}

@@ -1,0 +1,97 @@
+package rawcol
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+)
+
+// Bits is a fixed-size bit vector, the backing store for the instrumented
+// BitArray (.NET System.Collections.BitArray).
+type Bits struct {
+	shield  sync.Mutex
+	words   []uint64
+	size    int
+	version uint64
+}
+
+// NewBits returns a Bits of the given size, all false.
+func NewBits(size int) *Bits {
+	if size < 0 {
+		panic("rawcol: negative bit-array size")
+	}
+	return &Bits{words: make([]uint64, (size+63)/64), size: size}
+}
+
+// Size returns the number of bits.
+func (b *Bits) Size() int {
+	b.shield.Lock()
+	defer b.shield.Unlock()
+	return b.size
+}
+
+func (b *Bits) check(i int) {
+	if i < 0 || i >= b.size {
+		panic(fmt.Sprintf("rawcol: bit index %d out of range [0,%d)", i, b.size))
+	}
+}
+
+// Get returns bit i, panicking out of range.
+func (b *Bits) Get(i int) bool {
+	b.shield.Lock()
+	defer b.shield.Unlock()
+	b.check(i)
+	return b.words[i/64]&(1<<(i%64)) != 0
+}
+
+// Set assigns bit i.
+func (b *Bits) Set(i int, v bool) {
+	b.shield.Lock()
+	defer b.shield.Unlock()
+	b.check(i)
+	if v {
+		b.words[i/64] |= 1 << (i % 64)
+	} else {
+		b.words[i/64] &^= 1 << (i % 64)
+	}
+	b.version++
+}
+
+// Flip inverts bit i and returns the new value.
+func (b *Bits) Flip(i int) bool {
+	b.shield.Lock()
+	defer b.shield.Unlock()
+	b.check(i)
+	b.words[i/64] ^= 1 << (i % 64)
+	b.version++
+	return b.words[i/64]&(1<<(i%64)) != 0
+}
+
+// OnesCount returns the number of set bits.
+func (b *Bits) OnesCount() int {
+	b.shield.Lock()
+	defer b.shield.Unlock()
+	n := 0
+	for _, w := range b.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// SetAll assigns every bit.
+func (b *Bits) SetAll(v bool) {
+	b.shield.Lock()
+	defer b.shield.Unlock()
+	var fill uint64
+	if v {
+		fill = ^uint64(0)
+	}
+	for i := range b.words {
+		b.words[i] = fill
+	}
+	// Trim the trailing word so OnesCount stays exact.
+	if v && b.size%64 != 0 {
+		b.words[len(b.words)-1] = (1 << (b.size % 64)) - 1
+	}
+	b.version++
+}

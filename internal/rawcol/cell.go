@@ -1,0 +1,40 @@
+package rawcol
+
+import "sync"
+
+// Cell is a single mutable value — the backing store for scalar
+// thread-unsafe state such as counters and cached singletons. Read-modify-
+// write sequences built from Get and Set race exactly like an unprotected
+// field (lost updates), which is the statsd-gauge bug class of Table 4.
+type Cell[T any] struct {
+	shield  sync.Mutex
+	v       T
+	version uint64
+}
+
+// NewCell returns a Cell holding v.
+func NewCell[T any](v T) *Cell[T] {
+	return &Cell[T]{v: v}
+}
+
+// Get returns the current value.
+func (c *Cell[T]) Get() T {
+	c.shield.Lock()
+	defer c.shield.Unlock()
+	return c.v
+}
+
+// Set replaces the value.
+func (c *Cell[T]) Set(v T) {
+	c.shield.Lock()
+	defer c.shield.Unlock()
+	c.v = v
+	c.version++
+}
+
+// Version returns the mutation counter.
+func (c *Cell[T]) Version() uint64 {
+	c.shield.Lock()
+	defer c.shield.Unlock()
+	return c.version
+}

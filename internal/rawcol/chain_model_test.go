@@ -1,0 +1,141 @@
+package rawcol
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestChainMatchesModel drives the Chain and a plain slice deque with the
+// same random operations and requires identical observable behaviour.
+func TestChainMatchesModel(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := NewChain[int]()
+		var model []int
+		for step := 0; step < 1500; step++ {
+			switch rng.Intn(7) {
+			case 0:
+				v := rng.Int()
+				c.PushBack(v)
+				model = append(model, v)
+			case 1:
+				v := rng.Int()
+				c.PushFront(v)
+				model = append([]int{v}, model...)
+			case 2:
+				if len(model) == 0 {
+					continue
+				}
+				if c.PopFront() != model[0] {
+					return false
+				}
+				model = model[1:]
+			case 3:
+				if len(model) == 0 {
+					continue
+				}
+				if c.PopBack() != model[len(model)-1] {
+					return false
+				}
+				model = model[:len(model)-1]
+			case 4:
+				v, ok := c.PeekFront()
+				if ok != (len(model) > 0) {
+					return false
+				}
+				if ok && v != model[0] {
+					return false
+				}
+			case 5:
+				if len(model) == 0 {
+					continue
+				}
+				target := model[rng.Intn(len(model))]
+				if !c.RemoveFunc(func(x int) bool { return x == target }) {
+					return false
+				}
+				for i, v := range model {
+					if v == target {
+						model = append(model[:i], model[i+1:]...)
+						break
+					}
+				}
+			case 6:
+				got := c.Snapshot()
+				if len(got) != len(model) {
+					return false
+				}
+				for i := range model {
+					if got[i] != model[i] {
+						return false
+					}
+				}
+			}
+			if c.Len() != len(model) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSortedMapMatchesModel compares the SortedMap against a plain map +
+// sort on demand.
+func TestSortedMapMatchesModel(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := NewSortedMap[int, int](func(a, b int) bool { return a < b })
+		model := map[int]int{}
+		for step := 0; step < 800; step++ {
+			k := rng.Intn(60)
+			switch rng.Intn(4) {
+			case 0:
+				v := rng.Int()
+				m.Set(k, v)
+				model[k] = v
+			case 1:
+				_, inModel := model[k]
+				if m.Delete(k) != inModel {
+					return false
+				}
+				delete(model, k)
+			case 2:
+				v, ok := m.Get(k)
+				mv, mok := model[k]
+				if ok != mok || (ok && v != mv) {
+					return false
+				}
+			case 3:
+				if m.Contains(k) != (func() bool { _, ok := model[k]; return ok })() {
+					return false
+				}
+			}
+			if m.Len() != len(model) {
+				return false
+			}
+			// Keys must be sorted and exactly the model's keys.
+			keys := m.Keys()
+			if len(keys) != len(model) {
+				return false
+			}
+			for i := 1; i < len(keys); i++ {
+				if keys[i-1] >= keys[i] {
+					return false
+				}
+			}
+			for _, k := range keys {
+				if _, ok := model[k]; !ok {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

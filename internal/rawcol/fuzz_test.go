@@ -1,0 +1,102 @@
+package rawcol
+
+import (
+	"testing"
+)
+
+// FuzzMapOperations feeds the hash map a byte-coded operation stream and
+// cross-checks every result against Go's built-in map.
+func FuzzMapOperations(f *testing.F) {
+	f.Add([]byte{0, 1, 1, 2, 2, 3, 3, 4})
+	f.Add([]byte{0, 0, 0, 0, 1, 1, 1, 1})
+	f.Add([]byte{5, 10, 20, 30, 40, 50, 60, 70, 80, 90})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m := NewMap[byte, int]()
+		model := map[byte]int{}
+		for i := 0; i+1 < len(data); i += 2 {
+			op, k := data[i]%5, data[i+1]
+			switch op {
+			case 0:
+				m.Set(k, i)
+				model[k] = i
+			case 1:
+				_, inModel := model[k]
+				if m.Delete(k) != inModel {
+					t.Fatalf("Delete(%d) disagrees with model", k)
+				}
+				delete(model, k)
+			case 2:
+				v, ok := m.Get(k)
+				mv, mok := model[k]
+				if ok != mok || (ok && v != mv) {
+					t.Fatalf("Get(%d) = %v,%v; model %v,%v", k, v, ok, mv, mok)
+				}
+			case 3:
+				if m.Contains(k) != (func() bool { _, ok := model[k]; return ok })() {
+					t.Fatalf("Contains(%d) disagrees with model", k)
+				}
+			case 4:
+				got, existed := m.GetOrAdd(k, i)
+				mv, mok := model[k]
+				if existed != mok || (existed && got != mv) {
+					t.Fatalf("GetOrAdd(%d) disagrees with model", k)
+				}
+				if !existed {
+					model[k] = i
+				}
+			}
+			if m.Len() != len(model) {
+				t.Fatalf("Len = %d, model %d", m.Len(), len(model))
+			}
+		}
+	})
+}
+
+// FuzzArrayOperations drives the dynamic array against a slice model with
+// index clamping so operations stay in range.
+func FuzzArrayOperations(f *testing.F) {
+	f.Add([]byte{0, 1, 0, 2, 1, 0, 2, 0})
+	f.Add([]byte{0, 9, 3, 1, 0, 5, 4, 2})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a := NewArray[byte]()
+		var model []byte
+		for i := 0; i+1 < len(data); i += 2 {
+			op, v := data[i]%4, data[i+1]
+			switch op {
+			case 0:
+				a.Append(v)
+				model = append(model, v)
+			case 1:
+				if len(model) == 0 {
+					continue
+				}
+				idx := int(v) % len(model)
+				a.RemoveAt(idx)
+				model = append(model[:idx], model[idx+1:]...)
+			case 2:
+				idx := int(v) % (len(model) + 1)
+				a.Insert(idx, v)
+				model = append(model, 0)
+				copy(model[idx+1:], model[idx:])
+				model[idx] = v
+			case 3:
+				if len(model) == 0 {
+					continue
+				}
+				idx := int(v) % len(model)
+				if a.Get(idx) != model[idx] {
+					t.Fatalf("Get(%d) disagrees with model", idx)
+				}
+			}
+			if a.Len() != len(model) {
+				t.Fatalf("Len = %d, model %d", a.Len(), len(model))
+			}
+		}
+		got := a.Snapshot()
+		for i := range model {
+			if got[i] != model[i] {
+				t.Fatalf("final content differs at %d", i)
+			}
+		}
+	})
+}

@@ -1,0 +1,111 @@
+package rawcol
+
+import "sync"
+
+// Heap is a binary min-heap ordered by a less function, the backing store
+// for the instrumented PriorityQueue. Like the other raw containers it is
+// thread-unsafe by contract; see the package comment for the shield mutex.
+type Heap[T any] struct {
+	shield  sync.Mutex
+	less    func(a, b T) bool
+	items   []T
+	version uint64
+}
+
+// NewHeap returns an empty Heap ordered by less.
+func NewHeap[T any](less func(a, b T) bool) *Heap[T] {
+	return &Heap[T]{less: less}
+}
+
+// Len returns the number of elements.
+func (h *Heap[T]) Len() int {
+	h.shield.Lock()
+	defer h.shield.Unlock()
+	return len(h.items)
+}
+
+// Push inserts v.
+func (h *Heap[T]) Push(v T) {
+	h.shield.Lock()
+	defer h.shield.Unlock()
+	h.items = append(h.items, v)
+	h.siftUp(len(h.items) - 1)
+	h.version++
+}
+
+// Pop removes and returns the minimum element, panicking when empty —
+// the .NET PriorityQueue.Dequeue InvalidOperationException signature.
+func (h *Heap[T]) Pop() T {
+	h.shield.Lock()
+	defer h.shield.Unlock()
+	if len(h.items) == 0 {
+		panic("rawcol: pop from empty heap")
+	}
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items = h.items[:last]
+	if last > 0 {
+		h.siftDown(0)
+	}
+	h.version++
+	return top
+}
+
+// Peek returns the minimum element without removing it.
+func (h *Heap[T]) Peek() (T, bool) {
+	h.shield.Lock()
+	defer h.shield.Unlock()
+	if len(h.items) == 0 {
+		var zero T
+		return zero, false
+	}
+	return h.items[0], true
+}
+
+// Clear removes all elements.
+func (h *Heap[T]) Clear() {
+	h.shield.Lock()
+	defer h.shield.Unlock()
+	h.items = nil
+	h.version++
+}
+
+// Snapshot returns the elements in heap (not sorted) order.
+func (h *Heap[T]) Snapshot() []T {
+	h.shield.Lock()
+	defer h.shield.Unlock()
+	out := make([]T, len(h.items))
+	copy(out, h.items)
+	return out
+}
+
+func (h *Heap[T]) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(h.items[i], h.items[parent]) {
+			return
+		}
+		h.items[i], h.items[parent] = h.items[parent], h.items[i]
+		i = parent
+	}
+}
+
+func (h *Heap[T]) siftDown(i int) {
+	n := len(h.items)
+	for {
+		left, right := 2*i+1, 2*i+2
+		smallest := i
+		if left < n && h.less(h.items[left], h.items[smallest]) {
+			smallest = left
+		}
+		if right < n && h.less(h.items[right], h.items[smallest]) {
+			smallest = right
+		}
+		if smallest == i {
+			return
+		}
+		h.items[i], h.items[smallest] = h.items[smallest], h.items[i]
+		i = smallest
+	}
+}

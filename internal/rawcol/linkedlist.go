@@ -1,0 +1,167 @@
+package rawcol
+
+import "sync"
+
+// Chain is a doubly-linked list, the backing store for the instrumented
+// LinkedList and the Queue/Stack deque operations.
+type Chain[T any] struct {
+	shield  sync.Mutex
+	head    *chainNode[T]
+	tail    *chainNode[T]
+	size    int
+	version uint64
+}
+
+type chainNode[T any] struct {
+	value T
+	prev  *chainNode[T]
+	next  *chainNode[T]
+}
+
+// NewChain returns an empty Chain.
+func NewChain[T any]() *Chain[T] {
+	return &Chain[T]{}
+}
+
+// Len returns the number of elements.
+func (c *Chain[T]) Len() int {
+	c.shield.Lock()
+	defer c.shield.Unlock()
+	return c.size
+}
+
+// PushBack appends v at the tail.
+func (c *Chain[T]) PushBack(v T) {
+	c.shield.Lock()
+	defer c.shield.Unlock()
+	n := &chainNode[T]{value: v, prev: c.tail}
+	if c.tail != nil {
+		c.tail.next = n
+	} else {
+		c.head = n
+	}
+	c.tail = n
+	c.size++
+	c.version++
+}
+
+// PushFront prepends v at the head.
+func (c *Chain[T]) PushFront(v T) {
+	c.shield.Lock()
+	defer c.shield.Unlock()
+	n := &chainNode[T]{value: v, next: c.head}
+	if c.head != nil {
+		c.head.prev = n
+	} else {
+		c.tail = n
+	}
+	c.head = n
+	c.size++
+	c.version++
+}
+
+// PopFront removes and returns the head element. Panics when empty, matching
+// .NET Queue.Dequeue's InvalidOperationException — the crash signature of
+// the "check Count then Dequeue" TSV.
+func (c *Chain[T]) PopFront() T {
+	c.shield.Lock()
+	defer c.shield.Unlock()
+	if c.head == nil {
+		panic("rawcol: pop from empty chain")
+	}
+	n := c.head
+	c.head = n.next
+	if c.head != nil {
+		c.head.prev = nil
+	} else {
+		c.tail = nil
+	}
+	c.size--
+	c.version++
+	return n.value
+}
+
+// PopBack removes and returns the tail element, panicking when empty.
+func (c *Chain[T]) PopBack() T {
+	c.shield.Lock()
+	defer c.shield.Unlock()
+	if c.tail == nil {
+		panic("rawcol: pop from empty chain")
+	}
+	n := c.tail
+	c.tail = n.prev
+	if c.tail != nil {
+		c.tail.next = nil
+	} else {
+		c.head = nil
+	}
+	c.size--
+	c.version++
+	return n.value
+}
+
+// PeekFront returns the head element without removing it.
+func (c *Chain[T]) PeekFront() (T, bool) {
+	c.shield.Lock()
+	defer c.shield.Unlock()
+	if c.head == nil {
+		var zero T
+		return zero, false
+	}
+	return c.head.value, true
+}
+
+// PeekBack returns the tail element without removing it.
+func (c *Chain[T]) PeekBack() (T, bool) {
+	c.shield.Lock()
+	defer c.shield.Unlock()
+	if c.tail == nil {
+		var zero T
+		return zero, false
+	}
+	return c.tail.value, true
+}
+
+// RemoveFunc deletes the first element matching eq, reporting success.
+func (c *Chain[T]) RemoveFunc(eq func(T) bool) bool {
+	c.shield.Lock()
+	defer c.shield.Unlock()
+	for n := c.head; n != nil; n = n.next {
+		if !eq(n.value) {
+			continue
+		}
+		if n.prev != nil {
+			n.prev.next = n.next
+		} else {
+			c.head = n.next
+		}
+		if n.next != nil {
+			n.next.prev = n.prev
+		} else {
+			c.tail = n.prev
+		}
+		c.size--
+		c.version++
+		return true
+	}
+	return false
+}
+
+// Snapshot returns the elements head-to-tail.
+func (c *Chain[T]) Snapshot() []T {
+	c.shield.Lock()
+	defer c.shield.Unlock()
+	out := make([]T, 0, c.size)
+	for n := c.head; n != nil; n = n.next {
+		out = append(out, n.value)
+	}
+	return out
+}
+
+// Clear removes all elements.
+func (c *Chain[T]) Clear() {
+	c.shield.Lock()
+	defer c.shield.Unlock()
+	c.head, c.tail, c.size = nil, nil, 0
+	c.version++
+}

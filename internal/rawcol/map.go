@@ -1,0 +1,282 @@
+// Package rawcol implements the raw, thread-unsafe container data structures
+// that the instrumented collections (internal/collections) wrap — the Go
+// analogue of .NET's System.Collections.Generic implementations.
+//
+// These containers are "thread-unsafe" in the contract sense: concurrent
+// writers (or a writer racing a reader) can observe lost updates, duplicate
+// keys, invalidated iteration and contract panics, exactly like .NET's
+// Dictionary or List. Each individual operation is, however, executed under a
+// tiny internal "shield" mutex. The shield exists because a racing Go
+// built-in map aborts the whole process, whereas a racing .NET Dictionary
+// merely corrupts itself or throws — and the TSVD harness must keep running
+// after triggering a violation. The detector never uses the shield: a
+// thread-safety violation is detected by the trap mechanism before the
+// operation executes (DESIGN.md, "Substitutions").
+package rawcol
+
+import (
+	"fmt"
+	"hash/maphash"
+	"sync"
+)
+
+// Map is an open-addressed hash map with robin-hood probing and
+// backward-shift deletion.
+type Map[K comparable, V any] struct {
+	shield  sync.Mutex
+	seed    maphash.Seed
+	entries []mapEntry[K, V]
+	mask    uint64
+	size    int
+	// version increments on every mutation; iteration snapshots compare it
+	// to emulate .NET's "collection was modified" InvalidOperationException.
+	version uint64
+}
+
+type mapEntry[K comparable, V any] struct {
+	key      K
+	value    V
+	dist     int8 // probe distance + 1; 0 means empty
+	occupied bool
+}
+
+const minMapCap = 8
+
+// NewMap returns an empty Map.
+func NewMap[K comparable, V any]() *Map[K, V] {
+	return &Map[K, V]{
+		seed:    maphash.MakeSeed(),
+		entries: make([]mapEntry[K, V], minMapCap),
+		mask:    minMapCap - 1,
+	}
+}
+
+func (m *Map[K, V]) hash(k K) uint64 {
+	return maphash.Comparable(m.seed, k)
+}
+
+// Len returns the number of entries.
+func (m *Map[K, V]) Len() int {
+	m.shield.Lock()
+	defer m.shield.Unlock()
+	return m.size
+}
+
+// Version returns the mutation counter; iteration helpers use it to detect
+// concurrent modification.
+func (m *Map[K, V]) Version() uint64 {
+	m.shield.Lock()
+	defer m.shield.Unlock()
+	return m.version
+}
+
+// Get returns the value for k and whether it was present.
+func (m *Map[K, V]) Get(k K) (V, bool) {
+	m.shield.Lock()
+	defer m.shield.Unlock()
+	if i, ok := m.find(k); ok {
+		return m.entries[i].value, true
+	}
+	var zero V
+	return zero, false
+}
+
+// MustGet returns the value for k, panicking like .NET's indexer on a
+// missing key (KeyNotFoundException).
+func (m *Map[K, V]) MustGet(k K) V {
+	m.shield.Lock()
+	defer m.shield.Unlock()
+	if i, ok := m.find(k); ok {
+		return m.entries[i].value
+	}
+	panic(fmt.Sprintf("rawcol: key not found: %v", k))
+}
+
+// Contains reports whether k is present.
+func (m *Map[K, V]) Contains(k K) bool {
+	m.shield.Lock()
+	defer m.shield.Unlock()
+	_, ok := m.find(k)
+	return ok
+}
+
+// Add inserts k→v and panics if k already exists, matching .NET
+// Dictionary.Add's ArgumentException. This is the typical crash signature of
+// the "two writers add different keys" TSV of Figure 1 when the keys collide.
+func (m *Map[K, V]) Add(k K, v V) {
+	m.shield.Lock()
+	defer m.shield.Unlock()
+	if _, ok := m.find(k); ok {
+		panic(fmt.Sprintf("rawcol: duplicate key: %v", k))
+	}
+	m.put(k, v)
+}
+
+// Set inserts or replaces k→v (the .NET indexer-set).
+func (m *Map[K, V]) Set(k K, v V) {
+	m.shield.Lock()
+	defer m.shield.Unlock()
+	if i, ok := m.find(k); ok {
+		m.entries[i].value = v
+		m.version++
+		return
+	}
+	m.put(k, v)
+}
+
+// GetOrAdd returns the existing value for k or inserts v and returns it.
+func (m *Map[K, V]) GetOrAdd(k K, v V) (V, bool) {
+	m.shield.Lock()
+	defer m.shield.Unlock()
+	if i, ok := m.find(k); ok {
+		return m.entries[i].value, true
+	}
+	m.put(k, v)
+	return v, false
+}
+
+// Delete removes k, reporting whether it was present.
+func (m *Map[K, V]) Delete(k K) bool {
+	m.shield.Lock()
+	defer m.shield.Unlock()
+	i, ok := m.find(k)
+	if !ok {
+		return false
+	}
+	m.version++
+	m.size--
+	// Backward-shift deletion: pull subsequent displaced entries back.
+	for {
+		next := (uint64(i) + 1) & m.mask
+		e := &m.entries[next]
+		if !e.occupied || e.dist <= 1 {
+			m.entries[i] = mapEntry[K, V]{}
+			return true
+		}
+		m.entries[i] = *e
+		m.entries[i].dist--
+		i = int(next)
+	}
+}
+
+// Clear removes all entries.
+func (m *Map[K, V]) Clear() {
+	m.shield.Lock()
+	defer m.shield.Unlock()
+	m.entries = make([]mapEntry[K, V], minMapCap)
+	m.mask = minMapCap - 1
+	m.size = 0
+	m.version++
+}
+
+// Keys returns a snapshot of the keys in unspecified order.
+func (m *Map[K, V]) Keys() []K {
+	m.shield.Lock()
+	defer m.shield.Unlock()
+	out := make([]K, 0, m.size)
+	for i := range m.entries {
+		if m.entries[i].occupied {
+			out = append(out, m.entries[i].key)
+		}
+	}
+	return out
+}
+
+// Values returns a snapshot of the values in unspecified order.
+func (m *Map[K, V]) Values() []V {
+	m.shield.Lock()
+	defer m.shield.Unlock()
+	out := make([]V, 0, m.size)
+	for i := range m.entries {
+		if m.entries[i].occupied {
+			out = append(out, m.entries[i].value)
+		}
+	}
+	return out
+}
+
+// Range calls fn for each entry until fn returns false. It panics with a
+// concurrent-modification error if the map is mutated while ranging,
+// emulating .NET enumerator invalidation.
+func (m *Map[K, V]) Range(fn func(K, V) bool) {
+	m.shield.Lock()
+	startVersion := m.version
+	entries := m.entries
+	m.shield.Unlock()
+	for i := range entries {
+		m.shield.Lock()
+		modified := m.version != startVersion
+		var k K
+		var v V
+		occupied := false
+		if !modified && entries[i].occupied {
+			k, v, occupied = entries[i].key, entries[i].value, true
+		}
+		m.shield.Unlock()
+		if modified {
+			panic("rawcol: map modified during iteration")
+		}
+		if occupied && !fn(k, v) {
+			return
+		}
+	}
+}
+
+// find returns the slot index of k.
+func (m *Map[K, V]) find(k K) (int, bool) {
+	i := m.hash(k) & m.mask
+	dist := int8(1)
+	for {
+		e := &m.entries[i]
+		if !e.occupied || e.dist < dist {
+			return 0, false
+		}
+		if e.key == k {
+			return int(i), true
+		}
+		i = (i + 1) & m.mask
+		dist++
+		if dist < 0 { // probe-length overflow: table pathologically full
+			return 0, false
+		}
+	}
+}
+
+// put inserts a key known to be absent. Caller holds the shield.
+func (m *Map[K, V]) put(k K, v V) {
+	m.version++
+	if (m.size+1)*4 >= len(m.entries)*3 { // load factor 0.75
+		m.grow()
+	}
+	m.insert(mapEntry[K, V]{key: k, value: v, dist: 1, occupied: true})
+	m.size++
+}
+
+func (m *Map[K, V]) insert(e mapEntry[K, V]) {
+	i := m.hash(e.key) & m.mask
+	for {
+		slot := &m.entries[i]
+		if !slot.occupied {
+			*slot = e
+			return
+		}
+		if slot.dist < e.dist { // robin hood: steal from the rich
+			*slot, e = e, *slot
+		}
+		i = (i + 1) & m.mask
+		e.dist++
+	}
+}
+
+func (m *Map[K, V]) grow() {
+	old := m.entries
+	m.entries = make([]mapEntry[K, V], len(old)*2)
+	m.mask = uint64(len(m.entries) - 1)
+	for i := range old {
+		if old[i].occupied {
+			e := old[i]
+			e.dist = 1
+			m.insert(e)
+		}
+	}
+}

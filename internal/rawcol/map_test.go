@@ -1,0 +1,268 @@
+package rawcol
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMapBasic(t *testing.T) {
+	m := NewMap[string, int]()
+	if m.Len() != 0 {
+		t.Fatalf("new map has len %d, want 0", m.Len())
+	}
+	m.Add("a", 1)
+	m.Add("b", 2)
+	if got := m.Len(); got != 2 {
+		t.Fatalf("len = %d, want 2", got)
+	}
+	if v, ok := m.Get("a"); !ok || v != 1 {
+		t.Fatalf("Get(a) = %v,%v, want 1,true", v, ok)
+	}
+	if v, ok := m.Get("missing"); ok {
+		t.Fatalf("Get(missing) = %v,%v, want _,false", v, ok)
+	}
+	if !m.Contains("b") {
+		t.Fatal("Contains(b) = false, want true")
+	}
+	m.Set("a", 10)
+	if v := m.MustGet("a"); v != 10 {
+		t.Fatalf("MustGet(a) = %d, want 10", v)
+	}
+	if !m.Delete("a") {
+		t.Fatal("Delete(a) = false, want true")
+	}
+	if m.Delete("a") {
+		t.Fatal("second Delete(a) = true, want false")
+	}
+	if m.Len() != 1 {
+		t.Fatalf("len after delete = %d, want 1", m.Len())
+	}
+}
+
+func TestMapAddDuplicatePanics(t *testing.T) {
+	m := NewMap[int, int]()
+	m.Add(7, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add of duplicate key did not panic")
+		}
+	}()
+	m.Add(7, 2)
+}
+
+func TestMapMustGetMissingPanics(t *testing.T) {
+	m := NewMap[int, int]()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustGet on missing key did not panic")
+		}
+	}()
+	m.MustGet(42)
+}
+
+func TestMapGetOrAdd(t *testing.T) {
+	m := NewMap[string, int]()
+	if v, existed := m.GetOrAdd("k", 5); existed || v != 5 {
+		t.Fatalf("GetOrAdd new = %v,%v, want 5,false", v, existed)
+	}
+	if v, existed := m.GetOrAdd("k", 9); !existed || v != 5 {
+		t.Fatalf("GetOrAdd existing = %v,%v, want 5,true", v, existed)
+	}
+}
+
+func TestMapGrowAndDeleteMany(t *testing.T) {
+	m := NewMap[int, int]()
+	const n = 5000
+	for i := 0; i < n; i++ {
+		m.Add(i, i*i)
+	}
+	if m.Len() != n {
+		t.Fatalf("len = %d, want %d", m.Len(), n)
+	}
+	for i := 0; i < n; i++ {
+		if v, ok := m.Get(i); !ok || v != i*i {
+			t.Fatalf("Get(%d) = %v,%v, want %d,true", i, v, ok, i*i)
+		}
+	}
+	for i := 0; i < n; i += 2 {
+		if !m.Delete(i) {
+			t.Fatalf("Delete(%d) = false", i)
+		}
+	}
+	if m.Len() != n/2 {
+		t.Fatalf("len = %d, want %d", m.Len(), n/2)
+	}
+	for i := 0; i < n; i++ {
+		_, ok := m.Get(i)
+		if want := i%2 == 1; ok != want {
+			t.Fatalf("Get(%d) present=%v, want %v", i, ok, want)
+		}
+	}
+}
+
+func TestMapKeysValues(t *testing.T) {
+	m := NewMap[int, string]()
+	want := map[int]string{1: "a", 2: "b", 3: "c"}
+	for k, v := range want {
+		m.Add(k, v)
+	}
+	keys := m.Keys()
+	if len(keys) != len(want) {
+		t.Fatalf("Keys() len = %d, want %d", len(keys), len(want))
+	}
+	for _, k := range keys {
+		if _, ok := want[k]; !ok {
+			t.Fatalf("unexpected key %d", k)
+		}
+	}
+	if vs := m.Values(); len(vs) != len(want) {
+		t.Fatalf("Values() len = %d, want %d", len(vs), len(want))
+	}
+}
+
+func TestMapRange(t *testing.T) {
+	m := NewMap[int, int]()
+	for i := 0; i < 100; i++ {
+		m.Add(i, i)
+	}
+	sum := 0
+	m.Range(func(k, v int) bool {
+		sum += v
+		return true
+	})
+	if sum != 99*100/2 {
+		t.Fatalf("range sum = %d, want %d", sum, 99*100/2)
+	}
+	// Early stop.
+	count := 0
+	m.Range(func(k, v int) bool {
+		count++
+		return count < 10
+	})
+	if count != 10 {
+		t.Fatalf("early-stop visited %d, want 10", count)
+	}
+}
+
+func TestMapRangeDetectsModification(t *testing.T) {
+	m := NewMap[int, int]()
+	for i := 0; i < 50; i++ {
+		m.Add(i, i)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Range over mutated map did not panic")
+		}
+	}()
+	m.Range(func(k, v int) bool {
+		m.Set(1000+k, k) // mutate mid-iteration
+		return true
+	})
+}
+
+func TestMapClear(t *testing.T) {
+	m := NewMap[int, int]()
+	for i := 0; i < 64; i++ {
+		m.Add(i, i)
+	}
+	m.Clear()
+	if m.Len() != 0 {
+		t.Fatalf("len after clear = %d, want 0", m.Len())
+	}
+	if m.Contains(3) {
+		t.Fatal("Contains(3) after clear = true")
+	}
+	m.Add(3, 9) // reusable after clear
+	if v := m.MustGet(3); v != 9 {
+		t.Fatalf("MustGet(3) = %d, want 9", v)
+	}
+}
+
+// TestMapMatchesModel drives the Map and Go's built-in map with the same
+// random operation sequence and requires identical observable behaviour.
+func TestMapMatchesModel(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := NewMap[int, int]()
+		model := map[int]int{}
+		for step := 0; step < 2000; step++ {
+			k := rng.Intn(200)
+			switch rng.Intn(5) {
+			case 0: // Set
+				v := rng.Int()
+				m.Set(k, v)
+				model[k] = v
+			case 1: // Delete
+				_, inModel := model[k]
+				if m.Delete(k) != inModel {
+					return false
+				}
+				delete(model, k)
+			case 2: // Get
+				v, ok := m.Get(k)
+				mv, mok := model[k]
+				if ok != mok || (ok && v != mv) {
+					return false
+				}
+			case 3: // Contains
+				if _, mok := model[k]; m.Contains(k) != mok {
+					return false
+				}
+			case 4: // GetOrAdd
+				v := rng.Int()
+				got, existed := m.GetOrAdd(k, v)
+				mv, mok := model[k]
+				if existed != mok {
+					return false
+				}
+				if existed && got != mv {
+					return false
+				}
+				if !existed {
+					model[k] = v
+				}
+			}
+			if m.Len() != len(model) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMapStringKeys(t *testing.T) {
+	m := NewMap[string, string]()
+	for i := 0; i < 1000; i++ {
+		m.Set(fmt.Sprintf("key-%d", i), fmt.Sprintf("val-%d", i))
+	}
+	for i := 0; i < 1000; i++ {
+		if v, ok := m.Get(fmt.Sprintf("key-%d", i)); !ok || v != fmt.Sprintf("val-%d", i) {
+			t.Fatalf("Get(key-%d) = %q,%v", i, v, ok)
+		}
+	}
+}
+
+func BenchmarkMapSet(b *testing.B) {
+	m := NewMap[int, int]()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Set(i&0xffff, i)
+	}
+}
+
+func BenchmarkMapGet(b *testing.B) {
+	m := NewMap[int, int]()
+	for i := 0; i < 1<<16; i++ {
+		m.Set(i, i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Get(i & 0xffff)
+	}
+}

@@ -1,0 +1,149 @@
+package rawcol
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// SortedMap is an ordered map over a sorted slice with binary search, the
+// backing store for the instrumented SortedDictionary.
+type SortedMap[K any, V any] struct {
+	shield  sync.Mutex
+	less    func(a, b K) bool
+	keys    []K
+	values  []V
+	version uint64
+}
+
+// NewSortedMap returns an empty SortedMap ordered by less.
+func NewSortedMap[K any, V any](less func(a, b K) bool) *SortedMap[K, V] {
+	return &SortedMap[K, V]{less: less}
+}
+
+// Len returns the number of entries.
+func (m *SortedMap[K, V]) Len() int {
+	m.shield.Lock()
+	defer m.shield.Unlock()
+	return len(m.keys)
+}
+
+// search returns the insertion index for k and whether keys[idx] == k.
+// Caller holds the shield.
+func (m *SortedMap[K, V]) search(k K) (int, bool) {
+	i := sort.Search(len(m.keys), func(i int) bool { return !m.less(m.keys[i], k) })
+	if i < len(m.keys) && !m.less(k, m.keys[i]) && !m.less(m.keys[i], k) {
+		return i, true
+	}
+	return i, false
+}
+
+// Get returns the value for k.
+func (m *SortedMap[K, V]) Get(k K) (V, bool) {
+	m.shield.Lock()
+	defer m.shield.Unlock()
+	if i, ok := m.search(k); ok {
+		return m.values[i], true
+	}
+	var zero V
+	return zero, false
+}
+
+// Contains reports whether k is present.
+func (m *SortedMap[K, V]) Contains(k K) bool {
+	m.shield.Lock()
+	defer m.shield.Unlock()
+	_, ok := m.search(k)
+	return ok
+}
+
+// Add inserts k→v, panicking on a duplicate key like .NET SortedDictionary.
+func (m *SortedMap[K, V]) Add(k K, v V) {
+	m.shield.Lock()
+	defer m.shield.Unlock()
+	i, ok := m.search(k)
+	if ok {
+		panic(fmt.Sprintf("rawcol: duplicate key: %v", k))
+	}
+	m.insertAt(i, k, v)
+}
+
+// Set inserts or replaces k→v.
+func (m *SortedMap[K, V]) Set(k K, v V) {
+	m.shield.Lock()
+	defer m.shield.Unlock()
+	i, ok := m.search(k)
+	if ok {
+		m.values[i] = v
+		m.version++
+		return
+	}
+	m.insertAt(i, k, v)
+}
+
+func (m *SortedMap[K, V]) insertAt(i int, k K, v V) {
+	var zk K
+	var zv V
+	m.keys = append(m.keys, zk)
+	m.values = append(m.values, zv)
+	copy(m.keys[i+1:], m.keys[i:])
+	copy(m.values[i+1:], m.values[i:])
+	m.keys[i], m.values[i] = k, v
+	m.version++
+}
+
+// Delete removes k, reporting whether it was present.
+func (m *SortedMap[K, V]) Delete(k K) bool {
+	m.shield.Lock()
+	defer m.shield.Unlock()
+	i, ok := m.search(k)
+	if !ok {
+		return false
+	}
+	m.keys = append(m.keys[:i], m.keys[i+1:]...)
+	m.values = append(m.values[:i], m.values[i+1:]...)
+	m.version++
+	return true
+}
+
+// Min returns the smallest key and its value.
+func (m *SortedMap[K, V]) Min() (K, V, bool) {
+	m.shield.Lock()
+	defer m.shield.Unlock()
+	if len(m.keys) == 0 {
+		var zk K
+		var zv V
+		return zk, zv, false
+	}
+	return m.keys[0], m.values[0], true
+}
+
+// Max returns the largest key and its value.
+func (m *SortedMap[K, V]) Max() (K, V, bool) {
+	m.shield.Lock()
+	defer m.shield.Unlock()
+	if len(m.keys) == 0 {
+		var zk K
+		var zv V
+		return zk, zv, false
+	}
+	last := len(m.keys) - 1
+	return m.keys[last], m.values[last], true
+}
+
+// Keys returns the keys in order.
+func (m *SortedMap[K, V]) Keys() []K {
+	m.shield.Lock()
+	defer m.shield.Unlock()
+	out := make([]K, len(m.keys))
+	copy(out, m.keys)
+	return out
+}
+
+// Clear removes all entries.
+func (m *SortedMap[K, V]) Clear() {
+	m.shield.Lock()
+	defer m.shield.Unlock()
+	m.keys, m.values = nil, nil
+	m.version++
+}

@@ -1,0 +1,69 @@
+package report
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// jsonBug is the stable wire form of a deduplicated bug, suitable for CI
+// integration (the paper's deployment files these into the bug tracker).
+type jsonBug struct {
+	LocationA   string   `json:"location_a"`
+	LocationB   string   `json:"location_b"`
+	Class       string   `json:"class"`
+	Methods     []string `json:"methods"`
+	ReadWrite   bool     `json:"read_write"`
+	SameLoc     bool     `json:"same_location"`
+	Occurrences int      `json:"occurrences"`
+	StackPairs  int      `json:"stack_pairs"`
+	FirstSeenMS int64    `json:"first_seen_ms"`
+	TrappedStk  string   `json:"trapped_stack,omitempty"`
+	ConflictStk string   `json:"conflicting_stack,omitempty"`
+}
+
+// jsonReport wraps the full collector output.
+type jsonReport struct {
+	Tool       string    `json:"tool"`
+	UniqueBugs int       `json:"unique_bugs"`
+	Locations  int       `json:"unique_locations"`
+	StackPairs int       `json:"stack_pairs"`
+	Bugs       []jsonBug `json:"bugs"`
+}
+
+// WriteJSON renders the collector's deduplicated bugs as JSON. Stacks are
+// included when withStacks is set (they dominate the payload size).
+func (c *Collector) WriteJSON(w io.Writer, tool string, withStacks bool) error {
+	bugs := c.Bugs()
+	out := jsonReport{
+		Tool:       tool,
+		UniqueBugs: c.UniqueBugs(),
+		Locations:  c.UniqueLocations(),
+		StackPairs: c.TotalStackPairs(),
+		Bugs:       make([]jsonBug, 0, len(bugs)),
+	}
+	for _, b := range bugs {
+		v := b.First
+		jb := jsonBug{
+			LocationA: v.Trapped.Op.Location(),
+			LocationB: v.Conflicting.Op.Location(),
+			Class:     v.Trapped.Class,
+			Methods: []string{
+				v.Trapped.Class + "." + v.Trapped.Method,
+				v.Conflicting.Class + "." + v.Conflicting.Method,
+			},
+			ReadWrite:   v.ReadWrite(),
+			SameLoc:     v.SameLocation(),
+			Occurrences: b.Occurrences,
+			StackPairs:  b.StackPairs,
+			FirstSeenMS: v.When.Milliseconds(),
+		}
+		if withStacks {
+			jb.TrappedStk = v.Trapped.Stack
+			jb.ConflictStk = v.Conflicting.Stack
+		}
+		out.Bugs = append(out.Bugs, jb)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

@@ -1,0 +1,75 @@
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestWriteJSON(t *testing.T) {
+	c := NewCollector()
+	c.Add(mkViolation(10, 20, "stackA", "stackB"))
+	c.Add(mkViolation(10, 20, "stackC", "stackD"))
+	c.Add(mkViolation(30, 30, "stackE", "stackF"))
+
+	var buf bytes.Buffer
+	if err := c.WriteJSON(&buf, "TSVD", true); err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		Tool       string `json:"tool"`
+		UniqueBugs int    `json:"unique_bugs"`
+		Locations  int    `json:"unique_locations"`
+		Bugs       []struct {
+			Class       string   `json:"class"`
+			Methods     []string `json:"methods"`
+			Occurrences int      `json:"occurrences"`
+			StackPairs  int      `json:"stack_pairs"`
+			ReadWrite   bool     `json:"read_write"`
+			SameLoc     bool     `json:"same_location"`
+			TrappedStk  string   `json:"trapped_stack"`
+		} `json:"bugs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if got.Tool != "TSVD" || got.UniqueBugs != 2 || got.Locations != 3 {
+		t.Fatalf("header wrong: %+v", got)
+	}
+	if len(got.Bugs) != 2 {
+		t.Fatalf("bugs = %d, want 2", len(got.Bugs))
+	}
+	first := got.Bugs[0] // sorted: (10,20) first
+	if first.Occurrences != 2 || first.StackPairs != 2 {
+		t.Fatalf("first bug counts wrong: %+v", first)
+	}
+	if !first.ReadWrite || first.SameLoc {
+		t.Fatalf("first bug flags wrong: %+v", first)
+	}
+	if first.TrappedStk == "" {
+		t.Fatal("stacks requested but absent")
+	}
+	if len(first.Methods) != 2 || !strings.Contains(first.Methods[0], "Dictionary.") {
+		t.Fatalf("methods wrong: %v", first.Methods)
+	}
+
+	// Without stacks, the payload must omit them.
+	buf.Reset()
+	if err := c.WriteJSON(&buf, "TSVD", false); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "stackA") {
+		t.Fatal("stacks present despite withStacks=false")
+	}
+}
+
+func TestWriteJSONEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewCollector().WriteJSON(&buf, "TSVD", false); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"unique_bugs": 0`) {
+		t.Fatalf("empty report malformed:\n%s", buf.String())
+	}
+}

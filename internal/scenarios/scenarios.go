@@ -1,0 +1,407 @@
+// Package scenarios reproduces the nine open-source C# bug reports of
+// Table 4 as Go programs against the instrumented collections. Each
+// scenario models the racy code pattern of the cited repository — a
+// telemetry broadcaster, a date cache, an equality-strategy cache, a watch
+// stream, a message broker, a type cacher, a statsd gauge, a dynamic class
+// factory, and a connection-string singleton — together with the
+// developer-style test that TSVD runs to expose it.
+package scenarios
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/collections"
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/syncx"
+	"repro/internal/task"
+)
+
+// Scenario is one modeled open-source project.
+type Scenario struct {
+	// Name matches Table 4's project column.
+	Name string
+	// Issue cites the upstream bug report the model is based on.
+	Issue string
+	// Tests are the developer-written unit tests shipped with the
+	// project; TSVD runs them unmodified.
+	Tests []func(det core.Detector, sched *task.Scheduler)
+	// MinTSVs is the number of unique location-pair violations the
+	// scenario is expected to yield within two runs (Table 4's "# TSV"
+	// is the paper's measurement; ours is the analogous floor).
+	MinTSVs int
+}
+
+// pace is the scenario workload pacing. Scenario tests are "real" unit
+// tests, so they run at a fixed small pace rather than a scaled one; run
+// them with a config whose near-miss window comfortably covers it.
+const pace = 2 * time.Millisecond
+
+// recoverPanics absorbs the contract panics (duplicate key, index range)
+// that a triggered violation legitimately produces.
+func recoverPanics(fn func()) {
+	defer func() { _ = recover() }()
+	fn()
+}
+
+// All returns the nine scenarios.
+func All() []Scenario {
+	return []Scenario{
+		applicationInsights(),
+		dateTimeExtensions(),
+		fluentAssertions(),
+		kubernetesClient(),
+		radical(),
+		sequelocity(),
+		statsd(),
+		linqDynamic(),
+		thunderstruck(),
+	}
+}
+
+// applicationInsights models "Broadcast processor is dropping telemetry due
+// to race condition": sender tasks append telemetry items to a shared
+// buffer the flusher concurrently drains.
+func applicationInsights() Scenario {
+	test := func(det core.Detector, sched *task.Scheduler) {
+		buffer := collections.NewList[string](det)
+		senders := make([]*task.Task[struct{}], 3)
+		for i := range senders {
+			i := i
+			senders[i] = task.Run(sched, func() struct{} {
+				for n := 0; n < 10; n++ {
+					recoverPanics(func() {
+						buffer.Add(fmt.Sprintf("event-%d-%d", i, n))
+					})
+					time.Sleep(pace)
+				}
+				return struct{}{}
+			})
+		}
+		flusher := task.Run(sched, func() struct{} {
+			for n := 0; n < 10; n++ {
+				recoverPanics(func() {
+					if buffer.Count() > 0 {
+						buffer.Clear() // drops items racing in
+					}
+				})
+				time.Sleep(pace)
+			}
+			return struct{}{}
+		})
+		for _, s := range senders {
+			s.Wait()
+		}
+		flusher.Wait()
+	}
+	return Scenario{
+		Name:    "ApplicationInsights",
+		Issue:   "microsoft/ApplicationInsights-dotnet#994",
+		Tests:   []func(core.Detector, *task.Scheduler){test},
+		MinTSVs: 1,
+	}
+}
+
+// dateTimeExtensions models "Resolve a random race condition": a holiday
+// cache dictionary filled by concurrent date calculations.
+func dateTimeExtensions() Scenario {
+	test := func(det core.Detector, sched *task.Scheduler) {
+		cache := collections.NewDictionary[int, string](det)
+		years := []int{2024, 2025, 2026, 2024, 2025, 2026}
+		task.ForEach(sched, years, 4, func(y int) {
+			for n := 0; n < 8; n++ {
+				recoverPanics(func() {
+					if !cache.ContainsKey(y) {
+						cache.Add(y, fmt.Sprintf("holidays-%d", y))
+					}
+					cache.TryGetValue(y)
+					cache.Remove(y)
+				})
+				time.Sleep(pace)
+			}
+		})
+	}
+	return Scenario{
+		Name:    "DateTimeExtensions",
+		Issue:   "joaomatossilva/DateTimeExtensions#86",
+		Tests:   []func(core.Detector, *task.Scheduler){test},
+		MinTSVs: 2,
+	}
+}
+
+// fluentAssertions models the SelfReferenceEquivalencyAssertionOptions
+// GetEqualityStrategy race: a memoization dictionary read and written from
+// concurrent assertions.
+func fluentAssertions() Scenario {
+	test := func(det core.Detector, sched *task.Scheduler) {
+		strategies := collections.NewDictionary[string, int](det)
+		types := []string{"Order", "Customer", "Order", "Invoice"}
+		task.ForEach(sched, types, 4, func(ty string) {
+			for n := 0; n < 8; n++ {
+				recoverPanics(func() {
+					if v, ok := strategies.TryGetValue(ty); !ok {
+						strategies.Set(ty, len(ty)) // compute + memoize
+					} else {
+						_ = v
+					}
+				})
+				time.Sleep(pace)
+			}
+		})
+	}
+	return Scenario{
+		Name:    "FluentAssertions",
+		Issue:   "fluentassertions/fluentassertions#862",
+		Tests:   []func(core.Detector, *task.Scheduler){test},
+		MinTSVs: 1,
+	}
+}
+
+// kubernetesClient models "fix a race condition" in the watch machinery:
+// the event dispatcher iterates the handler list while registration is
+// still adding handlers.
+func kubernetesClient() Scenario {
+	test := func(det core.Detector, sched *task.Scheduler) {
+		handlers := collections.NewList[int](det)
+		register := task.Run(sched, func() struct{} {
+			for i := 0; i < 12; i++ {
+				recoverPanics(func() { handlers.Add(i) })
+				time.Sleep(pace)
+			}
+			return struct{}{}
+		})
+		dispatch := task.Run(sched, func() struct{} {
+			for i := 0; i < 12; i++ {
+				recoverPanics(func() {
+					handlers.ForEach(func(_ int, h int) bool { return true })
+				})
+				time.Sleep(pace)
+			}
+			return struct{}{}
+		})
+		register.Wait()
+		dispatch.Wait()
+	}
+	return Scenario{
+		Name:    "kubernetes-client",
+		Issue:   "kubernetes-client/csharp#212",
+		Tests:   []func(core.Detector, *task.Scheduler){test},
+		MinTSVs: 1,
+	}
+}
+
+// radical models "MessageBroker internal subscription(s) list is not
+// thread safe": concurrent subscribe/unsubscribe/publish over a topic →
+// subscriber multimap.
+func radical() Scenario {
+	test := func(det core.Detector, sched *task.Scheduler) {
+		subs := collections.NewMultiMap[string, int](det)
+		subscriber := task.Run(sched, func() struct{} {
+			for i := 0; i < 10; i++ {
+				recoverPanics(func() { subs.Add("topic", i) })
+				time.Sleep(pace)
+			}
+			return struct{}{}
+		})
+		unsubscriber := task.Run(sched, func() struct{} {
+			for i := 0; i < 10; i++ {
+				recoverPanics(func() { subs.RemoveKey("topic") })
+				time.Sleep(pace)
+			}
+			return struct{}{}
+		})
+		publisher := task.Run(sched, func() struct{} {
+			for i := 0; i < 10; i++ {
+				recoverPanics(func() {
+					for range subs.Get("topic") {
+					}
+				})
+				time.Sleep(pace)
+			}
+			return struct{}{}
+		})
+		subscriber.Wait()
+		unsubscriber.Wait()
+		publisher.Wait()
+	}
+	return Scenario{
+		Name:    "Radical",
+		Issue:   "RadicalFx/Radical#108",
+		Tests:   []func(core.Detector, *task.Scheduler){test},
+		MinTSVs: 2,
+	}
+}
+
+// sequelocity models "Race condition on TypeCacher": a check-then-add type
+// metadata cache hit from parallel mappers.
+func sequelocity() Scenario {
+	test := func(det core.Detector, sched *task.Scheduler) {
+		typeCache := collections.NewDictionary[string, int](det)
+		rows := []string{"User", "Account", "User", "Order", "Account", "User"}
+		task.ForEach(sched, rows, 3, func(ty string) {
+			for n := 0; n < 6; n++ {
+				recoverPanics(func() {
+					if !typeCache.ContainsKey(ty) {
+						typeCache.Add(ty, n) // reflect + cache
+					}
+				})
+				time.Sleep(pace)
+			}
+		})
+	}
+	return Scenario{
+		Name:    "Sequelocity",
+		Issue:   "AmbitEnergyLabs/Sequelocity.NET#23",
+		Tests:   []func(core.Detector, *task.Scheduler){test},
+		MinTSVs: 1,
+	}
+}
+
+// statsd models "Race conditions when updating gauge value": unprotected
+// read-modify-write gauge updates from concurrent metric sources.
+func statsd() Scenario {
+	test := func(det core.Detector, sched *task.Scheduler) {
+		gauge := collections.NewCounter(det)
+		a := task.Run(sched, func() struct{} {
+			for i := 0; i < 12; i++ {
+				recoverPanics(func() { gauge.Increment() })
+				time.Sleep(pace)
+			}
+			return struct{}{}
+		})
+		b := task.Run(sched, func() struct{} {
+			for i := 0; i < 12; i++ {
+				recoverPanics(func() { gauge.SetValue(int64(i)) })
+				time.Sleep(pace)
+			}
+			return struct{}{}
+		})
+		a.Wait()
+		b.Wait()
+	}
+	return Scenario{
+		Name:    "statsd.net",
+		Issue:   "lukevenediger/statsd.net#29",
+		Tests:   []func(core.Detector, *task.Scheduler){test},
+		MinTSVs: 1,
+	}
+}
+
+// linqDynamic models "Fix the multi-threading issue at
+// ClassFactory.GetDynamicClass": a class cache guarded by a lock on the
+// write path but read without it.
+func linqDynamic() Scenario {
+	test := func(det core.Detector, sched *task.Scheduler) {
+		classes := collections.NewDictionary[string, int](det)
+		mu := syncx.NewMutex(det)
+		signatures := []string{"sig-a", "sig-b", "sig-a", "sig-b"}
+		task.ForEach(sched, signatures, 4, func(sig string) {
+			for n := 0; n < 8; n++ {
+				recoverPanics(func() {
+					// Unlocked fast-path read...
+					if _, ok := classes.TryGetValue(sig); ok {
+						return
+					}
+					// ...locked slow-path write.
+					mu.Lock()
+					if !classes.ContainsKey(sig) {
+						classes.Add(sig, len(sig))
+					}
+					mu.Unlock()
+				})
+				time.Sleep(pace)
+			}
+		})
+	}
+	return Scenario{
+		Name:    "System.Linq.Dynamic",
+		Issue:   "kahanu/System.Linq.Dynamic#48",
+		Tests:   []func(core.Detector, *task.Scheduler){test},
+		MinTSVs: 1,
+	}
+}
+
+// thunderstruck models "Race condition in ConnectionStringBuffer
+// singleton": lazily initialized shared buffer written by every caller.
+func thunderstruck() Scenario {
+	test := func(det core.Detector, sched *task.Scheduler) {
+		buffer := collections.NewStringBuilder(det)
+		a := task.Run(sched, func() struct{} {
+			for i := 0; i < 10; i++ {
+				recoverPanics(func() {
+					buffer.Reset()
+					buffer.Append("server=a;")
+				})
+				time.Sleep(pace)
+			}
+			return struct{}{}
+		})
+		b := task.Run(sched, func() struct{} {
+			for i := 0; i < 10; i++ {
+				recoverPanics(func() { _ = buffer.String() })
+				time.Sleep(pace)
+			}
+			return struct{}{}
+		})
+		a.Wait()
+		b.Wait()
+	}
+	return Scenario{
+		Name:    "Thunderstruck",
+		Issue:   "19WAS85/Thunderstruck#3",
+		Tests:   []func(core.Detector, *task.Scheduler){test},
+		MinTSVs: 1,
+	}
+}
+
+// Outcome is one scenario's Table-4 row.
+type Outcome struct {
+	Name     string
+	Tests    int
+	RunsUsed int
+	TSVs     int
+	Overhead float64
+}
+
+// Run executes a scenario under cfg for at most maxRuns runs (carrying the
+// trap set) and measures overhead against an uninstrumented pass.
+func Run(s Scenario, cfg config.Config, maxRuns int) (Outcome, error) {
+	out := Outcome{Name: s.Name, Tests: len(s.Tests)}
+
+	// Uninstrumented baseline.
+	baseStart := time.Now()
+	runOnce(s, core.NewNop())
+	base := time.Since(baseStart)
+
+	var traps []core.Option
+	var total time.Duration
+	for run := 1; run <= maxRuns; run++ {
+		det, err := core.New(cfg, traps...)
+		if err != nil {
+			return out, err
+		}
+		start := time.Now()
+		runOnce(s, det)
+		total += time.Since(start)
+		out.RunsUsed = run
+		out.TSVs = det.Reports().UniqueBugs()
+		if out.TSVs >= s.MinTSVs {
+			break
+		}
+		traps = []core.Option{core.WithInitialTraps(det.ExportTraps())}
+	}
+	if base > 0 {
+		// Overhead of one instrumented run against one baseline run.
+		out.Overhead = float64(total)/float64(out.RunsUsed)/float64(base) - 1
+	}
+	return out, nil
+}
+
+func runOnce(s Scenario, det core.Detector) {
+	sched := task.NewScheduler(det, task.WithForceAsync())
+	for _, test := range s.Tests {
+		test(det, sched)
+	}
+	sched.WaitIdle()
+}

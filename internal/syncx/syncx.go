@@ -1,0 +1,101 @@
+// Package syncx provides monitored locks. Acquire/release events flow to
+// the detector so the TSVDHB variant can thread vector clocks through
+// critical sections; TSVD ignores the events entirely — the point of its
+// design is not needing them, so programs may equally use plain sync.Mutex
+// (which TSVDHB then cannot see, giving it the missed-edge behaviour the
+// paper describes in §2.3).
+package syncx
+
+import (
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/ids"
+)
+
+// Mutex is a mutual-exclusion lock whose acquire/release events are
+// reported to a detector.
+type Mutex struct {
+	det core.Detector
+	id  ids.ObjectID
+	mu  sync.Mutex
+}
+
+// NewMutex returns a monitored mutex reporting to det (nil for none).
+func NewMutex(det core.Detector) *Mutex {
+	return &Mutex{det: det, id: ids.NewObjectID()}
+}
+
+// Lock acquires the mutex. The acquire event is published after the lock is
+// held, so the thread's clock correctly absorbs the previous holder's
+// release.
+func (m *Mutex) Lock() {
+	m.mu.Lock()
+	if m.det != nil {
+		m.det.OnLockAcquire(ids.CurrentThreadID(), m.id)
+	}
+}
+
+// Unlock releases the mutex. The release event is published while the lock
+// is still held, so the clock hand-off is ordered with the actual release.
+func (m *Mutex) Unlock() {
+	if m.det != nil {
+		m.det.OnLockRelease(ids.CurrentThreadID(), m.id)
+	}
+	m.mu.Unlock()
+}
+
+// WithLock runs fn under the mutex.
+func (m *Mutex) WithLock(fn func()) {
+	m.Lock()
+	defer m.Unlock()
+	fn()
+}
+
+// RWMutex is a monitored reader/writer lock. For clock purposes read
+// sections are treated like write sections (conservative: it may add HB
+// edges between concurrent readers, which can only hide bugs, never
+// fabricate one) — the same simplification production HB tools make for
+// reader locks.
+type RWMutex struct {
+	det core.Detector
+	id  ids.ObjectID
+	mu  sync.RWMutex
+}
+
+// NewRWMutex returns a monitored RWMutex reporting to det (nil for none).
+func NewRWMutex(det core.Detector) *RWMutex {
+	return &RWMutex{det: det, id: ids.NewObjectID()}
+}
+
+// Lock acquires the write lock.
+func (m *RWMutex) Lock() {
+	m.mu.Lock()
+	if m.det != nil {
+		m.det.OnLockAcquire(ids.CurrentThreadID(), m.id)
+	}
+}
+
+// Unlock releases the write lock.
+func (m *RWMutex) Unlock() {
+	if m.det != nil {
+		m.det.OnLockRelease(ids.CurrentThreadID(), m.id)
+	}
+	m.mu.Unlock()
+}
+
+// RLock acquires the read lock.
+func (m *RWMutex) RLock() {
+	m.mu.RLock()
+	if m.det != nil {
+		m.det.OnLockAcquire(ids.CurrentThreadID(), m.id)
+	}
+}
+
+// RUnlock releases the read lock.
+func (m *RWMutex) RUnlock() {
+	if m.det != nil {
+		m.det.OnLockRelease(ids.CurrentThreadID(), m.id)
+	}
+	m.mu.RUnlock()
+}

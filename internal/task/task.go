@@ -1,0 +1,293 @@
+// Package task is the unstructured task-parallelism substrate — the Go
+// analogue of .NET's Task Parallel Library that the paper's target programs
+// are written against (§2.3). Tasks are forked explicitly (Run), through
+// data-parallel loops (ForEach), or as continuations (ContinueWith); any
+// task can be joined from anywhere via Wait/Result, so fork/join graphs are
+// arbitrary, not series-parallel.
+//
+// The scheduler publishes fork and join events to a detector. Only the
+// TSVDHB variant consumes them; TSVD ignores them, which is its design
+// point. The scheduler also emulates the CLR optimization that runs fast
+// async functions synchronously (§4): with inlining enabled, a spawn site
+// whose function historically completes quickly executes inline on the
+// caller's goroutine — hiding concurrency from tests exactly as the paper
+// describes. TSVD instrumentation counters this with ForceAsync.
+package task
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ids"
+)
+
+// defaultInlineThreshold is the historical mean duration under which a
+// spawn site is considered "fast" and eligible for synchronous inlining.
+const defaultInlineThreshold = time.Millisecond
+
+// Scheduler owns task bookkeeping for one test/module execution.
+type Scheduler struct {
+	det core.Detector // may be nil (uninstrumented)
+
+	mu              sync.Mutex
+	inlineFast      bool
+	forceAsync      bool
+	inlineThreshold time.Duration
+	siteStats       map[ids.OpID]*siteStat
+	wg              sync.WaitGroup
+}
+
+type siteStat struct {
+	runs  int64
+	total time.Duration
+}
+
+// SchedulerOption configures a Scheduler.
+type SchedulerOption func(*Scheduler)
+
+// WithInlineFastTasks enables the CLR-like optimization: spawn sites with a
+// history of sub-millisecond completions run synchronously.
+func WithInlineFastTasks() SchedulerOption {
+	return func(s *Scheduler) { s.inlineFast = true }
+}
+
+// WithForceAsync is TSVD's instrumentation override (§4): every task runs
+// asynchronously regardless of inlining heuristics.
+func WithForceAsync() SchedulerOption {
+	return func(s *Scheduler) { s.forceAsync = true }
+}
+
+// WithInlineThreshold overrides what counts as a "fast" task for the
+// inlining optimization; time-scaled harnesses scale it with their pace.
+func WithInlineThreshold(d time.Duration) SchedulerOption {
+	return func(s *Scheduler) { s.inlineThreshold = d }
+}
+
+// NewScheduler returns a Scheduler reporting fork/join events to det
+// (nil for none).
+func NewScheduler(det core.Detector, opts ...SchedulerOption) *Scheduler {
+	s := &Scheduler{
+		det:             det,
+		siteStats:       map[ids.OpID]*siteStat{},
+		inlineThreshold: defaultInlineThreshold,
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	return s
+}
+
+// WaitIdle blocks until every task spawned through this scheduler has
+// completed. Test harnesses call it between the test body and report
+// collection.
+func (s *Scheduler) WaitIdle() { s.wg.Wait() }
+
+// shouldInline consults the spawn site's completion history. Mirroring the
+// CLR optimization, inlining is optimistic: a site runs synchronously until
+// its history proves it slow — which is exactly why tests that mock slow
+// I/O with fast stubs never exercise real concurrency (§4).
+func (s *Scheduler) shouldInline(site ids.OpID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.forceAsync || !s.inlineFast {
+		return false
+	}
+	st := s.siteStats[site]
+	if st == nil || st.runs == 0 {
+		return true // optimistic: assume fast until measured otherwise
+	}
+	return time.Duration(int64(st.total)/st.runs) < s.inlineThreshold
+}
+
+func (s *Scheduler) recordRun(site ids.OpID, d time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.siteStats[site]
+	if st == nil {
+		st = &siteStat{}
+		s.siteStats[site] = st
+	}
+	st.runs++
+	st.total += d
+}
+
+// Task is an asynchronous unit of work producing a T. Task handles are
+// first-class values: they can be stored, passed around, and joined by any
+// goroutine — the unstructured parallelism of §2.3.
+type Task[T any] struct {
+	done chan struct{}
+
+	// Written by the executing goroutine before done is closed.
+	result   T
+	panicVal any
+	tid      ids.ThreadID
+	inlined  bool
+
+	sched *Scheduler
+}
+
+// Run forks fn as a task (TPL's Task.Run). The spawn site is attributed to
+// Run's caller for the inlining heuristic.
+func Run[T any](s *Scheduler, fn func() T) *Task[T] {
+	return runAt(s, ids.CallerOp(0), fn)
+}
+
+func runAt[T any](s *Scheduler, site ids.OpID, fn func() T) *Task[T] {
+	t := &Task[T]{done: make(chan struct{}), sched: s}
+	if s.shouldInline(site) {
+		// CLR-style synchronous execution of a fast task: no fork, no
+		// new thread, concurrency hidden. Duration is still recorded so
+		// slow sites migrate to real asynchrony.
+		t.inlined = true
+		t.tid = ids.CurrentThreadID()
+		start := time.Now()
+		t.invoke(fn)
+		s.recordRun(site, time.Since(start))
+		close(t.done)
+		return t
+	}
+	var parent ids.ThreadID
+	if s.det != nil {
+		parent = ids.CurrentThreadID()
+	}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		if s.det != nil {
+			t.tid = ids.CurrentThreadID()
+			s.det.OnFork(parent, t.tid)
+		}
+		start := time.Now()
+		t.invoke(fn)
+		s.recordRun(site, time.Since(start))
+		close(t.done)
+	}()
+	return t
+}
+
+// invoke runs fn capturing panics, which surface at Result like .NET's
+// exception propagation on Task.Result.
+func (t *Task[T]) invoke(fn func() T) {
+	defer func() {
+		if r := recover(); r != nil {
+			t.panicVal = r
+		}
+	}()
+	t.result = fn()
+}
+
+// Wait blocks until the task completes and records the join edge.
+func (t *Task[T]) Wait() {
+	<-t.done
+	if t.inlined {
+		return // ran on the caller's own goroutine; no edge to record
+	}
+	if t.sched.det != nil {
+		t.sched.det.OnJoin(ids.CurrentThreadID(), t.tid)
+	}
+}
+
+// Result blocks for the task's value (TPL's Task.Result). A panic inside
+// the task re-panics here, wrapped to preserve the origin.
+func (t *Task[T]) Result() T {
+	t.Wait()
+	if t.panicVal != nil {
+		panic(fmt.Sprintf("task: panic in task body: %v", t.panicVal))
+	}
+	return t.result
+}
+
+// TryResult is Result without re-panicking; it returns the captured panic
+// value, if any.
+func (t *Task[T]) TryResult() (T, any) {
+	t.Wait()
+	return t.result, t.panicVal
+}
+
+// Done reports whether the task has completed without blocking.
+func (t *Task[T]) Done() bool {
+	select {
+	case <-t.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Inlined reports whether the task was executed synchronously by the
+// fast-async optimization (visible for tests and the §4 experiment).
+func (t *Task[T]) Inlined() bool {
+	<-t.done
+	return t.inlined
+}
+
+// ContinueWith schedules fn to run as a new task after t completes,
+// receiving t's result (TPL's Task.ContinueWith). The continuation task
+// observes a join edge from t.
+func ContinueWith[T, U any](t *Task[T], fn func(T) U) *Task[U] {
+	s := t.sched
+	site := ids.CallerOp(0)
+	return runAt(s, site, func() U {
+		v := t.Result()
+		return fn(v)
+	})
+}
+
+// WhenAll waits for every task and collects the results in order (TPL's
+// Task.WhenAll + Result).
+func WhenAll[T any](tasks ...*Task[T]) []T {
+	out := make([]T, len(tasks))
+	for i, t := range tasks {
+		out[i] = t.Result()
+	}
+	return out
+}
+
+// ForEach applies fn to every item with bounded parallelism (TPL's
+// Parallel.ForEach). Worker tasks pull indices from a shared cursor; the
+// call returns when all items are processed. Panics in fn are re-raised
+// after all workers finish, mirroring .NET's AggregateException.
+func ForEach[T any](s *Scheduler, items []T, degree int, fn func(T)) {
+	if len(items) == 0 {
+		return
+	}
+	if degree <= 0 {
+		degree = 4
+	}
+	if degree > len(items) {
+		degree = len(items)
+	}
+	var cursor int64
+	var cursorMu sync.Mutex
+	next := func() int {
+		cursorMu.Lock()
+		defer cursorMu.Unlock()
+		i := cursor
+		cursor++
+		return int(i)
+	}
+	site := ids.CallerOp(0)
+	workers := make([]*Task[struct{}], degree)
+	for w := 0; w < degree; w++ {
+		workers[w] = runAt(s, site, func() struct{} {
+			for {
+				i := next()
+				if i >= len(items) {
+					return struct{}{}
+				}
+				fn(items[i])
+			}
+		})
+	}
+	var firstPanic any
+	for _, w := range workers {
+		if _, p := w.TryResult(); p != nil && firstPanic == nil {
+			firstPanic = p
+		}
+	}
+	if firstPanic != nil {
+		panic(fmt.Sprintf("task: panic in ForEach body: %v", firstPanic))
+	}
+}

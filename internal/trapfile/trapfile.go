@@ -1,0 +1,87 @@
+// Package trapfile persists TSVD's dangerous-pair set between test runs
+// (§3.4.6 "Multiple testing runs"). Pairs are stored by their stable source
+// location keys, not process-local ids, so a trap file written by one test
+// process seeds the next.
+package trapfile
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/ids"
+	"repro/internal/report"
+)
+
+// FormatVersion guards against reading files from incompatible builds.
+const FormatVersion = 1
+
+// File is the serialized trap set.
+type File struct {
+	Version int    `json:"version"`
+	Tool    string `json:"tool"`
+	Pairs   []Pair `json:"pairs"`
+}
+
+// Pair is one dangerous pair, identified by location keys.
+type Pair struct {
+	A string `json:"a"`
+	B string `json:"b"`
+}
+
+// FromKeys converts in-memory pair keys to their persistent form. Pairs with
+// un-interned locations (no stable key) are dropped — they cannot be
+// re-identified in another process anyway.
+func FromKeys(pairs []report.PairKey) []Pair {
+	out := make([]Pair, 0, len(pairs))
+	for _, p := range pairs {
+		a, b := p.A.Key(), p.B.Key()
+		if a == "" || b == "" {
+			continue
+		}
+		out = append(out, Pair{A: a, B: b})
+	}
+	return out
+}
+
+// ToKeys re-interns persistent pairs into this process's OpID space.
+func ToKeys(pairs []Pair) []report.PairKey {
+	out := make([]report.PairKey, 0, len(pairs))
+	for _, p := range pairs {
+		out = append(out, report.KeyOf(ids.InternKey(p.A), ids.InternKey(p.B)))
+	}
+	return out
+}
+
+// Save writes the trap set to path.
+func Save(path, tool string, pairs []report.PairKey) error {
+	f := File{Version: FormatVersion, Tool: tool, Pairs: FromKeys(pairs)}
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return fmt.Errorf("trapfile: marshal: %w", err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("trapfile: write %s: %w", path, err)
+	}
+	return nil
+}
+
+// Load reads a trap set from path. A missing file yields an empty set and no
+// error — the first run of a test has no trap file.
+func Load(path string) ([]report.PairKey, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("trapfile: read %s: %w", path, err)
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("trapfile: parse %s: %w", path, err)
+	}
+	if f.Version != FormatVersion {
+		return nil, fmt.Errorf("trapfile: %s has version %d, want %d", path, f.Version, FormatVersion)
+	}
+	return ToKeys(f.Pairs), nil
+}

@@ -1,0 +1,65 @@
+package trapfile
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/ids"
+	"repro/internal/report"
+)
+
+func TestRoundTrip(t *testing.T) {
+	a := ids.InternKey("pkg/foo.go:10")
+	b := ids.InternKey("pkg/foo.go:20")
+	c := ids.InternKey("pkg/bar.go:5")
+	pairs := []report.PairKey{report.KeyOf(a, b), report.KeyOf(c, c)}
+
+	path := filepath.Join(t.TempDir(), "traps.json")
+	if err := Save(path, "TSVD", pairs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("loaded %d pairs, want 2", len(got))
+	}
+	want := map[report.PairKey]bool{report.KeyOf(a, b): true, report.KeyOf(c, c): true}
+	for _, p := range got {
+		if !want[p] {
+			t.Fatalf("unexpected pair %+v", p)
+		}
+	}
+}
+
+func TestLoadMissingFileIsEmpty(t *testing.T) {
+	got, err := Load(filepath.Join(t.TempDir(), "absent.json"))
+	if err != nil || got != nil {
+		t.Fatalf("Load(absent) = %v, %v; want nil, nil", got, err)
+	}
+}
+
+func TestLoadRejectsBadVersion(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "traps.json")
+	os.WriteFile(path, []byte(`{"version": 99, "pairs": []}`), 0o644)
+	if _, err := Load(path); err == nil {
+		t.Fatal("bad version accepted")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "traps.json")
+	os.WriteFile(path, []byte("not json"), 0o644)
+	if _, err := Load(path); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestFromKeysDropsUninterned(t *testing.T) {
+	fabricated := report.KeyOf(ids.OpID(123), ids.OpID(456)) // never interned
+	if got := FromKeys([]report.PairKey{fabricated}); len(got) != 0 {
+		t.Fatalf("uninterned pair survived: %v", got)
+	}
+}

@@ -1,0 +1,137 @@
+package vclock
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomTree(rng *rand.Rand) Tree {
+	var c Tree
+	n := rng.Intn(20)
+	for i := 0; i < n; i++ {
+		c = c.Set(int64(rng.Intn(15)), uint64(rng.Intn(50)))
+	}
+	return c
+}
+
+func equalTrees(a, b Tree) bool {
+	return LessOrEqual(a, b) && LessOrEqual(b, a)
+}
+
+// TestJoinAlgebra: Join must be commutative, associative and idempotent,
+// and both arguments must be ≤ the result — the lattice laws vector-clock
+// correctness rests on.
+func TestJoinAlgebra(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b, c := randomTree(rng), randomTree(rng), randomTree(rng)
+
+		if !equalTrees(Join(a, b), Join(b, a)) {
+			return false // commutativity
+		}
+		if !equalTrees(Join(Join(a, b), c), Join(a, Join(b, c))) {
+			return false // associativity
+		}
+		if !equalTrees(Join(a, a), a) {
+			return false // idempotence
+		}
+		j := Join(a, b)
+		if !LessOrEqual(a, j) || !LessOrEqual(b, j) {
+			return false // upper bound
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOrderingIsPartialOrder: ≤ must be reflexive, antisymmetric (up to
+// component equality) and transitive.
+func TestOrderingIsPartialOrder(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomTree(rng)
+		b := Join(a, randomTree(rng)) // a ≤ b by construction
+		c := Join(b, randomTree(rng)) // b ≤ c
+
+		if !LessOrEqual(a, a) {
+			return false // reflexivity
+		}
+		if !LessOrEqual(a, b) || !LessOrEqual(b, c) {
+			return false // construction
+		}
+		if !LessOrEqual(a, c) {
+			return false // transitivity
+		}
+		// HappenedBefore and Concurrent are mutually exclusive.
+		d := randomTree(rng)
+		hb := HappenedBefore(a, d) || HappenedBefore(d, a)
+		if hb && Concurrent(a, d) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTickStrictlyAdvances: Tick yields a clock strictly after the input on
+// the ticked component and untouched elsewhere.
+func TestTickStrictlyAdvances(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomTree(rng)
+		k := int64(rng.Intn(15))
+		b := a.Tick(k)
+		if b.Get(k) != a.Get(k)+1 {
+			return false
+		}
+		if !HappenedBefore(a, b) {
+			return false
+		}
+		ok := true
+		a.Each(func(t int64, v uint64) bool {
+			if t != k && b.Get(t) != v {
+				ok = false
+				return false
+			}
+			return true
+		})
+		return ok
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPersistence: operations on derived clocks never disturb ancestors —
+// the property that makes O(1) reference sharing across threads safe.
+func TestPersistence(t *testing.T) {
+	base := Tree{}.Set(1, 10).Set(2, 20)
+	snapshot := map[int64]uint64{1: 10, 2: 20}
+
+	derived := base
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		switch rng.Intn(3) {
+		case 0:
+			derived = derived.Tick(int64(rng.Intn(10)))
+		case 1:
+			derived = derived.Set(int64(rng.Intn(10)), uint64(rng.Intn(100)))
+		case 2:
+			derived = Join(derived, randomTree(rng))
+		}
+		for k, v := range snapshot {
+			if base.Get(k) != v {
+				t.Fatalf("ancestor mutated at step %d: key %d = %d, want %d",
+					i, k, base.Get(k), v)
+			}
+		}
+		if base.Len() != 2 {
+			t.Fatalf("ancestor length changed: %d", base.Len())
+		}
+	}
+}

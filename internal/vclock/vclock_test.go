@@ -1,0 +1,356 @@
+package vclock
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTreeZeroValue(t *testing.T) {
+	var c Tree
+	if c.Get(1) != 0 {
+		t.Fatal("empty clock has nonzero component")
+	}
+	if c.Len() != 0 {
+		t.Fatal("empty clock has nonzero length")
+	}
+}
+
+func TestTreeSetGet(t *testing.T) {
+	var c Tree
+	c2 := c.Set(5, 7)
+	if c.Get(5) != 0 {
+		t.Fatal("Set mutated the original clock")
+	}
+	if c2.Get(5) != 7 {
+		t.Fatalf("Get(5) = %d, want 7", c2.Get(5))
+	}
+	c3 := c2.Set(5, 9)
+	if c2.Get(5) != 7 || c3.Get(5) != 9 {
+		t.Fatal("second Set broke persistence")
+	}
+}
+
+func TestTreeTick(t *testing.T) {
+	var c Tree
+	for i := 0; i < 10; i++ {
+		c = c.Tick(3)
+	}
+	if c.Get(3) != 10 {
+		t.Fatalf("Get(3) = %d, want 10", c.Get(3))
+	}
+	if c.Get(4) != 0 {
+		t.Fatal("Tick leaked into other components")
+	}
+}
+
+func TestTreeSetSameValueSharesRoot(t *testing.T) {
+	c := Tree{}.Set(1, 5)
+	c2 := c.Set(1, 5)
+	if !SameRef(c, c2) {
+		t.Fatal("setting an identical value did not share the tree")
+	}
+}
+
+func TestJoinBasic(t *testing.T) {
+	a := Tree{}.Set(1, 3).Set(2, 5)
+	b := Tree{}.Set(1, 7).Set(3, 2)
+	j := Join(a, b)
+	for _, tc := range []struct {
+		k int64
+		v uint64
+	}{{1, 7}, {2, 5}, {3, 2}} {
+		if got := j.Get(tc.k); got != tc.v {
+			t.Fatalf("Join.Get(%d) = %d, want %d", tc.k, got, tc.v)
+		}
+	}
+	// Inputs untouched.
+	if a.Get(1) != 3 || b.Get(2) != 0 {
+		t.Fatal("Join mutated its inputs")
+	}
+}
+
+func TestJoinReferenceFastPath(t *testing.T) {
+	a := Tree{}.Set(1, 3).Set(2, 5)
+	j := Join(a, a)
+	if !SameRef(j, a) {
+		t.Fatal("Join(a, a) did not return a by reference")
+	}
+	var empty Tree
+	if !SameRef(Join(a, empty), a) {
+		t.Fatal("Join(a, empty) did not return a by reference")
+	}
+	if !SameRef(Join(empty, a), a) {
+		t.Fatal("Join(empty, a) did not return a by reference")
+	}
+}
+
+func TestOrderingPredicates(t *testing.T) {
+	a := Tree{}.Set(1, 1)
+	b := a.Tick(1).Tick(2) // strictly after a
+	if !LessOrEqual(a, b) || LessOrEqual(b, a) {
+		t.Fatal("a should be strictly before b")
+	}
+	if !HappenedBefore(a, b) || HappenedBefore(b, a) {
+		t.Fatal("HappenedBefore wrong")
+	}
+	if Concurrent(a, b) {
+		t.Fatal("ordered clocks reported concurrent")
+	}
+	c := Tree{}.Set(1, 5)
+	d := Tree{}.Set(2, 5)
+	if !Concurrent(c, d) {
+		t.Fatal("incomparable clocks not reported concurrent")
+	}
+	if !LessOrEqual(a, a) || HappenedBefore(a, a) {
+		t.Fatal("reflexivity wrong")
+	}
+}
+
+func TestEachInKeyOrder(t *testing.T) {
+	var c Tree
+	for _, k := range []int64{5, 1, 9, 3, 7} {
+		c = c.Set(k, uint64(k)*10)
+	}
+	var keys []int64
+	c.Each(func(k int64, v uint64) bool {
+		keys = append(keys, k)
+		if v != uint64(k)*10 {
+			t.Fatalf("Each(%d) = %d", k, v)
+		}
+		return true
+	})
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1] >= keys[i] {
+			t.Fatalf("keys out of order: %v", keys)
+		}
+	}
+	if len(keys) != 5 {
+		t.Fatalf("visited %d keys, want 5", len(keys))
+	}
+}
+
+// TestTreeMatchesMutableModel drives the AVL clock and the map clock with
+// identical random operation sequences and requires identical components and
+// identical ordering verdicts.
+func TestTreeMatchesMutableModel(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var tree Tree
+		model := NewMutable()
+		var otherTree Tree
+		otherModel := NewMutable()
+		for step := 0; step < 500; step++ {
+			k := int64(rng.Intn(20))
+			switch rng.Intn(4) {
+			case 0:
+				tree = tree.Tick(k)
+				model.Tick(k)
+			case 1:
+				v := uint64(rng.Intn(100))
+				tree = tree.Set(k, v)
+				model.Set(k, v)
+			case 2:
+				otherTree = otherTree.Tick(k)
+				otherModel.Tick(k)
+			case 3:
+				tree = Join(tree, otherTree)
+				model.JoinInto(otherModel)
+			}
+		}
+		for k := int64(0); k < 20; k++ {
+			if tree.Get(k) != model.Get(k) {
+				return false
+			}
+		}
+		if LessOrEqual(tree, otherTree) != LessOrEqualM(model, otherModel) {
+			return false
+		}
+		if LessOrEqual(otherTree, tree) != LessOrEqualM(otherModel, model) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTreeBalanced checks the AVL invariant under adversarial (sequential)
+// insertion, which degenerates a naive BST to a list.
+func TestTreeBalanced(t *testing.T) {
+	var c Tree
+	const n = 4096
+	for i := int64(0); i < n; i++ {
+		c = c.Set(i, uint64(i))
+	}
+	if c.Len() != n {
+		t.Fatalf("Len = %d, want %d", c.Len(), n)
+	}
+	h := treeHeight(c.root)
+	// AVL height bound: 1.44·log2(n+2). For 4096 keys that is ~18.
+	if h > 18 {
+		t.Fatalf("height %d exceeds AVL bound for %d keys", h, n)
+	}
+	assertAVL(t, c.root)
+}
+
+func treeHeight(n *node) int {
+	if n == nil {
+		return 0
+	}
+	l, r := treeHeight(n.left), treeHeight(n.right)
+	if l > r {
+		return l + 1
+	}
+	return r + 1
+}
+
+func assertAVL(t *testing.T, n *node) (int, int64, int64) {
+	t.Helper()
+	if n == nil {
+		return 0, 0, 0
+	}
+	lh, _, lmax := assertAVL(t, n.left)
+	rh, rmin, _ := assertAVL(t, n.right)
+	if n.left != nil && lmax >= n.key {
+		t.Fatalf("BST order violated at key %d", n.key)
+	}
+	if n.right != nil && rmin <= n.key {
+		t.Fatalf("BST order violated at key %d", n.key)
+	}
+	if d := lh - rh; d < -1 || d > 1 {
+		t.Fatalf("AVL balance violated at key %d: %d vs %d", n.key, lh, rh)
+	}
+	h := lh
+	if rh > h {
+		h = rh
+	}
+	h++
+	if int(n.height) != h {
+		t.Fatalf("stored height %d != computed %d at key %d", n.height, h, n.key)
+	}
+	minKey, maxKey := n.key, n.key
+	if n.left != nil {
+		_, lmin, _ := assertAVL(t, n.left)
+		minKey = lmin
+	}
+	if n.right != nil {
+		_, _, rmax := assertAVL(t, n.right)
+		maxKey = rmax
+	}
+	return h, minKey, maxKey
+}
+
+// TestJoinBalanced ensures merged trees stay balanced too.
+func TestJoinBalanced(t *testing.T) {
+	var a, b Tree
+	for i := int64(0); i < 1000; i += 2 {
+		a = a.Set(i, uint64(i))
+	}
+	for i := int64(1); i < 1000; i += 2 {
+		b = b.Set(i, uint64(i))
+	}
+	j := Join(a, b)
+	if j.Len() != 1000 {
+		t.Fatalf("Len = %d, want 1000", j.Len())
+	}
+	assertAVL(t, j.root)
+}
+
+func TestMutableCopyIndependent(t *testing.T) {
+	m := NewMutable()
+	m.Set(1, 5)
+	c := m.Copy()
+	c.Tick(1)
+	if m.Get(1) != 5 || c.Get(1) != 6 {
+		t.Fatal("Copy is not independent")
+	}
+}
+
+func TestMutableToTree(t *testing.T) {
+	m := NewMutable()
+	m.Set(1, 5)
+	m.Set(9, 2)
+	tr := m.ToTree()
+	if tr.Get(1) != 5 || tr.Get(9) != 2 || tr.Len() != 2 {
+		t.Fatal("ToTree mismatch")
+	}
+}
+
+// --- Benchmarks backing the §3.5 representation discussion ---
+
+func buildTree(n int) Tree {
+	var c Tree
+	for i := 0; i < n; i++ {
+		c = c.Set(int64(i), uint64(i))
+	}
+	return c
+}
+
+func buildMutable(n int) Mutable {
+	m := NewMutable()
+	for i := 0; i < n; i++ {
+		m.Set(int64(i), uint64(i))
+	}
+	return m
+}
+
+// Message send: immutable clocks are passed by reference (O(1))...
+func BenchmarkSendImmutable(b *testing.B) {
+	c := buildTree(256)
+	var sink Tree
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sink = c // reference copy
+	}
+	_ = sink
+}
+
+// ...whereas mutable clocks must be deep-copied (O(n)).
+func BenchmarkSendMutable(b *testing.B) {
+	c := buildMutable(256)
+	var sink Mutable
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sink = c.Copy()
+	}
+	_ = sink
+}
+
+// Increment: immutable pays O(log n) path copying...
+func BenchmarkTickImmutable(b *testing.B) {
+	c := buildTree(256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c = c.Tick(128)
+	}
+}
+
+// ...mutable is O(1) in place.
+func BenchmarkTickMutable(b *testing.B) {
+	c := buildMutable(256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Tick(128)
+	}
+}
+
+// Receive with reference equality: O(1) fast path.
+func BenchmarkJoinSameRef(b *testing.B) {
+	c := buildTree(256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Join(c, c)
+	}
+}
+
+// Receive of diverged clocks: the O(n) element-wise max.
+func BenchmarkJoinDiverged(b *testing.B) {
+	c := buildTree(256)
+	d := c.Tick(1).Tick(300)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Join(c, d)
+	}
+}

@@ -1,0 +1,259 @@
+// Package tsvd is the public API of the TSVD thread-safety-violation
+// detector, a Go reproduction of "Efficient Scalable Thread-Safety-Violation
+// Detection" (SOSP 2019).
+//
+// Typical use mirrors the paper's deployment: install a detector for the
+// test process, run the existing tests against the instrumented collections,
+// and collect the violations afterwards.
+//
+//	func TestMain(m *testing.M) {
+//		tsvd.Install(tsvd.DefaultConfig())
+//		code := m.Run()
+//		for _, bug := range tsvd.Bugs() {
+//			fmt.Println(bug.First.String())
+//		}
+//		os.Exit(code)
+//	}
+//
+// Containers created through this package report to the installed detector;
+// containers created before Install report to a no-op detector and cost
+// almost nothing.
+package tsvd
+
+import (
+	"sync/atomic"
+
+	"repro/internal/collections"
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/syncx"
+	"repro/internal/task"
+	"repro/internal/trapfile"
+)
+
+// Config is the complete detector parameter set; see DefaultConfig for the
+// paper's defaults.
+type Config = config.Config
+
+// Detector is the runtime interface; see the core package for the variants.
+type Detector = core.Detector
+
+// Algorithm selects the detection variant.
+type Algorithm = config.Algorithm
+
+// Detection variants.
+const (
+	// TSVD is the paper's detector (§3.4) — the default.
+	TSVD = config.AlgoTSVD
+	// TSVDHB is the happens-before-analysis variant (§3.5).
+	TSVDHB = config.AlgoTSVDHB
+	// DynamicRandom injects delays at random call occurrences (§3.2).
+	DynamicRandom = config.AlgoDynamicRandom
+	// DataCollider samples static program locations uniformly (§3.3).
+	DataCollider = config.AlgoStaticRandom
+	// Nop disables detection (baseline).
+	Nop = config.AlgoNop
+)
+
+// DefaultConfig returns the paper's default TSVD configuration
+// (§5.4: N_nm=5, T_nm=100ms, δ_hb=0.5, k_hb=5, buffer=16, delay=100ms).
+func DefaultConfig() Config { return config.Defaults(config.AlgoTSVD) }
+
+// NewDetector builds a standalone detector for cfg. Most callers want
+// Install instead.
+func NewDetector(cfg Config, opts ...core.Option) (Detector, error) {
+	return core.New(cfg, opts...)
+}
+
+// global is the installed detector; a Nop detector until Install succeeds.
+var global atomic.Pointer[detectorBox]
+
+type detectorBox struct{ det Detector }
+
+func init() {
+	global.Store(&detectorBox{det: core.NewNop()})
+}
+
+// Install replaces the process-wide detector used by containers created
+// through this package from now on.
+func Install(cfg Config, opts ...core.Option) error {
+	det, err := core.New(cfg, opts...)
+	if err != nil {
+		return err
+	}
+	global.Store(&detectorBox{det: det})
+	return nil
+}
+
+// InstallWithTrapFile is Install seeded from a previous run's trap file
+// (§3.4.6); a missing file is not an error.
+func InstallWithTrapFile(cfg Config, path string, opts ...core.Option) error {
+	pairs, err := trapfile.Load(path)
+	if err != nil {
+		return err
+	}
+	if len(pairs) > 0 {
+		opts = append(opts, core.WithInitialTraps(pairs))
+	}
+	return Install(cfg, opts...)
+}
+
+// SaveTrapFile persists the installed detector's dangerous pairs for the
+// next run.
+func SaveTrapFile(path string) error {
+	return trapfile.Save(path, "TSVD", Default().ExportTraps())
+}
+
+// Default returns the installed detector (a no-op detector before Install).
+func Default() Detector { return global.Load().det }
+
+// Bugs returns the unique violations the installed detector has caught,
+// deduplicated by static location pair.
+func Bugs() []report.Bug { return Default().Reports().Bugs() }
+
+// Stats returns the installed detector's counters.
+func Stats() core.Stats { return Default().Stats() }
+
+// --- Instrumented containers bound to the installed detector ---
+
+// Dictionary is the instrumented hash map (thread-unsafe by contract).
+type Dictionary[K comparable, V any] = collections.Dictionary[K, V]
+
+// List is the instrumented dynamic array.
+type List[T comparable] = collections.List[T]
+
+// HashSet is the instrumented set.
+type HashSet[T comparable] = collections.HashSet[T]
+
+// Queue is the instrumented FIFO queue.
+type Queue[T any] = collections.Queue[T]
+
+// Stack is the instrumented LIFO stack.
+type Stack[T any] = collections.Stack[T]
+
+// SortedDictionary is the instrumented ordered map.
+type SortedDictionary[K any, V any] = collections.SortedDictionary[K, V]
+
+// LinkedList is the instrumented doubly-linked list.
+type LinkedList[T comparable] = collections.LinkedList[T]
+
+// StringBuilder is the instrumented text accumulator.
+type StringBuilder = collections.StringBuilder
+
+// Counter is the instrumented scalar counter.
+type Counter = collections.Counter
+
+// MultiMap is the instrumented key → value-list map.
+type MultiMap[K comparable, V any] = collections.MultiMap[K, V]
+
+// PriorityQueue is the instrumented binary heap.
+type PriorityQueue[T any] = collections.PriorityQueue[T]
+
+// SortedSet is the instrumented ordered set.
+type SortedSet[T any] = collections.SortedSet[T]
+
+// BitArray is the instrumented fixed-size bit vector.
+type BitArray = collections.BitArray
+
+// NewDictionary returns a Dictionary reporting to the installed detector.
+func NewDictionary[K comparable, V any]() *Dictionary[K, V] {
+	return collections.NewDictionary[K, V](Default())
+}
+
+// NewList returns a List reporting to the installed detector.
+func NewList[T comparable]() *List[T] {
+	return collections.NewList[T](Default())
+}
+
+// NewHashSet returns a HashSet reporting to the installed detector.
+func NewHashSet[T comparable]() *HashSet[T] {
+	return collections.NewHashSet[T](Default())
+}
+
+// NewQueue returns a Queue reporting to the installed detector.
+func NewQueue[T any]() *Queue[T] {
+	return collections.NewQueue[T](Default())
+}
+
+// NewStack returns a Stack reporting to the installed detector.
+func NewStack[T any]() *Stack[T] {
+	return collections.NewStack[T](Default())
+}
+
+// NewSortedDictionary returns a SortedDictionary ordered by less.
+func NewSortedDictionary[K any, V any](less func(a, b K) bool) *SortedDictionary[K, V] {
+	return collections.NewSortedDictionary[K, V](Default(), less)
+}
+
+// NewLinkedList returns a LinkedList reporting to the installed detector.
+func NewLinkedList[T comparable]() *LinkedList[T] {
+	return collections.NewLinkedList[T](Default())
+}
+
+// NewStringBuilder returns a StringBuilder reporting to the installed
+// detector.
+func NewStringBuilder() *StringBuilder {
+	return collections.NewStringBuilder(Default())
+}
+
+// NewCounter returns a Counter reporting to the installed detector.
+func NewCounter() *Counter {
+	return collections.NewCounter(Default())
+}
+
+// NewMultiMap returns a MultiMap reporting to the installed detector.
+func NewMultiMap[K comparable, V any]() *MultiMap[K, V] {
+	return collections.NewMultiMap[K, V](Default())
+}
+
+// NewPriorityQueue returns a PriorityQueue ordered by less.
+func NewPriorityQueue[T any](less func(a, b T) bool) *PriorityQueue[T] {
+	return collections.NewPriorityQueue[T](Default(), less)
+}
+
+// NewSortedSet returns a SortedSet ordered by less.
+func NewSortedSet[T any](less func(a, b T) bool) *SortedSet[T] {
+	return collections.NewSortedSet[T](Default(), less)
+}
+
+// NewBitArray returns a BitArray of the given size.
+func NewBitArray(size int) *BitArray {
+	return collections.NewBitArray(Default(), size)
+}
+
+// --- Task substrate and monitored locks ---
+
+// Scheduler runs tasks; its fork/join events reach the detector (used by
+// the TSVDHB variant; TSVD ignores them).
+type Scheduler = task.Scheduler
+
+// Task is an asynchronous unit of work.
+type Task[T any] = task.Task[T]
+
+// NewScheduler returns a Scheduler wired to the installed detector with
+// TSVD's force-async instrumentation (§4) applied.
+func NewScheduler() *Scheduler {
+	return task.NewScheduler(Default(), task.WithForceAsync())
+}
+
+// Go forks fn as a task on s (TPL's Task.Run).
+func Go[T any](s *Scheduler, fn func() T) *Task[T] {
+	return task.Run(s, fn)
+}
+
+// ForEach applies fn to items with bounded parallelism (Parallel.ForEach).
+func ForEach[T any](s *Scheduler, items []T, degree int, fn func(T)) {
+	task.ForEach(s, items, degree, fn)
+}
+
+// ContinueWith schedules fn after t completes.
+func ContinueWith[T, U any](t *Task[T], fn func(T) U) *Task[U] {
+	return task.ContinueWith(t, fn)
+}
+
+// Mutex is a monitored lock whose events reach the installed detector.
+type Mutex = syncx.Mutex
+
+// NewMutex returns a monitored Mutex.
+func NewMutex() *Mutex { return syncx.NewMutex(Default()) }

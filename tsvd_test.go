@@ -1,0 +1,133 @@
+package tsvd
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// Note: the installed detector is process-global, so these tests install
+// fresh detectors per test and must not run in parallel with each other.
+
+func install(t *testing.T) {
+	t.Helper()
+	if err := Install(DefaultConfig().Scaled(0.1)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDefaultIsNopBeforeInstall(t *testing.T) {
+	// Reset to a Nop-equivalent state by installing a Nop config.
+	cfg := DefaultConfig()
+	cfg.Algorithm = Nop
+	if err := Install(cfg); err != nil {
+		t.Fatal(err)
+	}
+	d := NewDictionary[string, int]()
+	d.Set("a", 1)
+	if len(Bugs()) != 0 {
+		t.Fatal("Nop detector reported bugs")
+	}
+}
+
+func TestInstallRejectsBadConfig(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ObjHistory = 0
+	if err := Install(cfg); err == nil {
+		t.Fatal("bad config accepted")
+	}
+}
+
+func TestQuickstartFlow(t *testing.T) {
+	install(t)
+	dict := NewDictionary[string, int]()
+
+	done1 := make(chan struct{})
+	done2 := make(chan struct{})
+	go func() {
+		defer close(done1)
+		for i := 0; i < 200; i++ {
+			dict.Set("key1", i)
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	go func() {
+		defer close(done2)
+		for i := 0; i < 200; i++ {
+			dict.ContainsKey("key2")
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	<-done1
+	<-done2
+
+	if len(Bugs()) == 0 {
+		t.Fatal("quickstart race not detected")
+	}
+	if Stats().DelaysInjected == 0 {
+		t.Fatal("no delays were injected")
+	}
+}
+
+func TestSchedulerAndTasks(t *testing.T) {
+	install(t)
+	s := NewScheduler()
+	tk := Go(s, func() int { return 21 })
+	doubled := ContinueWith(tk, func(v int) int { return v * 2 })
+	if doubled.Result() != 42 {
+		t.Fatal("task pipeline broken")
+	}
+	sum := 0
+	mu := NewMutex()
+	ForEach(s, []int{1, 2, 3, 4, 5}, 3, func(v int) {
+		mu.Lock()
+		sum += v
+		mu.Unlock()
+	})
+	if sum != 15 {
+		t.Fatalf("ForEach sum = %d", sum)
+	}
+}
+
+func TestTrapFileRoundTripViaPublicAPI(t *testing.T) {
+	install(t)
+	dict := NewDictionary[string, int]()
+	// A single near miss, strictly serialized: learn the pair only.
+	c1 := make(chan struct{})
+	go func() { dict.Set("a", 1); close(c1) }()
+	<-c1
+	c2 := make(chan struct{})
+	go func() { dict.Set("b", 2); close(c2) }()
+	<-c2
+
+	path := filepath.Join(t.TempDir(), "traps.json")
+	if err := SaveTrapFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if err := InstallWithTrapFile(DefaultConfig().Scaled(0.1), path); err != nil {
+		t.Fatal(err)
+	}
+	if Default().ExportTraps() == nil {
+		t.Fatal("trap file did not seed the new detector")
+	}
+}
+
+func TestAllPublicConstructors(t *testing.T) {
+	install(t)
+	NewDictionary[int, int]().Set(1, 1)
+	NewList[int]().Add(1)
+	NewHashSet[string]().Add("x")
+	NewQueue[int]().Enqueue(1)
+	NewStack[int]().Push(1)
+	NewSortedDictionary[int, string](func(a, b int) bool { return a < b }).Set(1, "a")
+	NewLinkedList[int]().AddLast(1)
+	NewStringBuilder().Append("s")
+	NewCounter().Increment()
+	NewMultiMap[string, int]().Add("k", 1)
+	NewPriorityQueue[int](func(a, b int) bool { return a < b }).Enqueue(1)
+	NewSortedSet[int](func(a, b int) bool { return a < b }).Add(1)
+	NewBitArray(16).Set(3, true)
+	if Stats().OnCalls < 13 {
+		t.Fatalf("OnCalls = %d, want >= 13", Stats().OnCalls)
+	}
+}
