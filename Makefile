@@ -1,0 +1,26 @@
+# Development targets. `make check` is the gate every change must pass;
+# the individual targets exist for quicker iteration.
+
+GO ?= go
+
+.PHONY: check vet build test race bench
+
+check: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The detector core is the concurrency-critical surface; it must stay clean
+# under the race detector.
+race:
+	$(GO) test -race ./internal/core/...
+
+# OnCall hot-path cost (see docs/PERFORMANCE.md for interpretation).
+bench:
+	GOMAXPROCS=8 $(GO) test -bench BenchmarkOnCallContention -benchtime 1s -run '^$$' .

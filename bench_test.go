@@ -9,7 +9,10 @@ package tsvd
 // planted bugs found).
 
 import (
+	"fmt"
 	"io"
+	"runtime"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/collections"
@@ -310,6 +313,73 @@ func benchOnCall(b *testing.B, algo config.Algorithm) {
 func BenchmarkOnCall_TSVD(b *testing.B)   { benchOnCall(b, config.AlgoTSVD) }
 func BenchmarkOnCall_TSVDHB(b *testing.B) { benchOnCall(b, config.AlgoTSVDHB) }
 func BenchmarkOnCall_Nop(b *testing.B)    { benchOnCall(b, config.AlgoNop) }
+
+// --- OnCall contention: many goroutines, conflict-free workload ---
+//
+// The scalability benchmark behind docs/PERFORMANCE.md: G goroutines hammer
+// OnCall with *disjoint* objects and locations (KindWrite, so nothing is
+// skipped as read-read), so no near miss, no dangerous pair and no delay ever
+// forms and the measurement isolates pure detector-bookkeeping throughput.
+// With disjoint objects the striped runtime gives each goroutine its own
+// shard with high probability; the "sharedObj" variant aims every goroutine
+// at one object (read-only, still conflict-free) to measure the single-shard
+// worst case, which striping cannot help.
+
+// contentionParallelism converts a desired goroutine count into the
+// per-GOMAXPROCS parallelism factor RunParallel understands.
+func contentionParallelism(goroutines int) int {
+	p := goroutines / runtime.GOMAXPROCS(0)
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+func benchContention(b *testing.B, algo config.Algorithm, goroutines int, shared bool) {
+	b.Helper()
+	det, err := core.New(config.Defaults(algo))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var workers atomic.Int64
+	b.SetParallelism(contentionParallelism(goroutines))
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		w := workers.Add(1)
+		a := core.Access{
+			Thread: ids.ThreadID(1000 + w),
+			Obj:    ids.ObjectID(1000 + w),
+			Op:     ids.OpID(1000 + w),
+			Kind:   core.KindWrite,
+			Class:  "Dictionary", Method: "Add",
+		}
+		if shared {
+			a.Obj = 7 // every goroutine on one object ⇒ one shard
+			a.Kind = core.KindRead
+			a.Method = "ContainsKey"
+		}
+		for pb.Next() {
+			det.OnCall(a)
+		}
+	})
+	if det.Reports().UniqueBugs() != 0 {
+		b.Fatal("conflict-free workload produced a report")
+	}
+}
+
+func BenchmarkOnCallContention(b *testing.B) {
+	for _, algo := range []config.Algorithm{config.AlgoTSVD, config.AlgoTSVDHB} {
+		for _, g := range []int{1, 2, 4, 8, 16} {
+			b.Run(fmt.Sprintf("%v/goroutines=%d", algo, g), func(b *testing.B) {
+				benchContention(b, algo, g, false)
+			})
+		}
+		b.Run(fmt.Sprintf("%v/sharedObj/goroutines=8", algo), func(b *testing.B) {
+			benchContention(b, algo, 8, true)
+		})
+	}
+}
 
 // BenchmarkDictionarySetInstrumented measures the end-to-end per-operation
 // cost through the public API (prologue + detector + raw op).

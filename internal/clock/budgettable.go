@@ -1,0 +1,38 @@
+package clock
+
+import (
+	"sync"
+	"time"
+)
+
+// BudgetTable hands out per-thread delay Budgets without a global lock: the
+// detector's hot path asks for the calling thread's budget on every delay
+// decision, so the registry is a concurrent map whose lock-free read path
+// serves every lookup after a thread's first. Each Budget is internally
+// atomic, so once obtained it is charged and refunded without any lock.
+//
+// Keys are opaque int64 thread identifiers (the caller's ids.ThreadID); the
+// table itself is identity-agnostic so the clock package stays free of
+// detector dependencies.
+type BudgetTable struct {
+	// Max is the per-thread cap copied into each newly created Budget;
+	// zero means unlimited.
+	Max time.Duration
+
+	m sync.Map // int64 (thread id) → *Budget
+}
+
+// For returns the thread's Budget, creating it on first use. Concurrent
+// first calls for the same thread agree on a single winner.
+func (t *BudgetTable) For(thread int64) *Budget {
+	if v, ok := t.m.Load(thread); ok {
+		return v.(*Budget)
+	}
+	v, _ := t.m.LoadOrStore(thread, &Budget{Max: t.Max})
+	return v.(*Budget)
+}
+
+// Range visits every (thread, budget) pair, in unspecified order.
+func (t *BudgetTable) Range(fn func(thread int64, b *Budget) bool) {
+	t.m.Range(func(k, v any) bool { return fn(k.(int64), v.(*Budget)) })
+}

@@ -4,6 +4,17 @@
 // only depends on *ratios* between durations (near-miss window vs. delay
 // length vs. δ_hb·delay), so tests and benchmarks run with every duration
 // scaled down uniformly. A Clock carries that scale.
+//
+// Place in the detector pipeline: every OnCall timestamps itself once with
+// Clock.Since (the single hottest time read in the process — Real.Since
+// reads only the monotonic clock for that reason), near-miss gaps and HB
+// thresholds are differences of those timestamps, and injected delays go
+// through Clock.Sleep so a trap can be woken early by its cancel channel
+// when the conflicting access arrives. Budget and BudgetTable sit between
+// the detector's decision to delay and the sleep itself: they cap the total
+// delay charged to any one thread (§4, runtime feature 2) so instrumented
+// tests cannot be pushed past their timeouts, with early-woken time
+// refunded.
 package clock
 
 import (
@@ -15,6 +26,10 @@ import (
 type Clock interface {
 	// Now returns the current time. Implementations must be monotonic.
 	Now() time.Time
+	// Since returns the time elapsed since start (a Time previously
+	// obtained from Now). It is the detector's per-OnCall time read;
+	// implementations should make it as cheap as the platform allows.
+	Since(start time.Time) time.Duration
 	// Sleep blocks for d, or until cancel is closed, whichever is first.
 	// It returns the duration actually slept and true if it was woken early.
 	Sleep(d time.Duration, cancel <-chan struct{}) (time.Duration, bool)
@@ -25,6 +40,11 @@ type Real struct{}
 
 // Now implements Clock.
 func (Real) Now() time.Time { return time.Now() }
+
+// Since implements Clock. time.Since reads only the monotonic clock — one
+// vDSO call instead of time.Now's wall-plus-monotonic pair — which halves
+// the cost of the hottest instruction sequence in the detector.
+func (Real) Since(start time.Time) time.Duration { return time.Since(start) }
 
 // Sleep implements Clock. It sleeps on a timer but can be woken early by the
 // cancel channel; the trap mechanism uses early wake when a conflicting
@@ -55,6 +75,9 @@ type Scaled struct {
 
 // Now implements Clock.
 func (s Scaled) Now() time.Time { return s.Base.Now() }
+
+// Since implements Clock.
+func (s Scaled) Since(start time.Time) time.Duration { return s.Base.Since(start) }
 
 // Sleep implements Clock.
 func (s Scaled) Sleep(d time.Duration, cancel <-chan struct{}) (time.Duration, bool) {

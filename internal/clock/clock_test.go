@@ -1,6 +1,7 @@
 package clock
 
 import (
+	"sync"
 	"testing"
 	"time"
 )
@@ -103,5 +104,49 @@ func TestBudgetRefund(t *testing.T) {
 	b.Refund(30 * time.Millisecond)
 	if got := b.Allow(50 * time.Millisecond); got != 30*time.Millisecond {
 		t.Fatalf("Allow after refund = %v, want 30ms", got)
+	}
+}
+
+func TestBudgetTable(t *testing.T) {
+	table := BudgetTable{Max: 10 * time.Millisecond}
+
+	// Same thread always resolves to the same Budget, carrying Max.
+	b := table.For(1)
+	if b.Max != 10*time.Millisecond {
+		t.Fatalf("Budget.Max = %v, want table Max", b.Max)
+	}
+	if table.For(1) != b {
+		t.Fatal("second For(1) returned a different Budget")
+	}
+	if table.For(2) == b {
+		t.Fatal("distinct threads share a Budget")
+	}
+
+	// Concurrent first lookups for one new thread agree on a single winner,
+	// and charges land on that one budget.
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			table.For(3).Allow(time.Millisecond)
+		}()
+	}
+	wg.Wait()
+	if got := table.For(3).Used(); got != 8*time.Millisecond {
+		t.Fatalf("Used = %v, want 8ms (lost charges across For calls)", got)
+	}
+
+	// Range visits every thread exactly once.
+	seen := map[int64]bool{}
+	table.Range(func(thread int64, b *Budget) bool {
+		if b == nil || seen[thread] {
+			t.Fatalf("Range visited thread %d badly", thread)
+		}
+		seen[thread] = true
+		return true
+	})
+	if len(seen) != 3 {
+		t.Fatalf("Range visited %d threads, want 3", len(seen))
 	}
 }

@@ -1,9 +1,17 @@
 // Package config holds every tunable of the TSVD runtime with the defaults
 // the paper settles on in §5.4 (Figure 9). One Config value fully describes
 // a detector run, which keeps parameter-sweep experiments trivial.
+//
+// In the pipeline, config is the single source of truth consumed by
+// internal/core when a detector is built: algorithm selection, the paper's
+// detection parameters, time scaling for fast tests, and the runtime-
+// scalability knobs (ShardCount) of the striped OnCall hot path.
 package config
 
-import "time"
+import (
+	"runtime"
+	"time"
+)
 
 // Algorithm selects which detection variant the runtime executes (§3).
 type Algorithm int
@@ -103,6 +111,17 @@ type Config struct {
 	// Zero means unlimited.
 	MaxDelayPerThread time.Duration
 
+	// --- Runtime scalability (docs/PERFORMANCE.md) ---
+
+	// ShardCount is the number of stripes the detector's per-object state
+	// (trap tables, near-miss histories) is split into. Accesses to the
+	// same object always meet in the same shard — which preserves the
+	// red-handed reporting guarantee — while accesses to unrelated
+	// objects contend only on hash collisions. 0 (the default) derives
+	// the count from GOMAXPROCS at detector construction; any positive
+	// value is rounded up to the next power of two.
+	ShardCount int
+
 	// --- Random variants (§3.2/§3.3) ---
 
 	// RandomDelayProbability is DynamicRandom's per-call delay
@@ -150,6 +169,33 @@ func Defaults(algo Algorithm) Config {
 func (c Config) Scaled(factor float64) Config {
 	c.TimeScale = factor
 	return c
+}
+
+// maxShardCount bounds the stripe table; beyond this, shard-selection cache
+// misses cost more than the contention they avoid.
+const maxShardCount = 1 << 14
+
+// EffectiveShardCount resolves ShardCount to the power of two the runtime
+// allocates: the configured value rounded up, or — when 0 — four stripes
+// per GOMAXPROCS (and at least 8), so collisions stay rare at full
+// hardware parallelism without a measurable memory cost (a shard is a
+// mutex plus three map headers).
+func (c Config) EffectiveShardCount() int {
+	n := c.ShardCount
+	if n <= 0 {
+		n = 4 * runtime.GOMAXPROCS(0)
+		if n < 8 {
+			n = 8
+		}
+	}
+	if n > maxShardCount {
+		n = maxShardCount
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
 }
 
 // EffectiveDelay returns DelayTime after TimeScale is applied.
@@ -203,6 +249,8 @@ func (c Config) Validate() error {
 		return errValue("StaticSampleProbability must be in [0,1]")
 	case c.TimeScale < 0:
 		return errValue("TimeScale must be >= 0")
+	case c.ShardCount < 0:
+		return errValue("ShardCount must be >= 0 (0 derives from GOMAXPROCS)")
 	}
 	return nil
 }

@@ -9,6 +9,20 @@
 // different threads, same object, at least one write — is a thread-safety
 // violation caught red-handed, so reports have no false positives by
 // construction.
+//
+// In the pipeline, core sits between the instrumented surface and the
+// reporting layer: internal/collections (and anything rewritten by
+// internal/instrument) funnels every thread-unsafe call into a Detector
+// built by New from an internal/config.Config, identified by
+// internal/ids tokens, timed by an internal/clock.Clock, and emitting
+// internal/report violations.
+//
+// OnCall is the hot path and is deliberately near-contention-free: detector
+// state is striped across ObjectID-keyed shards, counters and the
+// concurrent-phase ring are atomics, and only small cold-path locks
+// (trap set, finished-delay log) are shared. The shard count is the
+// config.Config.ShardCount knob; docs/PERFORMANCE.md documents the cost
+// model lock by lock.
 package core
 
 import (
@@ -117,15 +131,21 @@ type Stats struct {
 // GapHistogram is a log₂-bucketed duration histogram (µs granularity).
 type GapHistogram [20]int64
 
-// Observe adds one gap to the histogram.
-func (h *GapHistogram) Observe(d time.Duration) {
+// gapBucket returns the log₂ bucket index for a gap (shared by the public
+// histogram and the runtime's atomic mirror).
+func gapBucket(d time.Duration) int {
 	us := d.Microseconds()
 	b := 0
-	for us > 1 && b < len(h)-1 {
+	for us > 1 && b < len(GapHistogram{})-1 {
 		us >>= 1
 		b++
 	}
-	h[b]++
+	return b
+}
+
+// Observe adds one gap to the histogram.
+func (h *GapHistogram) Observe(d time.Duration) {
+	h[gapBucket(d)]++
 }
 
 // Add folds another histogram into h.

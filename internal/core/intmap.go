@@ -1,0 +1,130 @@
+package core
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// This file implements the insert-only concurrent map the OnCall hot path
+// keys by integer ids: location ids to coverage records, thread/lock ids to
+// per-entity state. sync.Map would serve, but its interface{} keys force a
+// typehash call and an equality check through reflection metadata on every
+// lookup; at OnCall frequencies those dominate the probe itself (see
+// docs/PERFORMANCE.md). The container instead uses open addressing over
+// int64 keys with lock-free reads:
+//
+//   - lookups are a Fibonacci hash plus a short linear probe over atomic
+//     slots — no locks, no interface boxing, no allocation;
+//   - inserts are rare (first sighting of a location / thread / lock) and
+//     serialize on one mutex, which also guards growth;
+//   - deletion does not exist, which is what makes the lock-free read sound:
+//     a published slot never changes its key again.
+//
+// Growth copies into a larger table and atomically swaps the table pointer.
+// A reader racing the swap scans the old table, which stays internally
+// consistent forever; it can only miss a concurrent insert, which the
+// callers' get-then-lock pattern already handles.
+
+// intSlotEmpty marks an unused slot. MinInt64 is unreachable for real ids
+// (ids are small positive counters).
+const intSlotEmpty = math.MinInt64
+
+// fibScramble spreads sequential ids across the table (same multiplier as
+// the runtime's shard selection).
+const fibScramble = 0x9E3779B97F4A7C15
+
+// atomicMap is an insert-only hash map from int64 keys to *V with lock-free
+// lookups. Values are created once and never replaced, so callers may cache
+// and mutate them according to their own synchronization discipline.
+type atomicMap[V any] struct {
+	table atomic.Pointer[amTable[V]]
+	mu    sync.Mutex
+	count int
+}
+
+type amTable[V any] struct {
+	mask uint64
+	keys []atomic.Int64
+	vals []atomic.Pointer[V]
+}
+
+func newAMTable[V any](size int) *amTable[V] {
+	t := &amTable[V]{
+		mask: uint64(size - 1),
+		keys: make([]atomic.Int64, size),
+		vals: make([]atomic.Pointer[V], size),
+	}
+	for i := range t.keys {
+		t.keys[i].Store(intSlotEmpty)
+	}
+	return t
+}
+
+func (t *amTable[V]) probe(k int64) uint64 {
+	return (uint64(k) * fibScramble) & t.mask
+}
+
+// get returns the value stored for k, or nil. Lock-free.
+func (m *atomicMap[V]) get(k int64) *V {
+	t := m.table.Load()
+	if t == nil {
+		return nil
+	}
+	for i := t.probe(k); ; i = (i + 1) & t.mask {
+		switch t.keys[i].Load() {
+		case k:
+			return t.vals[i].Load()
+		case intSlotEmpty:
+			return nil
+		}
+	}
+}
+
+// getOrCreate returns k's value, calling mk to build it on first insertion,
+// and reports whether this call created it. Concurrent callers for one key
+// agree on a single winner; exactly one receives created == true.
+func (m *atomicMap[V]) getOrCreate(k int64, mk func() *V) (v *V, created bool) {
+	if v := m.get(k); v != nil {
+		return v, false
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	t := m.table.Load()
+	if t == nil {
+		t = newAMTable[V](64)
+		m.table.Store(t)
+	}
+	i := t.probe(k)
+	for {
+		kk := t.keys[i].Load()
+		if kk == k {
+			return t.vals[i].Load(), false
+		}
+		if kk == intSlotEmpty {
+			break
+		}
+		i = (i + 1) & t.mask
+	}
+	v = mk()
+	// Publish the value before the key: a lock-free reader that sees the
+	// key must see the value.
+	t.vals[i].Store(v)
+	t.keys[i].Store(k)
+	m.count++
+	if uint64(m.count)*4 > (t.mask+1)*3 {
+		bigger := newAMTable[V](int(t.mask+1) * 2)
+		for j := range t.keys {
+			if kk := t.keys[j].Load(); kk != intSlotEmpty {
+				p := bigger.probe(kk)
+				for bigger.keys[p].Load() != intSlotEmpty {
+					p = (p + 1) & bigger.mask
+				}
+				bigger.vals[p].Store(t.vals[j].Load())
+				bigger.keys[p].Store(kk)
+			}
+		}
+		m.table.Store(bigger)
+	}
+	return v, true
+}

@@ -20,7 +20,7 @@ func TestTrapSetInvariants(t *testing.T) {
 	check := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		s := newTrapSet()
-		var stats Stats
+		var stats atomicStats
 		ops := []ids.OpID{1, 2, 3, 4, 5, 6}
 		randKey := func() report.PairKey {
 			return report.KeyOf(ops[rng.Intn(len(ops))], ops[rng.Intn(len(ops))])
@@ -179,13 +179,13 @@ func TestHBInferenceWindowWidth(t *testing.T) {
 
 	// Fabricate detector state directly: thread 2 had a previous access,
 	// and a delay by thread 1 at op 900 recently finished.
-	d.rt.mu.Lock()
 	now := d.rt.now()
-	d.threads[2] = &threadState{lastAccess: now - delay, hasAccess: true}
+	*d.threadStateFor(2) = threadState{lastAccess: now - delay, hasAccess: true}
+	d.delayMu.Lock()
 	d.recentDelays = append(d.recentDelays, delayRecord{
 		thread: 1, op: 900, start: now - delay, end: now - delay/4,
 	})
-	d.rt.mu.Unlock()
+	d.delayMu.Unlock()
 
 	// Thread 2's next access after a ≥ δ·delay gap infers HB(900→901) and
 	// opens a 2-access inheritance window covering 902 and 903 — not 904.
@@ -194,8 +194,8 @@ func TestHBInferenceWindowWidth(t *testing.T) {
 	d.OnCall(acc(2, 50, 903, KindWrite))
 	d.OnCall(acc(2, 50, 904, KindWrite))
 
-	d.rt.mu.Lock()
-	defer d.rt.mu.Unlock()
+	d.set.mu.RLock()
+	defer d.set.mu.RUnlock()
 	for _, op := range []ids.OpID{901, 902, 903} {
 		if _, dead := d.set.suppressed[report.KeyOf(900, op)]; !dead {
 			t.Errorf("pair (900,%d) not suppressed by inference window", op)
@@ -213,22 +213,22 @@ func TestHBInferenceIgnoresOwnDelay(t *testing.T) {
 	d := mustNew(t, cfg).(*TSVD)
 	delay := cfg.EffectiveDelay()
 
-	d.rt.mu.Lock()
 	now := d.rt.now()
-	d.threads[1] = &threadState{
+	*d.threadStateFor(1) = threadState{
 		lastAccess: now - 2*delay,
 		hasAccess:  true,
 		ownDelay:   2 * delay, // the whole gap was its own delay
 	}
+	d.delayMu.Lock()
 	d.recentDelays = append(d.recentDelays, delayRecord{
 		thread: 1, op: 910, start: now - 2*delay, end: now - delay,
 	})
-	d.rt.mu.Unlock()
+	d.delayMu.Unlock()
 
 	d.OnCall(acc(1, 60, 911, KindWrite))
 
-	d.rt.mu.Lock()
-	defer d.rt.mu.Unlock()
+	d.set.mu.RLock()
+	defer d.set.mu.RUnlock()
 	if _, dead := d.set.suppressed[report.KeyOf(910, 911)]; dead {
 		t.Fatal("own delay misattributed as a happens-before edge")
 	}
@@ -240,14 +240,12 @@ func TestExportTrapsDeterministic(t *testing.T) {
 	cfg.DisableHBInference = true
 	for trial := 0; trial < 3; trial++ {
 		d := mustNew(t, cfg).(*TSVD)
-		d.rt.mu.Lock()
-		var stats Stats
+		var stats atomicStats
 		for _, k := range []report.PairKey{
 			report.KeyOf(5, 9), report.KeyOf(1, 2), report.KeyOf(3, 3),
 		} {
 			d.set.add(k, &stats)
 		}
-		d.rt.mu.Unlock()
 		got := d.ExportTraps()
 		if len(got) != 3 {
 			t.Fatalf("exported %d pairs", len(got))

@@ -1,0 +1,183 @@
+package core
+
+import (
+	"fmt"
+	goruntime "runtime"
+	"sync"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/ids"
+)
+
+// TestObjHistoryNewestFirst pins the iteration order of the per-object ring:
+// each must visit entries newest first, both before the ring wraps and after.
+// The near-miss scan depends on this so the most recent conflicting access —
+// the smallest gap, the likeliest real interleaving — is seen first.
+func TestObjHistoryNewestFirst(t *testing.T) {
+	const capacity = 3
+	h := newObjHistory(capacity)
+
+	collect := func() []ids.OpID {
+		var got []ids.OpID
+		h.each(func(e histEntry) { got = append(got, e.op) })
+		return got
+	}
+	assertOrder := func(want ...ids.OpID) {
+		t.Helper()
+		got := collect()
+		if len(got) != len(want) {
+			t.Fatalf("each visited %v, want %v", got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("each visited %v, want %v (newest first)", got, want)
+			}
+		}
+	}
+
+	assertOrder() // empty ring: no visits
+	h.add(histEntry{op: 1})
+	assertOrder(1)
+	h.add(histEntry{op: 2})
+	assertOrder(2, 1)
+	h.add(histEntry{op: 3})
+	assertOrder(3, 2, 1) // full, not yet wrapped
+	h.add(histEntry{op: 4})
+	assertOrder(4, 3, 2) // wrapped: oldest (1) evicted
+	h.add(histEntry{op: 5})
+	h.add(histEntry{op: 6})
+	h.add(histEntry{op: 7})
+	assertOrder(7, 6, 5) // wrapped more than once
+}
+
+// TestHBHistoryNewestFirst: the TSVDHB ring must mirror objHistory's order.
+func TestHBHistoryNewestFirst(t *testing.T) {
+	h := newHBHistory(2)
+	h.add(hbEntry{op: 1})
+	h.add(hbEntry{op: 2})
+	h.add(hbEntry{op: 3})
+	var got []ids.OpID
+	h.each(func(e hbEntry) { got = append(got, e.op) })
+	if len(got) != 2 || got[0] != 3 || got[1] != 2 {
+		t.Fatalf("each visited %v, want [3 2] (newest first)", got)
+	}
+}
+
+// TestShardedStress hammers one detector from GOMAXPROCS-scaled goroutine
+// counts on a conflict-free workload (each worker owns disjoint objects and
+// locations). It must produce zero reports, and the counters that have exact
+// expected values — OnCalls, LocationsSeen, Violations — must come out exact
+// despite every worker updating them concurrently. Run under -race this is
+// the synchronization audit of the striped runtime.
+func TestShardedStress(t *testing.T) {
+	workers := 2 * goruntime.GOMAXPROCS(0)
+	if workers < 4 {
+		workers = 4
+	}
+	const (
+		callsPerWorker = 2000
+		objsPerWorker  = 16
+		opsPerWorker   = 8
+	)
+
+	algos := []config.Algorithm{
+		config.AlgoTSVD, config.AlgoTSVDHB,
+		config.AlgoDynamicRandom, config.AlgoStaticRandom,
+	}
+	// ShardCount 0 exercises the GOMAXPROCS-derived default; 1 forces every
+	// object into a single shard so the collision path gets the same traffic.
+	for _, shards := range []int{0, 1} {
+		for _, algo := range algos {
+			t.Run(fmt.Sprintf("%v/shards=%d", algo, shards), func(t *testing.T) {
+				cfg := config.Defaults(algo).Scaled(0.001) // 100µs delays
+				cfg.ShardCount = shards
+				d := mustNew(t, cfg)
+
+				var wg sync.WaitGroup
+				for w := 0; w < workers; w++ {
+					wg.Add(1)
+					go func(w int) {
+						defer wg.Done()
+						thread := ids.ThreadID(100 + w)
+						for i := 0; i < callsPerWorker; i++ {
+							a := Access{
+								Thread: thread,
+								Obj:    ids.ObjectID(1000 + w*objsPerWorker + i%objsPerWorker),
+								Op:     ids.OpID(5000 + w*opsPerWorker + i%opsPerWorker),
+								Kind:   KindWrite,
+								Class:  "Test", Method: "Op",
+							}
+							d.OnCall(a)
+						}
+					}(w)
+				}
+				wg.Wait()
+
+				if n := d.Reports().UniqueBugs(); n != 0 {
+					t.Fatalf("conflict-free workload produced %d reports", n)
+				}
+				st := d.Stats()
+				if want := int64(workers * callsPerWorker); st.OnCalls != want {
+					t.Fatalf("OnCalls = %d, want %d (lost updates)", st.OnCalls, want)
+				}
+				if want := int64(workers * opsPerWorker); st.LocationsSeen != want {
+					t.Fatalf("LocationsSeen = %d, want %d", st.LocationsSeen, want)
+				}
+				if st.Violations != 0 {
+					t.Fatalf("Violations = %d on a conflict-free workload", st.Violations)
+				}
+			})
+		}
+	}
+}
+
+// TestShardedStressWithConflicts drives real cross-thread conflicts through
+// the striped runtime at full parallelism: every worker writes the same small
+// object set. The point is not detection counts (timing-dependent) but that
+// the detector stays data-race-free (-race) and every reported violation is
+// a genuine same-object write-write pair.
+func TestShardedStressWithConflicts(t *testing.T) {
+	workers := 2 * goruntime.GOMAXPROCS(0)
+	if workers < 4 {
+		workers = 4
+	}
+	const callsPerWorker = 500
+
+	cfg := config.Defaults(config.AlgoTSVD).Scaled(0.001)
+	d := mustNew(t, cfg)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			thread := ids.ThreadID(200 + w)
+			for i := 0; i < callsPerWorker; i++ {
+				// Four shared objects, distinct op per worker parity.
+				a := Access{
+					Thread: thread,
+					Obj:    ids.ObjectID(1 + i%4),
+					Op:     ids.OpID(9000 + w%2),
+					Kind:   KindWrite,
+					Class:  "Test", Method: "Op",
+				}
+				d.OnCall(a)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	st := d.Stats()
+	if want := int64(workers * callsPerWorker); st.OnCalls != want {
+		t.Fatalf("OnCalls = %d, want %d", st.OnCalls, want)
+	}
+	for _, v := range d.Reports().Violations() {
+		if v.Trapped.Thread == v.Conflicting.Thread {
+			t.Fatalf("report pairs accesses from one thread: %+v", v)
+		}
+		if !v.Trapped.Write && !v.Conflicting.Write {
+			t.Fatalf("report with no write side: %+v", v)
+		}
+	}
+}

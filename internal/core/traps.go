@@ -3,6 +3,7 @@ package core
 import (
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/clock"
@@ -19,71 +20,158 @@ type trap struct {
 	stack  string
 	// cancel wakes the delayed thread early when a conflict is detected.
 	cancel chan struct{}
-	// conflict is set under the runtime mutex when another thread ran into
-	// this trap; the owner reads it after waking to decide decay.
+	// conflict is set under the object's shard mutex when another thread
+	// ran into this trap; the owner reads it after waking (and after
+	// unregistering under the same shard mutex) to decide decay.
 	conflict bool
 	// canceled guards double-close of cancel.
 	canceled bool
 }
 
-// runtime is the state shared by every detector variant: configuration,
-// time source, the active trap table, delay budgets, statistics and the
-// report collector. Detector-specific state lives in the variant structs.
-// One mutex guards everything; injected delays always sleep outside it, so
-// any number of traps can be parked concurrently (§3.4.6 "Parallel delay
-// injection").
-type runtime struct {
-	cfg config.Config
-	clk clock.Clock
+// shard is one stripe of the detector's per-object state. Everything mutable
+// that belongs to an object — its parked traps, its near-miss ring (TSVD)
+// and its epoch ring (TSVDHB) — lives in exactly one shard, selected by a
+// hash of the ObjectID. Two accesses to the same object therefore always
+// synchronize on the same shard mutex (which is what makes a report
+// red-handed-sound), while accesses to unrelated objects proceed on
+// different stripes without contending.
+type shard struct {
+	mu    sync.Mutex
+	traps map[ids.ObjectID][]*trap
+	// hist holds TSVD's per-object near-miss rings; hb holds TSVDHB's
+	// epoch rings. Only the map the active variant uses is ever populated.
+	hist map[ids.ObjectID]*objHistory
+	hb   map[ids.ObjectID]*hbHistory
+	// onCalls counts OnCalls whose near-miss section ran in this shard.
+	// Detectors that already hold mu each call count here instead of on a
+	// process-wide atomic, so the hottest counter lives on an exclusive
+	// cache line; Stats() sums across shards.
+	onCalls int64
+	// pad keeps neighbouring shard locks off one cache line (false
+	// sharing would re-serialize the stripes through the coherence bus).
+	_ [64]byte
+}
 
-	mu      sync.Mutex
-	start   time.Time
-	rng     *rand.Rand
-	traps   map[ids.ObjectID][]*trap
-	budgets map[ids.ThreadID]*clock.Budget
-	stats   Stats
+// runtime is the state shared by every detector variant: configuration,
+// time source, the striped trap/history table, delay budgets, statistics and
+// the report collector. Detector-specific state lives in the variant
+// structs. There is no global lock: per-object state is striped across
+// shards, counters are atomics, the coverage sets and budgets are
+// concurrent maps, and injected delays always sleep outside every lock so
+// any number of traps can be parked concurrently (§3.4.6 "Parallel delay
+// injection"). docs/PERFORMANCE.md documents the full cost model.
+type runtime struct {
+	cfg   config.Config
+	clk   clock.Clock
+	start time.Time
+
+	shards []shard
+	// shardShift turns the Fibonacci hash of an ObjectID into a shard
+	// index: index = (obj · φ64) >> shardShift. len(shards) is a power of
+	// two, so shardShift = 64 − log2(len(shards)).
+	shardShift uint
+
+	stats   atomicStats
 	reports *report.Collector
-	// locsSeen / locsSeenConcurrent back the coverage counters.
-	locsSeen           map[ids.OpID]struct{}
-	locsSeenConcurrent map[ids.OpID]struct{}
+
+	// parked counts currently registered traps process-wide. The hot path
+	// skips the shard's trap scan entirely while it is zero — on a
+	// conflict-free workload OnCall never touches the trap table at all.
+	parked atomic.Int64
+
+	// budgets hands out the per-thread delay budgets (§4 runtime feature
+	// 2) from a concurrent map; each Budget is internally atomic.
+	budgets clock.BudgetTable
+
+	// covered backs both coverage counters with one insert-only map:
+	// presence means the location executed at all, the entry's flag means
+	// it executed during a concurrent phase. The common fully-marked case
+	// costs one lock-free probe plus one flag load.
+	covered atomicMap[locCover]
+
+	// rng drives every probabilistic decision. Draws only happen for
+	// eligible delay locations (rare) and in the random variants, so one
+	// small lock suffices; the TSVD hot path never takes it.
+	rngMu sync.Mutex
+	rng   *rand.Rand
 
 	// Effective (time-scaled) durations, precomputed.
 	delayTime      time.Duration
 	nearMissWindow time.Duration
 	maxDelay       time.Duration
+	// hbThreshold is δ_hb·delayTime, precomputed so the hot path does no
+	// floating-point work.
+	hbThreshold time.Duration
 }
 
-func newRuntime(cfg config.Config, o options) runtime {
-	return runtime{
-		cfg:                cfg,
-		clk:                o.clk,
-		start:              o.clk.Now(),
-		rng:                rand.New(rand.NewSource(cfg.Seed)),
-		traps:              map[ids.ObjectID][]*trap{},
-		budgets:            map[ids.ThreadID]*clock.Budget{},
-		reports:            report.NewCollector(),
-		locsSeen:           map[ids.OpID]struct{}{},
-		locsSeenConcurrent: map[ids.OpID]struct{}{},
-		delayTime:          cfg.EffectiveDelay(),
-		nearMissWindow:     cfg.EffectiveNearMissWindow(),
-		maxDelay:           cfg.EffectiveMaxDelayPerThread(),
+// init prepares r in place. (runtime holds locks and atomics, so it is
+// initialized through a pointer rather than returned by value.)
+func (r *runtime) init(cfg config.Config, o options) {
+	n := cfg.EffectiveShardCount()
+	shift := uint(64)
+	for m := n; m > 1; m >>= 1 {
+		shift--
 	}
+	r.cfg = cfg
+	r.clk = o.clk
+	r.start = o.clk.Now()
+	r.shards = make([]shard, n)
+	r.shardShift = shift
+	for i := range r.shards {
+		r.shards[i].traps = map[ids.ObjectID][]*trap{}
+	}
+	r.reports = report.NewCollector()
+	r.rng = rand.New(rand.NewSource(cfg.Seed))
+	r.delayTime = cfg.EffectiveDelay()
+	r.nearMissWindow = cfg.EffectiveNearMissWindow()
+	r.maxDelay = cfg.EffectiveMaxDelayPerThread()
+	r.hbThreshold = time.Duration(cfg.HBBlockThreshold * float64(r.delayTime))
+	r.budgets = clock.BudgetTable{Max: r.maxDelay}
 }
 
-// now returns the time since detector start. Caller need not hold the mutex.
-func (r *runtime) now() time.Duration { return r.clk.Now().Sub(r.start) }
+// now returns the time since detector start. Safe without any lock; uses
+// the clock's monotonic-only read (one vDSO call on Linux).
+func (r *runtime) now() time.Duration { return r.clk.Since(r.start) }
+
+// shardFor maps obj to its stripe. Object ids are sequential counters, so a
+// Fibonacci-style multiplicative hash spreads neighbouring ids across
+// shards before taking the top bits.
+func (r *runtime) shardFor(obj ids.ObjectID) *shard {
+	return &r.shards[(uint64(obj)*0x9E3779B97F4A7C15)>>r.shardShift]
+}
+
+// randFloat draws from the seeded source. Callers hold no other runtime
+// lock ordering obligations; rngMu is a leaf lock.
+func (r *runtime) randFloat() float64 {
+	r.rngMu.Lock()
+	f := r.rng.Float64()
+	r.rngMu.Unlock()
+	return f
+}
+
+// randDurationUpTo draws uniformly from (0, d].
+func (r *runtime) randDurationUpTo(d time.Duration) time.Duration {
+	r.rngMu.Lock()
+	v := r.rng.Int63n(int64(d))
+	r.rngMu.Unlock()
+	return time.Duration(v) + 1
+}
 
 // checkForTraps implements check_for_trap (Figure 5 line 2): it scans the
 // traps registered on a's object and reports a violation for every
-// conflicting one. Caller holds the mutex. It returns the pair keys of the
-// violations found so variants can prune them from their trap sets.
-func (r *runtime) checkForTraps(a Access, stackOf func() string) []report.PairKey {
+// conflicting one. Caller holds sh.mu, where sh is a.Obj's shard — the same
+// mutex the trapped thread registered under, which is what keeps the
+// no-false-positives argument intact after sharding: both threads are
+// provably inside conflicting calls on the same object at the same moment.
+// It returns the pair keys of the violations found so variants can prune
+// them from their trap sets (outside the shard lock).
+func (r *runtime) checkForTraps(sh *shard, a Access, stackOf func() string) []report.PairKey {
 	var found []report.PairKey
-	for _, t := range r.traps[a.Obj] {
+	for _, t := range sh.traps[a.Obj] {
 		if t.access.Thread == a.Thread || !Conflicts(t.access.Kind, a.Kind) {
 			continue
 		}
-		r.stats.Violations++
+		r.stats.violations.Add(1)
 		v := report.Violation{
 			Object: a.Obj,
 			Trapped: report.Side{
@@ -115,16 +203,9 @@ func (r *runtime) checkForTraps(a Access, stackOf func() string) []report.PairKe
 	return found
 }
 
-// registerTrap adds a trap for a. Caller holds the mutex.
-func (r *runtime) registerTrap(a Access, stack string) *trap {
-	t := &trap{access: a, stack: stack, cancel: make(chan struct{})}
-	r.traps[a.Obj] = append(r.traps[a.Obj], t)
-	return t
-}
-
-// unregisterTrap removes t. Caller holds the mutex.
-func (r *runtime) unregisterTrap(t *trap) {
-	list := r.traps[t.access.Obj]
+// unregisterTrap removes t from its shard's table. Caller holds sh.mu.
+func (r *runtime) unregisterTrap(sh *shard, t *trap) {
+	list := sh.traps[t.access.Obj]
 	for i := range list {
 		if list[i] == t {
 			list[i] = list[len(list)-1]
@@ -133,108 +214,180 @@ func (r *runtime) unregisterTrap(t *trap) {
 		}
 	}
 	if len(list) == 0 {
-		delete(r.traps, t.access.Obj)
+		delete(sh.traps, t.access.Obj)
 	} else {
-		r.traps[t.access.Obj] = list
+		sh.traps[t.access.Obj] = list
 	}
 }
 
-// anyTrapSet reports whether some thread is currently parked. Caller holds
-// the mutex. Used by the AvoidOverlappingDelays ablation.
-func (r *runtime) anyTrapSet() bool { return len(r.traps) > 0 }
-
-// budgetFor returns the per-thread delay budget, creating it on first use.
-// Caller holds the mutex.
-func (r *runtime) budgetFor(t ids.ThreadID) *clock.Budget {
-	b := r.budgets[t]
-	if b == nil {
-		b = &clock.Budget{Max: r.maxDelay}
-		r.budgets[t] = b
-	}
-	return b
-}
+// anyTrapSet reports whether some thread is currently parked, without
+// taking any lock. Used by the AvoidOverlappingDelays ablation.
+func (r *runtime) anyTrapSet() bool { return r.parked.Load() > 0 }
 
 // injectDelay parks the calling thread in a trap for up to d (clipped by the
-// thread's budget), sleeping outside the mutex. It returns the trap (whose
+// thread's budget), sleeping outside every lock. It returns the trap (whose
 // conflict flag tells the caller whether the delay was productive) and the
-// nominal duration actually slept. Caller holds the mutex; it is reacquired
-// before returning.
+// nominal duration actually slept. The caller holds no locks.
+//
+// The trap becomes visible to other threads only once it is registered
+// under the shard mutex; a conflicting access that scans the shard strictly
+// before registration completes simply misses this trap — a loss of one
+// detection opportunity, never a false positive. The single-mutex runtime
+// had the same property: its atomicity only extended until the sleeping
+// thread dropped the lock.
 func (r *runtime) injectDelay(a Access, d time.Duration) (*trap, time.Duration) {
-	budget := r.budgetFor(a.Thread)
+	budget := r.budgets.For(int64(a.Thread))
 	grant := budget.Allow(d)
 	if grant <= 0 {
 		return nil, 0
 	}
-	t := r.registerTrap(a, ids.Stack())
-	r.stats.DelaysInjected++
-	r.mu.Unlock()
+	t := &trap{access: a, stack: ids.Stack(), cancel: make(chan struct{})}
+	sh := r.shardFor(a.Obj)
+	sh.mu.Lock()
+	sh.traps[a.Obj] = append(sh.traps[a.Obj], t)
+	sh.mu.Unlock()
+	r.parked.Add(1)
+	r.stats.delaysInjected.Add(1)
 
 	slept, woken := r.clk.Sleep(grant, t.cancel)
 
-	r.mu.Lock()
-	r.unregisterTrap(t)
+	sh.mu.Lock()
+	r.unregisterTrap(sh, t)
+	sh.mu.Unlock()
+	r.parked.Add(-1)
 	if woken && slept < grant {
 		budget.Refund(grant - slept)
 	}
 	if slept > grant {
 		slept = grant
 	}
-	r.stats.TotalDelay += slept
+	r.stats.totalDelay.Add(int64(slept))
 	return t, slept
 }
 
-// markSeen updates the coverage counters for op. Caller holds the mutex.
+// locCover is one location's coverage record: existing at all means the
+// location executed; the flag records whether it ever executed during a
+// concurrent phase.
+type locCover struct {
+	concurrent atomic.Bool
+}
+
+// markSeen updates the coverage counters for op. The map is insert-only, so
+// a lock-free probe answers the common already-seen case; creation and the
+// one-way concurrent upgrade each arbitrate exactly one counter increment.
 func (r *runtime) markSeen(op ids.OpID, concurrent bool) {
-	if _, ok := r.locsSeen[op]; !ok {
-		r.locsSeen[op] = struct{}{}
-		r.stats.LocationsSeen++
-	}
-	if concurrent {
-		if _, ok := r.locsSeenConcurrent[op]; !ok {
-			r.locsSeenConcurrent[op] = struct{}{}
-			r.stats.LocationsSeenConcurrent++
+	c := r.covered.get(int64(op))
+	if c == nil {
+		var created bool
+		c, created = r.covered.getOrCreate(int64(op), func() *locCover { return &locCover{} })
+		if created {
+			r.stats.locationsSeen.Add(1)
 		}
 	}
+	if concurrent && !c.concurrent.Load() && c.concurrent.CompareAndSwap(false, true) {
+		r.stats.locationsSeenConcurrent.Add(1)
+	}
 }
 
-// snapshotStats returns a copy of the counters. Takes the mutex itself.
+// snapshotStats materializes the public counters from the atomics and the
+// per-shard tallies.
 func (r *runtime) snapshotStats() Stats {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.stats
+	st := r.stats.snapshot()
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.Lock()
+		st.OnCalls += sh.onCalls
+		sh.mu.Unlock()
+	}
+	return st
 }
 
-// phaseRing is the global history buffer of §3.4.3: the thread ids of the
-// most recently executed TSVD points. The execution is considered to be in
-// a concurrent phase iff the buffer holds more than one distinct thread.
+// atomicStats is the runtime's contention-free mirror of Stats: every
+// counter is an atomic, so the hot path never serializes on a statistics
+// lock and Stats() can snapshot without stopping the world. Counters
+// incremented from inside a racing OnCall are exact — atomics lose nothing
+// — only the cross-counter consistency of a snapshot is relaxed.
+type atomicStats struct {
+	onCalls                 atomic.Int64
+	delaysInjected          atomic.Int64
+	totalDelay              atomic.Int64 // nanoseconds
+	nearMisses              atomic.Int64
+	pairsAdded              atomic.Int64
+	pairsPrunedHB           atomic.Int64
+	pairsPrunedDecay        atomic.Int64
+	violations              atomic.Int64
+	locationsSeen           atomic.Int64
+	locationsSeenConcurrent atomic.Int64
+	sequentialSkips         atomic.Int64
+	nearMissGaps            [len(GapHistogram{})]atomic.Int64
+}
+
+// observeGap adds one near-miss gap to the histogram.
+func (s *atomicStats) observeGap(d time.Duration) {
+	s.nearMissGaps[gapBucket(d)].Add(1)
+}
+
+// snapshot copies the atomics into the public Stats struct.
+func (s *atomicStats) snapshot() Stats {
+	st := Stats{
+		OnCalls:                 s.onCalls.Load(),
+		DelaysInjected:          s.delaysInjected.Load(),
+		TotalDelay:              time.Duration(s.totalDelay.Load()),
+		NearMisses:              s.nearMisses.Load(),
+		PairsAdded:              s.pairsAdded.Load(),
+		PairsPrunedHB:           s.pairsPrunedHB.Load(),
+		PairsPrunedDecay:        s.pairsPrunedDecay.Load(),
+		Violations:              s.violations.Load(),
+		LocationsSeen:           s.locationsSeen.Load(),
+		LocationsSeenConcurrent: s.locationsSeenConcurrent.Load(),
+		SequentialSkips:         s.sequentialSkips.Load(),
+	}
+	for i := range st.NearMissGaps {
+		st.NearMissGaps[i] = s.nearMissGaps[i].Load()
+	}
+	return st
+}
+
+// phaseRing is the concurrent-phase detector of §3.4.3: conceptually a ring
+// of the thread ids at the most recently executed TSVD points, with the
+// execution in a concurrent phase iff the ring holds more than one distinct
+// thread.
+//
+// The window "contains two distinct threads" exactly when the run of
+// identical trailing observations is shorter than the window, so instead of
+// materializing the ring the detector keeps that run length: observe is a
+// handful of atomic operations with no buffer scan, O(1) in the window size.
+// §3.4.3 explicitly tolerates racy maintenance ("the buffer itself need not
+// be synchronized ... TSVD only needs an approximate notion of concurrent
+// phases"), so interleaved observers may briefly disagree on the run length
+// — never read a torn value, and never contend on a lock.
 type phaseRing struct {
-	buf  []ids.ThreadID
-	next int
-	full bool
+	window int64
+	last   atomic.Int64 // most recently observed thread id
+	run    atomic.Int64 // trailing same-thread run length, capped at window
+	count  atomic.Int64 // total observations, capped at window
 }
 
 func newPhaseRing(size int) *phaseRing {
-	return &phaseRing{buf: make([]ids.ThreadID, size)}
+	return &phaseRing{window: int64(size)}
 }
 
 // observe records t and reports whether the execution is in a concurrent
 // phase.
 func (p *phaseRing) observe(t ids.ThreadID) bool {
-	p.buf[p.next] = t
-	p.next++
-	if p.next == len(p.buf) {
-		p.next = 0
-		p.full = true
+	tid := int64(t)
+	run := int64(1)
+	if p.last.Load() != tid {
+		p.last.Store(tid)
+		p.run.Store(1)
+	} else if run = p.run.Load(); run < p.window {
+		run++
+		p.run.Store(run)
 	}
-	n := len(p.buf)
-	if !p.full {
-		n = p.next
+	c := p.count.Load()
+	if c < p.window {
+		c++
+		p.count.Store(c)
 	}
-	first := p.buf[0]
-	for i := 1; i < n; i++ {
-		if p.buf[i] != first {
-			return true
-		}
-	}
-	return false
+	return run < c
 }

@@ -2,6 +2,8 @@ package core
 
 import (
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/ids"
 	"repro/internal/report"
@@ -11,8 +13,18 @@ import (
 // with the per-location delay probabilities of the decay scheme (§3.4.5).
 // It is shared by TSVD and TSVDHB, which differ only in how pairs enter
 // (near-miss vs. vector-clock concurrency) and leave (HB inference vs. HB
-// analysis) the set. All methods require the owning detector's mutex.
+// analysis) the set.
+//
+// The set is internally synchronized — one of the sharded runtime's small
+// cold-path locks. Mutations (pair churn, decay) are rare relative to
+// OnCall volume; the per-call should_delay check reads through eligible()
+// under an RLock, and even that is skipped entirely while the lock-free
+// live counter reads zero (the common case on healthy code).
 type trapSet struct {
+	mu sync.RWMutex
+	// live mirrors len(pairs) so the hot path can skip the lock when the
+	// set is empty.
+	live atomic.Int64
 	// pairs is the current trap set.
 	pairs map[report.PairKey]struct{}
 	// locProb holds P_loc; a location appears iff it participates in at
@@ -37,7 +49,13 @@ func newTrapSet() trapSet {
 // add inserts a dangerous pair unless it is suppressed or already present.
 // Both endpoints' probabilities reset to 1 (§3.4.1: "TSVD sets P_loc = 1
 // when a dangerous pair containing loc is added").
-func (s *trapSet) add(key report.PairKey, stats *Stats) bool {
+func (s *trapSet) add(key report.PairKey, stats *atomicStats) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.addLocked(key, stats)
+}
+
+func (s *trapSet) addLocked(key report.PairKey, stats *atomicStats) bool {
 	if _, dead := s.suppressed[key]; dead {
 		return false
 	}
@@ -45,7 +63,8 @@ func (s *trapSet) add(key report.PairKey, stats *Stats) bool {
 		return false
 	}
 	s.pairs[key] = struct{}{}
-	stats.PairsAdded++
+	s.live.Store(int64(len(s.pairs)))
+	stats.pairsAdded.Add(1)
 	for _, loc := range []ids.OpID{key.A, key.B} {
 		s.locProb[loc] = 1
 		m := s.locPairs[loc]
@@ -61,10 +80,17 @@ func (s *trapSet) add(key report.PairKey, stats *Stats) bool {
 // remove deletes a pair from the set (it may be re-added later unless also
 // suppressed).
 func (s *trapSet) remove(key report.PairKey) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.removeLocked(key)
+}
+
+func (s *trapSet) removeLocked(key report.PairKey) bool {
 	if _, ok := s.pairs[key]; !ok {
 		return false
 	}
 	delete(s.pairs, key)
+	s.live.Store(int64(len(s.pairs)))
 	for _, loc := range []ids.OpID{key.A, key.B} {
 		if m := s.locPairs[loc]; m != nil {
 			delete(m, key)
@@ -79,33 +105,47 @@ func (s *trapSet) remove(key report.PairKey) bool {
 // suppress permanently bans a pair (violation found, or HB-inferred) and
 // removes it if present.
 func (s *trapSet) suppress(key report.PairKey) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.suppressLocked(key)
+}
+
+func (s *trapSet) suppressLocked(key report.PairKey) bool {
 	s.suppressed[key] = struct{}{}
-	return s.remove(key)
+	return s.removeLocked(key)
 }
 
-// hasLoc reports whether loc participates in a live pair, i.e. whether it is
-// an eligible delay location.
-func (s *trapSet) hasLoc(loc ids.OpID) bool {
-	return len(s.locPairs[loc]) > 0
-}
+// empty reports whether no live pair exists, without taking the lock. The
+// hot path consults it before anything else: while the set is empty no
+// location is an eligible delay site, so should_delay is a single atomic
+// load.
+func (s *trapSet) empty() bool { return s.live.Load() == 0 }
 
-// prob returns P_loc (1 if unknown, though should_delay only consults
-// probabilities of eligible locations).
-func (s *trapSet) prob(loc ids.OpID) float64 {
-	if p, ok := s.locProb[loc]; ok {
-		return p
+// eligible reports whether loc participates in a live pair and, if so, its
+// current delay probability P_loc — the two inputs of should_delay, under
+// one read-lock acquisition.
+func (s *trapSet) eligible(loc ids.OpID) (float64, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if len(s.locPairs[loc]) == 0 {
+		return 0, false
 	}
-	return 1
+	if p, ok := s.locProb[loc]; ok {
+		return p, true
+	}
+	return 1, true
 }
 
 // decayAfterFailedDelay implements §3.4.5: a delay at loc that exposed no
 // conflict decays loc and every location currently paired with it by
 // P ← P·(1-factor). Locations whose probability falls below prune are
 // removed from the trap set together with all their pairs.
-func (s *trapSet) decayAfterFailedDelay(loc ids.OpID, factor, prune float64, stats *Stats) {
+func (s *trapSet) decayAfterFailedDelay(loc ids.OpID, factor, prune float64, stats *atomicStats) {
 	if factor <= 0 {
 		return // Fig. 9g's pathological "no decay" configuration
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	victims := []ids.OpID{loc}
 	for key := range s.locPairs[loc] {
 		other := key.A
@@ -129,8 +169,8 @@ func (s *trapSet) decayAfterFailedDelay(loc ids.OpID, factor, prune float64, sta
 		// trap set for good — the location proved unproductive, so a
 		// later near-miss re-sighting must not resurrect it at P=1.
 		for key := range s.locPairs[v] {
-			if s.suppress(key) {
-				stats.PairsPrunedDecay++
+			if s.suppressLocked(key) {
+				stats.pairsPrunedDecay.Add(1)
 			}
 		}
 	}
@@ -138,6 +178,8 @@ func (s *trapSet) decayAfterFailedDelay(loc ids.OpID, factor, prune float64, sta
 
 // export returns the live pairs sorted for deterministic trap files.
 func (s *trapSet) export() []report.PairKey {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	out := make([]report.PairKey, 0, len(s.pairs))
 	for key := range s.pairs {
 		out = append(out, key)
@@ -152,4 +194,4 @@ func (s *trapSet) export() []report.PairKey {
 }
 
 // size returns the number of live pairs.
-func (s *trapSet) size() int { return len(s.pairs) }
+func (s *trapSet) size() int { return int(s.live.Load()) }

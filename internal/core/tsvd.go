@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sync"
 	"time"
 
 	"repro/internal/config"
@@ -13,6 +14,14 @@ import (
 // happens-before *inference* driven by its own delay injections, decays
 // unproductive delay locations, and performs planning and injection in the
 // same run.
+//
+// State ownership after sharding (docs/PERFORMANCE.md has the full model):
+//
+//   - per-object state (near-miss rings, parked traps) lives in the
+//     runtime's shards, keyed by ObjectID;
+//   - per-thread HB-inference state is thread-local (each entry in threads
+//     is only ever touched by its own goroutine);
+//   - the trap set and the finished-delay log keep small cold-path locks.
 type TSVD struct {
 	nopSyncHooks // TSVD is oblivious to synchronization by design
 
@@ -20,13 +29,17 @@ type TSVD struct {
 	phase *phaseRing
 	set   trapSet
 
-	// objHist keeps the last N_nm accesses per object (§3.4.2). Rather
-	// than hanging this state off the objects themselves, the paper keeps
-	// a global table indexed by object id; so do we.
-	objHist map[ids.ObjectID]*objHistory
 	// threads tracks each thread's previous access for HB inference.
-	threads map[ids.ThreadID]*threadState
-	// recentDelays holds finished delays for gap attribution (§3.4.4).
+	// Entries are created once and then read and written exclusively by
+	// the owning thread, so they carry no lock; the map itself has
+	// lock-free integer-keyed lookups.
+	threads atomicMap[threadState]
+
+	// delayMu guards recentDelays, the finished-delay log for gap
+	// attribution (§3.4.4) — the only cross-thread HB-inference state. It
+	// is taken when a delay finishes and when an inter-access gap passes
+	// the δ_hb threshold, both rare events off the fast path.
+	delayMu      sync.Mutex
 	recentDelays []delayRecord
 }
 
@@ -37,7 +50,9 @@ type histEntry struct {
 	at     time.Duration
 }
 
-// objHistory is a fixed-capacity ring of the most recent accesses.
+// objHistory is a fixed-capacity ring of the most recent accesses. It lives
+// inside the object's shard (§3.4.2 keeps "a global hash table" — ours is
+// striped) and is only touched under that shard's mutex.
 type objHistory struct {
 	entries []histEntry
 	next    int
@@ -57,14 +72,21 @@ func (h *objHistory) add(e histEntry) {
 	}
 }
 
-// each visits the recorded entries (order unspecified).
+// each visits the recorded entries newest first. The §3.4.2 near-miss scan
+// wants the most recent conflicting access preferred: it is the one whose
+// gap is smallest and therefore the sighting most likely to reflect a real
+// interleaving opportunity (and the one the gap histogram should measure).
 func (h *objHistory) each(fn func(histEntry)) {
 	n := len(h.entries)
 	if !h.full {
 		n = h.next
 	}
 	for i := 0; i < n; i++ {
-		fn(h.entries[i])
+		idx := h.next - 1 - i
+		if idx < 0 {
+			idx += len(h.entries)
+		}
+		fn(h.entries[idx])
 	}
 }
 
@@ -98,12 +120,8 @@ type delayRecord struct {
 const maxRecentDelays = 256
 
 func newTSVD(cfg config.Config, o options) *TSVD {
-	d := &TSVD{
-		rt:      newRuntime(cfg, o),
-		set:     newTrapSet(),
-		objHist: map[ids.ObjectID]*objHistory{},
-		threads: map[ids.ThreadID]*threadState{},
-	}
+	d := &TSVD{set: newTrapSet()}
+	d.rt.init(cfg, o)
 	if !cfg.DisablePhaseDetection {
 		d.phase = newPhaseRing(cfg.PhaseBufferSize)
 	}
@@ -113,87 +131,127 @@ func newTSVD(cfg config.Config, o options) *TSVD {
 	return d
 }
 
+// threadStateFor returns the calling thread's state, creating it on first
+// use. The returned pointer is only ever dereferenced by t's goroutine.
+func (d *TSVD) threadStateFor(t ids.ThreadID) *threadState {
+	st, _ := d.threads.getOrCreate(int64(t), func() *threadState { return &threadState{} })
+	return st
+}
+
 // OnCall implements Detector; it is the OnCall of Figure 5 with TSVD's
-// should_delay (§3.4.1–§3.4.6).
+// should_delay (§3.4.1–§3.4.6). The hot path takes exactly one mutex — the
+// object's shard — and only while scanning/updating that object's history;
+// everything else is atomics, thread-local state and lock-free reads.
 func (d *TSVD) OnCall(a Access) {
 	t := d.rt.now()
-	d.rt.mu.Lock()
-	d.rt.stats.OnCalls++
+	sh := d.rt.shardFor(a.Obj)
+	st := d.threadStateFor(a.Thread)
 
 	// check_for_trap: catch conflicting parked threads red-handed. A pair
-	// with a reported violation leaves the trap set for good.
-	for _, key := range d.rt.checkForTraps(a, ids.Stack) {
-		d.set.suppress(key)
+	// with a reported violation leaves the trap set for good. While no
+	// trap is parked anywhere (the common case) the scan is skipped via
+	// one atomic load.
+	if d.rt.parked.Load() > 0 {
+		sh.mu.Lock()
+		found := d.rt.checkForTraps(sh, a, ids.Stack)
+		sh.mu.Unlock()
+		for _, key := range found {
+			d.set.suppress(key)
+		}
 	}
 
 	// Happens-before inference on this thread's inter-access gap, plus
-	// consumption of any pending k_hb inheritance windows.
+	// consumption of any pending k_hb inheritance windows. Must run
+	// before lastAccess is overwritten below.
 	if !d.rt.cfg.DisableHBInference {
-		d.inferHB(a, t)
+		d.inferHB(st, a, t)
 	}
 
-	// Concurrent-phase inference.
+	// Concurrent-phase inference (lock-free ring).
 	concurrent := true
 	if d.phase != nil {
 		concurrent = d.phase.observe(a.Thread)
 	}
 	d.rt.markSeen(a.Op, concurrent)
 
-	// Near-miss tracking over the object's recent accesses.
-	if h := d.objHist[a.Obj]; h != nil {
-		h.each(func(e histEntry) {
-			if e.thread == a.Thread || !Conflicts(e.kind, a.Kind) {
-				return
-			}
-			if !d.rt.cfg.DisableNearMissWindow && t-e.at > d.rt.nearMissWindow {
-				return
-			}
-			if !concurrent {
-				d.rt.stats.SequentialSkips++
-				return
-			}
-			d.rt.stats.NearMisses++
-			d.rt.stats.NearMissGaps.Observe(t - e.at)
-			d.set.add(report.KeyOf(e.op, a.Op), &d.rt.stats)
-		})
+	// Near-miss tracking over the object's recent accesses, newest first,
+	// and recording of this access — one shard critical section. Pair
+	// insertion happens after the lock is dropped: the trap set has its
+	// own lock and nothing orders it with the shard.
+	var nearKeys []report.PairKey
+	sh.mu.Lock()
+	sh.onCalls++ // counted here, under a lock this path already holds
+	h := sh.hist[a.Obj]
+	if h == nil {
+		if sh.hist == nil {
+			sh.hist = map[ids.ObjectID]*objHistory{}
+		}
+		h = newObjHistory(d.rt.cfg.ObjHistory)
+		sh.hist[a.Obj] = h
+	}
+	h.each(func(e histEntry) {
+		if e.thread == a.Thread || !Conflicts(e.kind, a.Kind) {
+			return
+		}
+		if !d.rt.cfg.DisableNearMissWindow && t-e.at > d.rt.nearMissWindow {
+			return
+		}
+		if !concurrent {
+			d.rt.stats.sequentialSkips.Add(1)
+			return
+		}
+		d.rt.stats.nearMisses.Add(1)
+		d.rt.stats.observeGap(t - e.at)
+		nearKeys = append(nearKeys, report.KeyOf(e.op, a.Op))
+	})
+	h.add(histEntry{thread: a.Thread, op: a.Op, kind: a.Kind, at: t})
+	sh.mu.Unlock()
+	for _, key := range nearKeys {
+		d.set.add(key, &d.rt.stats)
 	}
 
-	d.recordAccess(a, t)
+	// Record this access in the thread-local HB state.
+	st.lastAccess = t
+	st.hasAccess = true
+	st.ownDelay = 0
 
 	// should_delay: the location must participate in a live dangerous
-	// pair, and its decayed probability must pass a coin flip.
-	inject := false
-	if d.set.hasLoc(a.Op) && d.rt.rng.Float64() < d.set.prob(a.Op) {
-		inject = !(d.rt.cfg.AvoidOverlappingDelays && d.rt.anyTrapSet())
-	}
-	if inject {
-		trap, slept := d.rt.injectDelay(a, d.rt.delayTime) // sleeps unlocked
-		if trap != nil {
-			end := d.rt.now()
-			d.recentDelays = append(d.recentDelays, delayRecord{
-				thread: a.Thread, op: a.Op, start: t, end: end,
-			})
-			if len(d.recentDelays) > maxRecentDelays {
-				d.recentDelays = d.recentDelays[len(d.recentDelays)-maxRecentDelays:]
-			}
-			if st := d.threads[a.Thread]; st != nil {
-				st.ownDelay += slept
-			}
-			if !trap.conflict {
-				d.set.decayAfterFailedDelay(a.Op, d.rt.cfg.DecayFactor,
-					d.rt.cfg.PruneProbability, &d.rt.stats)
-			}
-		}
-	}
-	d.rt.mu.Unlock()
-}
-
-// inferHB implements §3.4.4. Caller holds the mutex.
-func (d *TSVD) inferHB(a Access, t time.Duration) {
-	st := d.threads[a.Thread]
-	if st == nil {
+	// pair, and its decayed probability must pass a coin flip. An empty
+	// trap set short-circuits everything with one atomic load.
+	if d.set.empty() {
 		return
 	}
+	prob, ok := d.set.eligible(a.Op)
+	if !ok || d.rt.randFloat() >= prob {
+		return
+	}
+	if d.rt.cfg.AvoidOverlappingDelays && d.rt.anyTrapSet() {
+		return
+	}
+	trap, slept := d.rt.injectDelay(a, d.rt.delayTime) // sleeps unlocked
+	if trap == nil {
+		return
+	}
+	end := d.rt.now()
+	d.delayMu.Lock()
+	d.recentDelays = append(d.recentDelays, delayRecord{
+		thread: a.Thread, op: a.Op, start: t, end: end,
+	})
+	if len(d.recentDelays) > maxRecentDelays {
+		d.recentDelays = d.recentDelays[len(d.recentDelays)-maxRecentDelays:]
+	}
+	d.delayMu.Unlock()
+	st.ownDelay += slept
+	if !trap.conflict {
+		d.set.decayAfterFailedDelay(a.Op, d.rt.cfg.DecayFactor,
+			d.rt.cfg.PruneProbability, &d.rt.stats)
+	}
+}
+
+// inferHB implements §3.4.4. st is a.Thread's own state, so everything here
+// is thread-local; only the finished-delay log needs a lock, and only once
+// the gap threshold is met.
+func (d *TSVD) inferHB(st *threadState, a Access, t time.Duration) {
 
 	// Consume pending inheritance windows: this access likely
 	// happens-after each recorded delay location.
@@ -211,13 +269,13 @@ func (d *TSVD) inferHB(a Access, t time.Duration) {
 	if !st.hasAccess {
 		return
 	}
-	threshold := time.Duration(d.rt.cfg.HBBlockThreshold * float64(d.rt.delayTime))
 	gap := t - st.lastAccess - st.ownDelay
-	if gap < threshold {
+	if gap < d.rt.hbThreshold {
 		return
 	}
 	// Attribute the gap to the most recently finished delay of another
 	// thread that overlaps it (t0 ≤ t1end).
+	d.delayMu.Lock()
 	best := -1
 	for i := len(d.recentDelays) - 1; i >= 0; i-- {
 		dr := d.recentDelays[i]
@@ -228,10 +286,14 @@ func (d *TSVD) inferHB(a Access, t time.Duration) {
 			best = i
 		}
 	}
+	var from ids.OpID
+	if best != -1 {
+		from = d.recentDelays[best].op
+	}
+	d.delayMu.Unlock()
 	if best == -1 {
 		return
 	}
-	from := d.recentDelays[best].op
 	d.pruneHB(report.KeyOf(from, a.Op))
 	if k := d.rt.cfg.HBInferenceWindow; k > 0 {
 		st.inherits = append(st.inherits, inheritance{from: from, remaining: k})
@@ -248,26 +310,8 @@ func (d *TSVD) pruneHB(key report.PairKey) {
 		return
 	}
 	if d.set.suppress(key) {
-		d.rt.stats.PairsPrunedHB++
+		d.rt.stats.pairsPrunedHB.Add(1)
 	}
-}
-
-func (d *TSVD) recordAccess(a Access, t time.Duration) {
-	h := d.objHist[a.Obj]
-	if h == nil {
-		h = newObjHistory(d.rt.cfg.ObjHistory)
-		d.objHist[a.Obj] = h
-	}
-	h.add(histEntry{thread: a.Thread, op: a.Op, kind: a.Kind, at: t})
-
-	st := d.threads[a.Thread]
-	if st == nil {
-		st = &threadState{}
-		d.threads[a.Thread] = st
-	}
-	st.lastAccess = t
-	st.hasAccess = true
-	st.ownDelay = 0
 }
 
 // Reports implements Detector.
@@ -277,16 +321,8 @@ func (d *TSVD) Reports() *report.Collector { return d.rt.reports }
 func (d *TSVD) Stats() Stats { return d.rt.snapshotStats() }
 
 // ExportTraps implements Detector: the trap file contents (§3.4.6).
-func (d *TSVD) ExportTraps() []report.PairKey {
-	d.rt.mu.Lock()
-	defer d.rt.mu.Unlock()
-	return d.set.export()
-}
+func (d *TSVD) ExportTraps() []report.PairKey { return d.set.export() }
 
 // TrapSetSize reports the number of live dangerous pairs (for tests and the
 // coverage statistics).
-func (d *TSVD) TrapSetSize() int {
-	d.rt.mu.Lock()
-	defer d.rt.mu.Unlock()
-	return d.set.size()
-}
+func (d *TSVD) TrapSetSize() int { return d.set.size() }

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sync/atomic"
+
 	"repro/internal/config"
 	"repro/internal/ids"
 	"repro/internal/report"
@@ -21,13 +23,84 @@ import (
 //     release) copies a clock by reference in O(1);
 //  3. join-message receives use a reference-equality fast path before the
 //     O(n) element-wise max.
+//
+// The immutability of the clocks is also what lets the sharded runtime keep
+// them outside any global lock: each thread owns one threadClock slot whose
+// own component is a plain atomic counter (optimization 1 taken to its
+// conclusion: a TSVD point ticks the counter and allocates nothing at all),
+// while the components learned from other threads live in an immutable tree
+// swapped only at synchronization operations. Every clock handover is a
+// pointer-sized store and every reader works on an immutable snapshot. The
+// slot registries are insert-only maps with lock-free integer-keyed lookups.
+// The per-object epoch rings live in the runtime's shards, like TSVD's
+// near-miss rings.
 type TSVDHB struct {
 	rt  runtime
 	set trapSet
 
-	threadVC map[ids.ThreadID]vclock.Tree
-	lockVC   map[ids.ObjectID]vclock.Tree
-	objHist  map[ids.ObjectID]*hbHistory
+	threadVC atomicMap[threadClock]   // ids.ThreadID → clock slot
+	lockVC   atomicMap[vclock.Atomic] // ids.ObjectID → clock slot
+}
+
+// threadClock is one thread's vector-clock state, split so the per-TSVD-point
+// tick is allocation-free:
+//
+//   - epoch is the thread's own component, advanced with one atomic add;
+//   - rest holds every component learned from other threads (it may also
+//     contain a stale copy of the own component from an earlier handover);
+//   - memo caches the last materialized full clock so repeated handovers
+//     without intervening ticks reuse one tree reference, preserving the
+//     O(1) reference-equality fast path on joins.
+//
+// Ticks and adoptions happen only on the owning thread. Cross-thread readers
+// (a join materializing the finished task's clock) see an immutable snapshot
+// that is at worst a few events stale — the same tolerance the trap check
+// already has for a not-yet-registered trap, and never a source of false
+// reports: a missed HB edge only leaves a spurious pair in the trap set.
+type threadClock struct {
+	epoch atomic.Uint64
+	rest  vclock.Atomic
+	memo  atomic.Pointer[clockMemo]
+}
+
+type clockMemo struct {
+	epoch uint64
+	tree  vclock.Tree
+}
+
+// tick advances the own component and returns the new epoch.
+func (c *threadClock) tick() uint64 { return c.epoch.Add(1) }
+
+// known returns the components learned from other threads. This is all the
+// OnCall epoch test needs (entries from the own thread are skipped), so the
+// hot path never materializes a full clock.
+func (c *threadClock) known() vclock.Tree { return c.rest.Load() }
+
+// treeFor materializes the full clock of thread `own`: rest overlaid with
+// the current epoch. Called at synchronization operations only.
+func (c *threadClock) treeFor(own int64) vclock.Tree {
+	e := c.epoch.Load()
+	t := c.rest.Load()
+	if t.Get(own) == e {
+		return t
+	}
+	if m := c.memo.Load(); m != nil && m.epoch == e {
+		return m.tree
+	}
+	full := t.Set(own, e)
+	c.memo.Store(&clockMemo{epoch: e, tree: full})
+	return full
+}
+
+// adopt merges an incoming clock (a fork/join/lock handover) into the
+// thread's learned components. Runs on the owning thread.
+func (c *threadClock) adopt(own int64, incoming vclock.Tree) {
+	cur := c.treeFor(own)
+	if vclock.SameRef(cur, incoming) {
+		return
+	}
+	c.memo.Store(nil)
+	c.rest.Store(vclock.Join(cur, incoming))
 }
 
 type hbEntry struct {
@@ -59,120 +132,156 @@ func (h *hbHistory) add(e hbEntry) {
 	}
 }
 
+// each visits the recorded entries newest first, mirroring objHistory.
 func (h *hbHistory) each(fn func(hbEntry)) {
 	n := len(h.entries)
 	if !h.full {
 		n = h.next
 	}
 	for i := 0; i < n; i++ {
-		fn(h.entries[i])
+		idx := h.next - 1 - i
+		if idx < 0 {
+			idx += len(h.entries)
+		}
+		fn(h.entries[idx])
 	}
 }
 
 func newTSVDHB(cfg config.Config, o options) *TSVDHB {
-	d := &TSVDHB{
-		rt:       newRuntime(cfg, o),
-		set:      newTrapSet(),
-		threadVC: map[ids.ThreadID]vclock.Tree{},
-		lockVC:   map[ids.ObjectID]vclock.Tree{},
-		objHist:  map[ids.ObjectID]*hbHistory{},
-	}
+	d := &TSVDHB{set: newTrapSet()}
+	d.rt.init(cfg, o)
 	for _, key := range o.initialTraps {
 		d.set.add(key, &d.rt.stats)
 	}
 	return d
 }
 
+// threadSlot returns t's clock slot, creating it on first use.
+func (d *TSVDHB) threadSlot(t ids.ThreadID) *threadClock {
+	slot, _ := d.threadVC.getOrCreate(int64(t), func() *threadClock { return &threadClock{} })
+	return slot
+}
+
+// threadTree returns t's current full clock (the zero clock if t has none
+// yet).
+func (d *TSVDHB) threadTree(t ids.ThreadID) vclock.Tree {
+	if slot := d.threadVC.get(int64(t)); slot != nil {
+		return slot.treeFor(int64(t))
+	}
+	return vclock.Tree{}
+}
+
+// lockTree returns the lock's current clock.
+func (d *TSVDHB) lockTree(lock ids.ObjectID) vclock.Tree {
+	if slot := d.lockVC.get(int64(lock)); slot != nil {
+		return slot.Load()
+	}
+	return vclock.Tree{}
+}
+
 // OnFork implements Detector: the child inherits the parent's clock by
-// reference (O(1) message-send with immutable clocks).
+// reference (O(1) message-send with immutable clocks). The child has not run
+// yet, so no one races the writes.
 func (d *TSVDHB) OnFork(parent, child ids.ThreadID) {
-	d.rt.mu.Lock()
-	d.threadVC[child] = d.threadVC[parent]
-	d.rt.mu.Unlock()
+	p := d.threadTree(parent)
+	slot := d.threadSlot(child)
+	slot.memo.Store(nil)
+	slot.rest.Store(p)
+	slot.epoch.Store(p.Get(int64(child)))
 }
 
 // OnJoin implements Detector: the waiter receives the finished task's clock.
 // When the task passed through no TSVD point since fork, both clocks are the
-// identical tree and the max is skipped entirely.
+// identical tree and the max is skipped entirely (inside adopt).
 func (d *TSVDHB) OnJoin(waiter, done ids.ThreadID) {
-	d.rt.mu.Lock()
-	w, dn := d.threadVC[waiter], d.threadVC[done]
-	if !vclock.SameRef(w, dn) {
-		d.threadVC[waiter] = vclock.Join(w, dn)
-	}
-	d.rt.mu.Unlock()
+	d.threadSlot(waiter).adopt(int64(waiter), d.threadTree(done))
 }
 
 // OnLockAcquire implements Detector: the thread receives the lock's clock.
 func (d *TSVDHB) OnLockAcquire(t ids.ThreadID, lock ids.ObjectID) {
-	d.rt.mu.Lock()
-	tv, lv := d.threadVC[t], d.lockVC[lock]
-	if !vclock.SameRef(tv, lv) {
-		d.threadVC[t] = vclock.Join(tv, lv)
-	}
-	d.rt.mu.Unlock()
+	d.threadSlot(t).adopt(int64(t), d.lockTree(lock))
 }
 
 // OnLockRelease implements Detector: the lock stores the thread's clock by
 // reference.
 func (d *TSVDHB) OnLockRelease(t ids.ThreadID, lock ids.ObjectID) {
-	d.rt.mu.Lock()
-	d.lockVC[lock] = d.threadVC[t]
-	d.rt.mu.Unlock()
+	slot, _ := d.lockVC.getOrCreate(int64(lock), func() *vclock.Atomic { return &vclock.Atomic{} })
+	slot.Store(d.threadTree(t))
 }
 
 // OnCall implements Detector.
 func (d *TSVDHB) OnCall(a Access) {
-	d.rt.mu.Lock()
-	d.rt.stats.OnCalls++
+	sh := d.rt.shardFor(a.Obj)
 
-	for _, key := range d.rt.checkForTraps(a, ids.Stack) {
-		d.set.suppress(key)
+	if d.rt.parked.Load() > 0 {
+		sh.mu.Lock()
+		found := d.rt.checkForTraps(sh, a, ids.Stack)
+		sh.mu.Unlock()
+		for _, key := range found {
+			d.set.suppress(key)
+		}
 	}
 
 	// Local timestamp increments happen here, at the (relatively rare)
-	// TSVD points — not at synchronization operations.
-	vc := d.threadVC[a.Thread].Tick(int64(a.Thread))
-	d.threadVC[a.Thread] = vc
+	// TSVD points — not at synchronization operations. The tick is one
+	// atomic add on the thread's own epoch counter; no clock tree is
+	// built, so the hot path performs no allocation.
+	slot := d.threadSlot(a.Thread)
+	epoch := slot.tick()
+	known := slot.known()
 	d.rt.markSeen(a.Op, true)
 
-	// Precise concurrency check against the object's recent accesses.
-	h := d.objHist[a.Obj]
+	// Precise concurrency check against the object's recent accesses,
+	// under the object's shard mutex.
+	var nearKeys []report.PairKey
+	sh.mu.Lock()
+	sh.onCalls++ // counted here, under a lock this path already holds
+	h := sh.hb[a.Obj]
 	if h == nil {
+		if sh.hb == nil {
+			sh.hb = map[ids.ObjectID]*hbHistory{}
+		}
 		h = newHBHistory(d.rt.cfg.ObjHistory)
-		d.objHist[a.Obj] = h
+		sh.hb[a.Obj] = h
 	}
 	h.each(func(e hbEntry) {
 		if e.thread == a.Thread || !Conflicts(e.kind, a.Kind) {
 			return
 		}
-		if vc.Get(int64(e.thread)) >= e.epoch {
+		// The entry's thread differs from ours, so its component in our
+		// clock lives entirely in the learned tree — no need to
+		// materialize the full clock.
+		if known.Get(int64(e.thread)) >= e.epoch {
 			// The previous access happens-before this one: not a
 			// dangerous pair.
-			d.rt.stats.PairsPrunedHB++
+			d.rt.stats.pairsPrunedHB.Add(1)
 			return
 		}
-		d.rt.stats.NearMisses++
-		d.set.add(report.KeyOf(e.op, a.Op), &d.rt.stats)
+		d.rt.stats.nearMisses.Add(1)
+		nearKeys = append(nearKeys, report.KeyOf(e.op, a.Op))
 	})
-	h.add(hbEntry{
-		thread: a.Thread, op: a.Op, kind: a.Kind,
-		epoch: vc.Get(int64(a.Thread)),
-	})
+	h.add(hbEntry{thread: a.Thread, op: a.Op, kind: a.Kind, epoch: epoch})
+	sh.mu.Unlock()
+	for _, key := range nearKeys {
+		d.set.add(key, &d.rt.stats)
+	}
 
 	// Injection and decay are identical to TSVD (§3.5 "When to inject").
-	inject := false
-	if d.set.hasLoc(a.Op) && d.rt.rng.Float64() < d.set.prob(a.Op) {
-		inject = !(d.rt.cfg.AvoidOverlappingDelays && d.rt.anyTrapSet())
+	if d.set.empty() {
+		return
 	}
-	if inject {
-		trap, _ := d.rt.injectDelay(a, d.rt.delayTime) // sleeps unlocked
-		if trap != nil && !trap.conflict {
-			d.set.decayAfterFailedDelay(a.Op, d.rt.cfg.DecayFactor,
-				d.rt.cfg.PruneProbability, &d.rt.stats)
-		}
+	prob, ok := d.set.eligible(a.Op)
+	if !ok || d.rt.randFloat() >= prob {
+		return
 	}
-	d.rt.mu.Unlock()
+	if d.rt.cfg.AvoidOverlappingDelays && d.rt.anyTrapSet() {
+		return
+	}
+	trap, _ := d.rt.injectDelay(a, d.rt.delayTime) // sleeps unlocked
+	if trap != nil && !trap.conflict {
+		d.set.decayAfterFailedDelay(a.Op, d.rt.cfg.DecayFactor,
+			d.rt.cfg.PruneProbability, &d.rt.stats)
+	}
 }
 
 // Reports implements Detector.
@@ -182,18 +291,10 @@ func (d *TSVDHB) Reports() *report.Collector { return d.rt.reports }
 func (d *TSVDHB) Stats() Stats { return d.rt.snapshotStats() }
 
 // ExportTraps implements Detector.
-func (d *TSVDHB) ExportTraps() []report.PairKey {
-	d.rt.mu.Lock()
-	defer d.rt.mu.Unlock()
-	return d.set.export()
-}
+func (d *TSVDHB) ExportTraps() []report.PairKey { return d.set.export() }
 
 // TrapSetSize reports the number of live dangerous pairs.
-func (d *TSVDHB) TrapSetSize() int {
-	d.rt.mu.Lock()
-	defer d.rt.mu.Unlock()
-	return d.set.size()
-}
+func (d *TSVDHB) TrapSetSize() int { return d.set.size() }
 
 // sameClockRef is a test hook exposing vclock.SameRef over thread clocks.
 func sameClockRef(a, b vclock.Tree) bool { return vclock.SameRef(a, b) }

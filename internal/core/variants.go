@@ -1,7 +1,7 @@
 package core
 
 import (
-	"time"
+	"sync"
 
 	"repro/internal/config"
 	"repro/internal/ids"
@@ -19,22 +19,26 @@ type DynamicRandom struct {
 }
 
 func newDynamicRandom(cfg config.Config, o options) *DynamicRandom {
-	return &DynamicRandom{rt: newRuntime(cfg, o)}
+	d := &DynamicRandom{}
+	d.rt.init(cfg, o)
+	return d
 }
 
 // OnCall implements Detector.
 func (d *DynamicRandom) OnCall(a Access) {
-	d.rt.mu.Lock()
-	d.rt.stats.OnCalls++
-	d.rt.checkForTraps(a, ids.Stack)
+	d.rt.stats.onCalls.Add(1)
+	if d.rt.parked.Load() > 0 {
+		sh := d.rt.shardFor(a.Obj)
+		sh.mu.Lock()
+		d.rt.checkForTraps(sh, a, ids.Stack)
+		sh.mu.Unlock()
+	}
 	d.rt.markSeen(a.Op, false)
-	if d.rt.rng.Float64() < d.rt.cfg.RandomDelayProbability {
+	if d.rt.randFloat() < d.rt.cfg.RandomDelayProbability {
 		// "the thread sleeps for a random amount of time" — uniform in
 		// (0, DelayTime].
-		dur := time.Duration(d.rt.rng.Int63n(int64(d.rt.delayTime))) + 1
-		d.rt.injectDelay(a, dur)
+		d.rt.injectDelay(a, d.rt.randDurationUpTo(d.rt.delayTime))
 	}
-	d.rt.mu.Unlock()
 }
 
 // Reports implements Detector.
@@ -57,9 +61,14 @@ func (d *DynamicRandom) ExportTraps() []report.PairKey { return nil }
 // rolls over (every resamplePeriod observed calls). Delay volume therefore
 // scales with the number of static locations — the "many delay locations,
 // no analysis" corner of Figure 2 — rather than with execution counts.
+//
+// The armed table is the variant's own cross-thread state and keeps its own
+// small lock; the shared runtime underneath is the striped one.
 type StaticRandom struct {
 	nopSyncHooks
-	rt    runtime
+	rt runtime
+
+	mu    sync.Mutex
 	armed map[ids.OpID]bool
 	calls int64
 }
@@ -68,37 +77,43 @@ type StaticRandom struct {
 const resamplePeriod = 200
 
 func newStaticRandom(cfg config.Config, o options) *StaticRandom {
-	return &StaticRandom{
-		rt:    newRuntime(cfg, o),
-		armed: map[ids.OpID]bool{},
-	}
+	s := &StaticRandom{armed: map[ids.OpID]bool{}}
+	s.rt.init(cfg, o)
+	return s
 }
 
 // OnCall implements Detector.
 func (s *StaticRandom) OnCall(a Access) {
-	s.rt.mu.Lock()
-	s.rt.stats.OnCalls++
-	s.rt.checkForTraps(a, ids.Stack)
+	s.rt.stats.onCalls.Add(1)
+	if s.rt.parked.Load() > 0 {
+		sh := s.rt.shardFor(a.Obj)
+		sh.mu.Lock()
+		s.rt.checkForTraps(sh, a, ids.Stack)
+		sh.mu.Unlock()
+	}
 	s.rt.markSeen(a.Op, false)
 
+	s.mu.Lock()
 	armed, known := s.armed[a.Op]
 	if !known {
-		armed = s.rt.rng.Float64() < s.rt.cfg.StaticSampleProbability
+		armed = s.rt.randFloat() < s.rt.cfg.StaticSampleProbability
 		s.armed[a.Op] = armed
 	}
 	s.calls++
 	if s.calls%resamplePeriod == 0 {
 		for op, isArmed := range s.armed {
 			if !isArmed {
-				s.armed[op] = s.rt.rng.Float64() < s.rt.cfg.StaticSampleProbability
+				s.armed[op] = s.rt.randFloat() < s.rt.cfg.StaticSampleProbability
 			}
 		}
 	}
 	if armed {
 		s.armed[a.Op] = false // breakpoints fire once per arming
+	}
+	s.mu.Unlock()
+	if armed {
 		s.rt.injectDelay(a, s.rt.delayTime)
 	}
-	s.rt.mu.Unlock()
 }
 
 // Reports implements Detector.

@@ -208,10 +208,8 @@ func TestTSVDHBJoinReferenceFastPath(t *testing.T) {
 	d.OnFork(1, 2)
 	// Task 2 does nothing instrumented.
 	d.OnJoin(1, 2)
-	d.rt.mu.Lock()
-	w := d.threadVC[1]
-	c := d.threadVC[2]
-	d.rt.mu.Unlock()
+	w := d.threadTree(1)
+	c := d.threadTree(2)
 	if !sameClockRef(w, c) {
 		t.Fatal("join of an untouched task did not share the clock reference")
 	}

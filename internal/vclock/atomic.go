@@ -1,0 +1,21 @@
+package vclock
+
+import "sync/atomic"
+
+// Atomic is an atomically swappable reference to an immutable Tree. Because a
+// Tree is a single pointer to persistent structure, publishing a new version
+// is one pointer store and reading one pointer load — no lock, no allocation,
+// no copying. TSVDHB keeps one Atomic per thread and per lock: the owning
+// thread swaps in ticked clocks on its hot path while forks, joins and lock
+// transfers read whatever version is current.
+//
+// The zero value holds the empty clock.
+type Atomic struct {
+	root atomic.Pointer[node]
+}
+
+// Load returns the current clock.
+func (a *Atomic) Load() Tree { return Tree{root: a.root.Load()} }
+
+// Store publishes c as the current clock.
+func (a *Atomic) Store(c Tree) { a.root.Store(c.root) }
