@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench
+.PHONY: check vet build test race bench trace-smoke
 
-check: vet build test race
+check: vet build test race trace-smoke
 
 vet:
 	$(GO) vet ./...
@@ -16,10 +16,19 @@ build:
 test:
 	$(GO) test ./...
 
-# The detector core is the concurrency-critical surface; it must stay clean
-# under the race detector.
+# The detector core and the tracer are the concurrency-critical surfaces;
+# they must stay clean under the race detector.
 race:
-	$(GO) test -race ./internal/core/...
+	$(GO) test -race ./internal/core/... ./internal/trace/...
+
+# End-to-end observability gate: run a small traced suite, then validate the
+# emitted JSONL against the schema and reconcile it with the detector
+# counters (see docs/OBSERVABILITY.md).
+trace-smoke:
+	@dir=$$(mktemp -d) && \
+	$(GO) run ./cmd/tsvd-run -modules 5 -trace $$dir >/dev/null && \
+	$(GO) run ./cmd/tsvd-trace-check $$dir && \
+	rm -rf $$dir
 
 # OnCall hot-path cost (see docs/PERFORMANCE.md for interpretation).
 bench:

@@ -8,21 +8,33 @@
 //	tsvd-run -modules 50 -runs 2 -algo tsvd
 //	tsvd-run -scenarios
 //	tsvd-run -modules 20 -algo tsvdhb -v
+//	tsvd-run -modules 5 -trace /tmp/trace-out
+//
+// Exit status: 0 on success, 1 when the run itself fails or reports pairs
+// outside the suite's ground truth (a detector soundness regression), 2 on
+// usage errors.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"repro/internal/config"
 	"repro/internal/experiments"
 	"repro/internal/harness"
+	"repro/internal/report"
+	"repro/internal/trace"
 	"repro/internal/trapfile"
 	"repro/internal/workload"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	var (
 		algoName  = flag.String("algo", "tsvd", "technique: tsvd, tsvdhb, dynamicrandom, datacollider")
 		modules   = flag.Int("modules", 50, "number of generated modules")
@@ -33,8 +45,31 @@ func main() {
 		jsonOut   = flag.Bool("json", false, "emit the bug report as JSON on stdout")
 		scenario  = flag.Bool("scenarios", false, "run the 9 open-source scenarios instead")
 		trapsFile = flag.String("trapfile", "", "trap file to load before run 1 and save after the last run (§3.4.6)")
+		traceDir  = flag.String("trace", "", "directory to write the detector event trace (events.jsonl, metrics.json, summary.json)")
 	)
 	flag.Parse()
+
+	if *scenario {
+		// The scenario table has its own fixed parameters; accepting the
+		// suite flags and then ignoring them would silently run something
+		// other than what the user asked for.
+		var conflicting []string
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "scenarios":
+			default:
+				conflicting = append(conflicting, "-"+f.Name)
+			}
+		})
+		if len(conflicting) > 0 {
+			fmt.Fprintf(os.Stderr,
+				"tsvd-run: -scenarios runs a fixed experiment table and cannot be combined with %v\n",
+				conflicting)
+			return 2
+		}
+		experiments.Table4(experiments.DefaultParams(), os.Stdout)
+		return 0
+	}
 
 	algos := map[string]config.Algorithm{
 		"tsvd":          config.AlgoTSVD,
@@ -45,12 +80,7 @@ func main() {
 	algo, ok := algos[*algoName]
 	if !ok {
 		fmt.Fprintf(os.Stderr, "tsvd-run: unknown algorithm %q\n", *algoName)
-		os.Exit(2)
-	}
-
-	if *scenario {
-		experiments.Table4(experiments.DefaultParams(), os.Stdout)
-		return
+		return 2
 	}
 
 	suite := workload.GenerateSuite(*seed, *modules)
@@ -58,11 +88,14 @@ func main() {
 		Config: config.Defaults(algo).Scaled(*scale),
 		Runs:   *runs,
 	}
+	if *traceDir != "" {
+		opts.Config.Trace = true
+	}
 	if *trapsFile != "" {
 		pairs, err := trapfile.Load(*trapsFile)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "tsvd-run: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		opts.InitialTraps = pairs
 	}
@@ -70,15 +103,35 @@ func main() {
 	if *trapsFile != "" {
 		if err := trapfile.Save(*trapsFile, algo.String(), out.FinalTraps); err != nil {
 			fmt.Fprintf(os.Stderr, "tsvd-run: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 	}
+	var metrics *trace.Metrics
+	if *traceDir != "" {
+		var err error
+		metrics, err = writeTrace(*traceDir, algo.String(), *modules, *runs, out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tsvd-run: %v\n", err)
+			return 1
+		}
+	}
+
+	status := 0
+	if len(out.UnknownPairs) > 0 {
+		// Reports outside the suite's planted ground truth mean the detector
+		// (or the workload bookkeeping) fabricated a pair — fail the run so
+		// CI catches it.
+		fmt.Fprintf(os.Stderr, "tsvd-run: %d reported pairs outside ground truth\n",
+			len(out.UnknownPairs))
+		status = 1
+	}
+
 	if *jsonOut {
 		if err := out.Reports.WriteJSON(os.Stdout, algo.String(), *verbose); err != nil {
 			fmt.Fprintf(os.Stderr, "tsvd-run: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		return status
 	}
 
 	fmt.Printf("%s over %d modules (%d planted TSVs), %d run(s):\n",
@@ -97,8 +150,9 @@ func main() {
 	if st.NearMissGaps.Total() > 0 {
 		fmt.Printf("  near-miss gap histogram: %s\n", st.NearMissGaps)
 	}
-	if len(out.UnknownPairs) > 0 {
-		fmt.Printf("  WARNING: %d reported pairs outside ground truth\n", len(out.UnknownPairs))
+	if metrics != nil {
+		report.TraceSummary(os.Stdout, metrics, 15)
+		fmt.Printf("  trace written to %s\n", *traceDir)
 	}
 	if *verbose {
 		for _, bug := range out.Reports.Bugs() {
@@ -108,4 +162,64 @@ func main() {
 				bug.Occurrences, bug.StackPairs)
 		}
 	}
+	return status
+}
+
+// writeTrace drains the run's event traces into dir: events.jsonl (one event
+// per line, all module runs concatenated), metrics.json (the per-location
+// aggregate) and summary.json (producer-side accounting for tsvd-trace-check).
+func writeTrace(dir, tool string, modules, runs int, out *harness.Outcome) (*trace.Metrics, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("trace dir: %w", err)
+	}
+
+	events, err := os.Create(filepath.Join(dir, "events.jsonl"))
+	if err != nil {
+		return nil, err
+	}
+	var drained int64
+	for _, mt := range out.Traces {
+		if err := trace.WriteJSONL(events, mt); err != nil {
+			events.Close()
+			return nil, err
+		}
+		drained += int64(len(mt.Events))
+	}
+	if err := events.Close(); err != nil {
+		return nil, err
+	}
+
+	metrics := trace.Aggregate(out.Traces)
+	mf, err := os.Create(filepath.Join(dir, "metrics.json"))
+	if err != nil {
+		return nil, err
+	}
+	if err := metrics.WriteJSON(mf); err != nil {
+		mf.Close()
+		return nil, err
+	}
+	if err := mf.Close(); err != nil {
+		return nil, err
+	}
+
+	sum := trace.Summary{
+		Version: trace.SchemaVersion,
+		Tool:    tool,
+		Modules: modules,
+		Runs:    runs,
+		Emitted: out.TraceTotals.Emitted,
+		Dropped: out.TraceTotals.Dropped,
+		Drained: drained,
+		ByKind:  trace.CountByKind(out.Traces),
+		Stats:   out.TraceStatTotals(),
+	}
+	sf, err := os.Create(filepath.Join(dir, "summary.json"))
+	if err != nil {
+		return nil, err
+	}
+	if err := sum.WriteSummary(sf); err != nil {
+		sf.Close()
+		return nil, err
+	}
+	return metrics, sf.Close()
 }

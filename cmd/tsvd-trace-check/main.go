@@ -1,0 +1,91 @@
+// Command tsvd-trace-check validates a trace directory written by
+// `tsvd-run -trace`: every line of events.jsonl must parse against the
+// schema, and the per-kind event counts must reconcile exactly with the
+// detector counters recorded in summary.json. It is the consumer-side half
+// of the observability contract (docs/OBSERVABILITY.md) and the check
+// `make trace-smoke` runs in CI.
+//
+// Usage:
+//
+//	tsvd-trace-check <trace-dir>
+//
+// Exit status: 0 when the trace is schema-valid and reconciles, 1 otherwise.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/trace"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: tsvd-trace-check <trace-dir>\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		return 2
+	}
+	dir := flag.Arg(0)
+
+	sf, err := os.Open(filepath.Join(dir, "summary.json"))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tsvd-trace-check: %v\n", err)
+		return 1
+	}
+	sum, err := trace.ReadSummary(sf)
+	sf.Close()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tsvd-trace-check: %v\n", err)
+		return 1
+	}
+
+	ef, err := os.Open(filepath.Join(dir, "events.jsonl"))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tsvd-trace-check: %v\n", err)
+		return 1
+	}
+	counts, err := trace.ValidateJSONL(ef)
+	ef.Close()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tsvd-trace-check: %v\n", err)
+		return 1
+	}
+
+	ok := true
+	var total int64
+	for _, n := range counts {
+		total += n
+	}
+	if total != sum.Drained {
+		fmt.Fprintf(os.Stderr, "tsvd-trace-check: events.jsonl has %d events, summary says %d drained\n",
+			total, sum.Drained)
+		ok = false
+	}
+	for kind, n := range sum.ByKind {
+		if counts[kind] != n {
+			fmt.Fprintf(os.Stderr, "tsvd-trace-check: %s: %d in events.jsonl, %d in summary\n",
+				kind, counts[kind], n)
+			ok = false
+		}
+	}
+	if err := trace.Reconcile(counts, sum.Stats, sum.Dropped); err != nil {
+		fmt.Fprintf(os.Stderr, "tsvd-trace-check: %v\n", err)
+		ok = false
+	}
+	if !ok {
+		return 1
+	}
+	fmt.Printf("tsvd-trace-check: %s ok — %d events, %d kinds, counters reconcile, 0 dropped\n",
+		dir, total, len(counts))
+	return 0
+}

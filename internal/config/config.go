@@ -122,6 +122,20 @@ type Config struct {
 	// value is rounded up to the next power of two.
 	ShardCount int
 
+	// --- Observability (docs/OBSERVABILITY.md) ---
+
+	// Trace enables the per-shard ring-buffer event tracer: structured
+	// detector events (delays, near misses, trap churn, prunes) recorded
+	// with zero allocation on the hot path and drained post-run into JSONL
+	// and per-location metrics. Off by default; the disabled tracer costs
+	// one nil check per emission point.
+	Trace bool
+	// TraceBufferSize is the total buffered-event capacity per detector
+	// instance. When the buffer is full the oldest event is overwritten and
+	// counted as dropped — reconciliation against Stats then fails loudly.
+	// 0 selects trace.DefaultBufferSize, sized to hold a full module run.
+	TraceBufferSize int
+
 	// --- Random variants (§3.2/§3.3) ---
 
 	// RandomDelayProbability is DynamicRandom's per-call delay
@@ -251,6 +265,8 @@ func (c Config) Validate() error {
 		return errValue("TimeScale must be >= 0")
 	case c.ShardCount < 0:
 		return errValue("ShardCount must be >= 0 (0 derives from GOMAXPROCS)")
+	case c.TraceBufferSize < 0:
+		return errValue("TraceBufferSize must be >= 0 (0 selects the default)")
 	}
 	return nil
 }

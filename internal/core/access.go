@@ -33,6 +33,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/ids"
 	"repro/internal/report"
+	"repro/internal/trace"
 )
 
 // Kind classifies a thread-unsafe API as read or write, per the API list the
@@ -90,6 +91,10 @@ type Detector interface {
 	// ExportTraps returns the current dangerous-pair set for trap-file
 	// persistence (§3.4.6); variants without a trap set return nil.
 	ExportTraps() []report.PairKey
+	// Tracer returns the detector's event tracer, or nil when tracing is
+	// disabled (config.Trace). The harness drains it after each module run;
+	// see docs/OBSERVABILITY.md.
+	Tracer() *trace.Tracer
 }
 
 // Stats are the counters the evaluation section reports: delay counts for
@@ -268,6 +273,9 @@ func (*NopDetector) Stats() Stats { return Stats{} }
 
 // ExportTraps implements Detector.
 func (*NopDetector) ExportTraps() []report.PairKey { return nil }
+
+// Tracer implements Detector; the baseline traces nothing.
+func (*NopDetector) Tracer() *trace.Tracer { return nil }
 
 // nopSyncHooks provides the no-op synchronization hooks that TSVD and the
 // random variants embed: they are oblivious to synchronization by design.

@@ -34,7 +34,7 @@ func TestTrapSetInvariants(t *testing.T) {
 			case 2:
 				s.suppress(randKey())
 			case 3:
-				s.decayAfterFailedDelay(ops[rng.Intn(len(ops))], 0.5, 0.1, &stats)
+				s.decayAfterFailedDelay(ops[rng.Intn(len(ops))], 0.5, 0.1, &stats, nil, 0)
 			}
 			if !trapSetConsistent(&s) {
 				return false

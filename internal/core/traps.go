@@ -10,6 +10,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/ids"
 	"repro/internal/report"
+	"repro/internal/trace"
 )
 
 // trap is one parked thread inside OnCall (Figure 5): the triple that
@@ -74,6 +75,14 @@ type runtime struct {
 	stats   atomicStats
 	reports *report.Collector
 
+	// tr is the event tracer, nil unless cfg.Trace is set. Every emission
+	// site is nil-safe, sits off the conflict-free fast path (events fire
+	// only on detector actions: near misses, delays, prunes, violations),
+	// and writes scalars into a preallocated striped ring — the tracer adds
+	// no allocation anywhere in OnCall. docs/OBSERVABILITY.md has the
+	// schema; the event counts reconcile exactly with atomicStats.
+	tr *trace.Tracer
+
 	// parked counts currently registered traps process-wide. The hot path
 	// skips the shard's trap scan entirely while it is zero — on a
 	// conflict-free workload OnCall never touches the trap table at all.
@@ -127,6 +136,9 @@ func (r *runtime) init(cfg config.Config, o options) {
 	r.maxDelay = cfg.EffectiveMaxDelayPerThread()
 	r.hbThreshold = time.Duration(cfg.HBBlockThreshold * float64(r.delayTime))
 	r.budgets = clock.BudgetTable{Max: r.maxDelay}
+	if cfg.Trace {
+		r.tr = trace.New(cfg.TraceBufferSize)
+	}
 }
 
 // now returns the time since detector start. Safe without any lock; uses
@@ -193,6 +205,7 @@ func (r *runtime) checkForTraps(sh *shard, a Access, stackOf func() string) []re
 			When: r.now(),
 		}
 		r.reports.Add(v)
+		r.tr.Emit(trace.KindTrapSprung, a.Thread, a.Obj, t.access.Op, a.Op, v.When, 0)
 		t.conflict = true
 		if !t.canceled {
 			t.canceled = true
@@ -248,6 +261,7 @@ func (r *runtime) injectDelay(a Access, d time.Duration) (*trap, time.Duration) 
 	sh.mu.Unlock()
 	r.parked.Add(1)
 	r.stats.delaysInjected.Add(1)
+	r.tr.Emit(trace.KindTrapSet, a.Thread, a.Obj, a.Op, 0, r.now(), grant)
 
 	slept, woken := r.clk.Sleep(grant, t.cancel)
 
@@ -262,6 +276,13 @@ func (r *runtime) injectDelay(a Access, d time.Duration) (*trap, time.Duration) 
 		slept = grant
 	}
 	r.stats.totalDelay.Add(int64(slept))
+	if r.tr != nil {
+		at := r.now()
+		r.tr.Emit(trace.KindDelayInjected, a.Thread, a.Obj, a.Op, 0, at, slept)
+		if t.conflict {
+			r.tr.Emit(trace.KindDelayProductive, a.Thread, a.Obj, a.Op, 0, at, slept)
+		}
+	}
 	return t, slept
 }
 

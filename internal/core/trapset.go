@@ -4,9 +4,11 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/ids"
 	"repro/internal/report"
+	"repro/internal/trace"
 )
 
 // trapSet is the dynamic set of dangerous location pairs (§3.4.1) together
@@ -139,8 +141,10 @@ func (s *trapSet) eligible(loc ids.OpID) (float64, bool) {
 // decayAfterFailedDelay implements §3.4.5: a delay at loc that exposed no
 // conflict decays loc and every location currently paired with it by
 // P ← P·(1-factor). Locations whose probability falls below prune are
-// removed from the trap set together with all their pairs.
-func (s *trapSet) decayAfterFailedDelay(loc ids.OpID, factor, prune float64, stats *atomicStats) {
+// removed from the trap set together with all their pairs; each suppressed
+// pair is emitted to tr (nil-safe) stamped with the caller's clock at.
+func (s *trapSet) decayAfterFailedDelay(loc ids.OpID, factor, prune float64,
+	stats *atomicStats, tr *trace.Tracer, at time.Duration) {
 	if factor <= 0 {
 		return // Fig. 9g's pathological "no decay" configuration
 	}
@@ -171,6 +175,7 @@ func (s *trapSet) decayAfterFailedDelay(loc ids.OpID, factor, prune float64, sta
 		for key := range s.locPairs[v] {
 			if s.suppressLocked(key) {
 				stats.pairsPrunedDecay.Add(1)
+				tr.Emit(trace.KindPairPrunedDecay, 0, 0, key.A, key.B, at, 0)
 			}
 		}
 	}

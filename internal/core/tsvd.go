@@ -7,6 +7,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/ids"
 	"repro/internal/report"
+	"repro/internal/trace"
 )
 
 // TSVD is the paper's detector (§3.4). It identifies dangerous pairs by
@@ -126,7 +127,9 @@ func newTSVD(cfg config.Config, o options) *TSVD {
 		d.phase = newPhaseRing(cfg.PhaseBufferSize)
 	}
 	for _, key := range o.initialTraps {
-		d.set.add(key, &d.rt.stats)
+		if d.set.add(key, &d.rt.stats) {
+			d.rt.tr.Emit(trace.KindPairAdded, 0, 0, key.A, key.B, 0, 0)
+		}
 	}
 	return d
 }
@@ -202,12 +205,15 @@ func (d *TSVD) OnCall(a Access) {
 		}
 		d.rt.stats.nearMisses.Add(1)
 		d.rt.stats.observeGap(t - e.at)
+		d.rt.tr.Emit(trace.KindNearMiss, a.Thread, a.Obj, e.op, a.Op, t, t-e.at)
 		nearKeys = append(nearKeys, report.KeyOf(e.op, a.Op))
 	})
 	h.add(histEntry{thread: a.Thread, op: a.Op, kind: a.Kind, at: t})
 	sh.mu.Unlock()
 	for _, key := range nearKeys {
-		d.set.add(key, &d.rt.stats)
+		if d.set.add(key, &d.rt.stats) {
+			d.rt.tr.Emit(trace.KindPairAdded, a.Thread, a.Obj, key.A, key.B, t, 0)
+		}
 	}
 
 	// Record this access in the thread-local HB state.
@@ -228,6 +234,7 @@ func (d *TSVD) OnCall(a Access) {
 	if d.rt.cfg.AvoidOverlappingDelays && d.rt.anyTrapSet() {
 		return
 	}
+	d.rt.tr.Emit(trace.KindDelayPlanned, a.Thread, a.Obj, a.Op, 0, t, d.rt.delayTime)
 	trap, slept := d.rt.injectDelay(a, d.rt.delayTime) // sleeps unlocked
 	if trap == nil {
 		return
@@ -244,7 +251,7 @@ func (d *TSVD) OnCall(a Access) {
 	st.ownDelay += slept
 	if !trap.conflict {
 		d.set.decayAfterFailedDelay(a.Op, d.rt.cfg.DecayFactor,
-			d.rt.cfg.PruneProbability, &d.rt.stats)
+			d.rt.cfg.PruneProbability, &d.rt.stats, d.rt.tr, end)
 	}
 }
 
@@ -258,7 +265,7 @@ func (d *TSVD) inferHB(st *threadState, a Access, t time.Duration) {
 	if len(st.inherits) > 0 {
 		kept := st.inherits[:0]
 		for _, inh := range st.inherits {
-			d.pruneHB(report.KeyOf(inh.from, a.Op))
+			d.pruneHB(inh.from, a, t)
 			if inh.remaining--; inh.remaining > 0 {
 				kept = append(kept, inh)
 			}
@@ -294,15 +301,17 @@ func (d *TSVD) inferHB(st *threadState, a Access, t time.Duration) {
 	if best == -1 {
 		return
 	}
-	d.pruneHB(report.KeyOf(from, a.Op))
+	d.pruneHB(from, a, t)
 	if k := d.rt.cfg.HBInferenceWindow; k > 0 {
 		st.inherits = append(st.inherits, inheritance{from: from, remaining: k})
 	}
 }
 
-// pruneHB marks a pair as happens-before ordered: it leaves the trap set
-// and can never re-enter it.
-func (d *TSVD) pruneHB(key report.PairKey) {
+// pruneHB records the inferred edge from → a.Op and marks the pair as
+// happens-before ordered: it leaves the trap set and can never re-enter it.
+func (d *TSVD) pruneHB(from ids.OpID, a Access, t time.Duration) {
+	d.rt.tr.Emit(trace.KindHBEdge, a.Thread, a.Obj, from, a.Op, t, 0)
+	key := report.KeyOf(from, a.Op)
 	if key.A == key.B {
 		// A location trivially happens-before itself on one thread; the
 		// same location racing with itself across threads is exactly the
@@ -311,6 +320,7 @@ func (d *TSVD) pruneHB(key report.PairKey) {
 	}
 	if d.set.suppress(key) {
 		d.rt.stats.pairsPrunedHB.Add(1)
+		d.rt.tr.Emit(trace.KindPairPrunedHB, a.Thread, a.Obj, key.A, key.B, t, 0)
 	}
 }
 
@@ -319,6 +329,9 @@ func (d *TSVD) Reports() *report.Collector { return d.rt.reports }
 
 // Stats implements Detector.
 func (d *TSVD) Stats() Stats { return d.rt.snapshotStats() }
+
+// Tracer implements Detector.
+func (d *TSVD) Tracer() *trace.Tracer { return d.rt.tr }
 
 // ExportTraps implements Detector: the trap file contents (§3.4.6).
 func (d *TSVD) ExportTraps() []report.PairKey { return d.set.export() }

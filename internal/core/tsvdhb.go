@@ -6,6 +6,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/ids"
 	"repro/internal/report"
+	"repro/internal/trace"
 	"repro/internal/vclock"
 )
 
@@ -151,7 +152,9 @@ func newTSVDHB(cfg config.Config, o options) *TSVDHB {
 	d := &TSVDHB{set: newTrapSet()}
 	d.rt.init(cfg, o)
 	for _, key := range o.initialTraps {
-		d.set.add(key, &d.rt.stats)
+		if d.set.add(key, &d.rt.stats) {
+			d.rt.tr.Emit(trace.KindPairAdded, 0, 0, key.A, key.B, 0, 0)
+		}
 	}
 	return d
 }
@@ -253,17 +256,30 @@ func (d *TSVDHB) OnCall(a Access) {
 		// materialize the full clock.
 		if known.Get(int64(e.thread)) >= e.epoch {
 			// The previous access happens-before this one: not a
-			// dangerous pair.
+			// dangerous pair. The clock read for the event is taken only
+			// when tracing is on and a prune actually fires — the
+			// conflict-free fast path never reads the clock at all.
 			d.rt.stats.pairsPrunedHB.Add(1)
+			if d.rt.tr != nil {
+				key := report.KeyOf(e.op, a.Op)
+				d.rt.tr.Emit(trace.KindPairPrunedHB, a.Thread, a.Obj, key.A, key.B, d.rt.now(), 0)
+			}
 			return
 		}
 		d.rt.stats.nearMisses.Add(1)
+		if d.rt.tr != nil {
+			// TSVDHB has no gap notion (concurrency is proven by clocks,
+			// not time windows); the near-miss event carries Dur 0.
+			d.rt.tr.Emit(trace.KindNearMiss, a.Thread, a.Obj, e.op, a.Op, d.rt.now(), 0)
+		}
 		nearKeys = append(nearKeys, report.KeyOf(e.op, a.Op))
 	})
 	h.add(hbEntry{thread: a.Thread, op: a.Op, kind: a.Kind, epoch: epoch})
 	sh.mu.Unlock()
 	for _, key := range nearKeys {
-		d.set.add(key, &d.rt.stats)
+		if d.set.add(key, &d.rt.stats) && d.rt.tr != nil {
+			d.rt.tr.Emit(trace.KindPairAdded, a.Thread, a.Obj, key.A, key.B, d.rt.now(), 0)
+		}
 	}
 
 	// Injection and decay are identical to TSVD (§3.5 "When to inject").
@@ -277,10 +293,13 @@ func (d *TSVDHB) OnCall(a Access) {
 	if d.rt.cfg.AvoidOverlappingDelays && d.rt.anyTrapSet() {
 		return
 	}
+	if d.rt.tr != nil {
+		d.rt.tr.Emit(trace.KindDelayPlanned, a.Thread, a.Obj, a.Op, 0, d.rt.now(), d.rt.delayTime)
+	}
 	trap, _ := d.rt.injectDelay(a, d.rt.delayTime) // sleeps unlocked
 	if trap != nil && !trap.conflict {
 		d.set.decayAfterFailedDelay(a.Op, d.rt.cfg.DecayFactor,
-			d.rt.cfg.PruneProbability, &d.rt.stats)
+			d.rt.cfg.PruneProbability, &d.rt.stats, d.rt.tr, d.rt.now())
 	}
 }
 
@@ -289,6 +308,9 @@ func (d *TSVDHB) Reports() *report.Collector { return d.rt.reports }
 
 // Stats implements Detector.
 func (d *TSVDHB) Stats() Stats { return d.rt.snapshotStats() }
+
+// Tracer implements Detector.
+func (d *TSVDHB) Tracer() *trace.Tracer { return d.rt.tr }
 
 // ExportTraps implements Detector.
 func (d *TSVDHB) ExportTraps() []report.PairKey { return d.set.export() }

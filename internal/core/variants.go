@@ -6,6 +6,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/ids"
 	"repro/internal/report"
+	"repro/internal/trace"
 )
 
 // DynamicRandom (§3.2) treats every TSVD point as an eligible delay location
@@ -37,7 +38,11 @@ func (d *DynamicRandom) OnCall(a Access) {
 	if d.rt.randFloat() < d.rt.cfg.RandomDelayProbability {
 		// "the thread sleeps for a random amount of time" — uniform in
 		// (0, DelayTime].
-		d.rt.injectDelay(a, d.rt.randDurationUpTo(d.rt.delayTime))
+		dur := d.rt.randDurationUpTo(d.rt.delayTime)
+		if d.rt.tr != nil {
+			d.rt.tr.Emit(trace.KindDelayPlanned, a.Thread, a.Obj, a.Op, 0, d.rt.now(), dur)
+		}
+		d.rt.injectDelay(a, dur)
 	}
 }
 
@@ -49,6 +54,9 @@ func (d *DynamicRandom) Stats() Stats { return d.rt.snapshotStats() }
 
 // ExportTraps implements Detector; random variants keep no trap set.
 func (d *DynamicRandom) ExportTraps() []report.PairKey { return nil }
+
+// Tracer implements Detector.
+func (d *DynamicRandom) Tracer() *trace.Tracer { return d.rt.tr }
 
 // StaticRandom (§3.3) emulates DataCollider: static program locations are
 // sampled uniformly, irrespective of how often each executes, so cold paths
@@ -112,6 +120,9 @@ func (s *StaticRandom) OnCall(a Access) {
 	}
 	s.mu.Unlock()
 	if armed {
+		if s.rt.tr != nil {
+			s.rt.tr.Emit(trace.KindDelayPlanned, a.Thread, a.Obj, a.Op, 0, s.rt.now(), s.rt.delayTime)
+		}
 		s.rt.injectDelay(a, s.rt.delayTime)
 	}
 }
@@ -124,3 +135,6 @@ func (s *StaticRandom) Stats() Stats { return s.rt.snapshotStats() }
 
 // ExportTraps implements Detector.
 func (s *StaticRandom) ExportTraps() []report.PairKey { return nil }
+
+// Tracer implements Detector.
+func (s *StaticRandom) Tracer() *trace.Tracer { return s.rt.tr }

@@ -78,7 +78,7 @@ func (p Params) opts(algo config.Algorithm, runs int) harness.Options {
 		Config:      p.cfg(algo),
 		Runs:        runs,
 		Parallelism: p.Parallelism,
-		RunSeedBase: p.Seed * 31,
+		RunSeedBase: harness.Seed(p.Seed * 31),
 	}
 }
 

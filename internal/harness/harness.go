@@ -17,6 +17,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/report"
 	"repro/internal/task"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -26,11 +27,17 @@ type Options struct {
 	// TimeScale).
 	Config config.Config
 	// Runs is the number of consecutive runs; trap sets persist between
-	// runs per module (§3.4.6).
+	// runs per module (§3.4.6). Zero means the default of 1 — a zero-run
+	// suite measures nothing, so the zero value cannot be meant literally.
 	Runs int
-	// RunSeedBase varies workload schedule randomness per run.
-	RunSeedBase int64
-	// Parallelism is the number of modules in flight at once.
+	// RunSeedBase varies workload schedule randomness per run. nil means
+	// the default base (42); an explicit pointer — obtained from Seed — is
+	// used verbatim, so every seed value, including zero, is reproducible.
+	// (A plain int64 could not distinguish "unset" from an explicit zero.)
+	RunSeedBase *int64
+	// Parallelism is the number of modules in flight at once. Zero means
+	// the paper's default of 10 (§5.1) — zero in-flight modules would
+	// deadlock, so, like Runs, the zero value cannot be meant literally.
 	Parallelism int
 	// InlineFastAsync emulates the CLR fast-async optimization instead of
 	// TSVD's force-async instrumentation (§4). Default false applies
@@ -42,18 +49,25 @@ type Options struct {
 	InitialTraps []report.PairKey
 }
 
+// Seed wraps an explicit run-seed base. harness.Seed(0) is a real,
+// reproducible choice; leaving RunSeedBase nil selects the default.
+func Seed(v int64) *int64 { return &v }
+
 func (o Options) withDefaults() Options {
-	if o.Runs == 0 {
+	if o.Runs <= 0 {
 		o.Runs = 1
 	}
-	if o.Parallelism == 0 {
+	if o.Parallelism <= 0 {
 		o.Parallelism = 10
 	}
-	if o.RunSeedBase == 0 {
-		o.RunSeedBase = 42
+	if o.RunSeedBase == nil {
+		o.RunSeedBase = Seed(42)
 	}
 	return o
 }
+
+// runSeedBase is the post-defaults accessor; withDefaults guarantees non-nil.
+func (o Options) runSeedBase() int64 { return *o.RunSeedBase }
 
 // Outcome aggregates one suite execution.
 type Outcome struct {
@@ -82,6 +96,29 @@ type Outcome struct {
 	// FinalTraps is the union of every module's dangerous pairs after the
 	// last run — the contents of the next trap file.
 	FinalTraps []report.PairKey
+
+	// Traces holds each module run's drained event trace, in completion
+	// order, when Config.Trace is enabled (empty otherwise). Each detector
+	// is drained once, right after its module run finishes, so a
+	// default-sized buffer never drops events.
+	Traces []trace.ModuleTrace
+	// TraceTotals sums the tracers' loss accounting across all module runs;
+	// TraceTotals.Dropped must be zero for the trace to reconcile with
+	// Stats.
+	TraceTotals trace.Totals
+}
+
+// TraceStatTotals extracts the Stats counters that have exact event-count
+// mirrors, in the trace package's reconciliation form.
+func (o *Outcome) TraceStatTotals() trace.StatTotals {
+	return trace.StatTotals{
+		DelaysInjected:   o.Stats.DelaysInjected,
+		NearMisses:       o.Stats.NearMisses,
+		PairsAdded:       o.Stats.PairsAdded,
+		PairsPrunedHB:    o.Stats.PairsPrunedHB,
+		PairsPrunedDecay: o.Stats.PairsPrunedDecay,
+		Violations:       o.Stats.Violations,
+	}
 }
 
 // FoundByKind tallies found planted bugs by kind.
@@ -149,6 +186,10 @@ func Run(suite *workload.Suite, opts Options) *Outcome {
 		out.Stats = sumStats(out.Stats, ro.Stats)
 		out.Panics += ro.Panics
 		out.Reports.Merge(ro.Reports)
+		out.Traces = append(out.Traces, ro.Traces...)
+		out.TraceTotals.Emitted += ro.TraceTotals.Emitted
+		out.TraceTotals.Dropped += ro.TraceTotals.Dropped
+		out.TraceTotals.Buffered += ro.TraceTotals.Buffered
 
 		newBugs := 0
 		for _, bug := range ro.Reports.Bugs() {
@@ -189,6 +230,8 @@ type runResult struct {
 	Reports      *report.Collector
 	Panics       int
 	modulesFound map[string]bool
+	Traces       []trace.ModuleTrace
+	TraceTotals  trace.Totals
 }
 
 // runSuite executes every module once. traps, when non-nil, is the per-
@@ -251,6 +294,20 @@ func runSuite(suite *workload.Suite, opts Options, cfg config.Config,
 			if traps != nil {
 				traps[mi] = det.ExportTraps()
 			}
+			if tr := det.Tracer(); tr != nil {
+				// One drain per detector, after the module run is fully
+				// idle: the buffer is sized to hold a whole run, so this
+				// is the loss-free path reconciliation depends on.
+				events := tr.Drain()
+				tot := tr.Totals()
+				res.Traces = append(res.Traces, trace.ModuleTrace{
+					Module: mod.Name, Run: run, Events: events,
+					Emitted: tot.Emitted, Dropped: tot.Dropped,
+				})
+				res.TraceTotals.Emitted += tot.Emitted
+				res.TraceTotals.Dropped += tot.Dropped
+				res.TraceTotals.Buffered += tot.Buffered
+			}
 			mu.Unlock()
 		}(mi)
 	}
@@ -275,7 +332,7 @@ func runModule(mod *workload.Module, det core.Detector, sched *task.Scheduler,
 			Det:   envDet,
 			Sched: sched,
 			Rng: rand.New(rand.NewSource(
-				opts.RunSeedBase + int64(run)*1_000_003 + int64(mi)*10_007 + int64(ti))),
+				opts.runSeedBase() + int64(run)*1_000_003 + int64(mi)*10_007 + int64(ti))),
 			Pace:  tm.pace,
 			Delay: tm.delay,
 			Deadline: time.Now().

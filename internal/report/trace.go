@@ -1,0 +1,69 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// TraceSummary renders the aggregated per-location metrics table the way an
+// engineer triaging a CI run reads it: the busiest locations first, each with
+// its near-miss pressure, delay lifecycle (planned → set → slept →
+// productive) and the reason pairs involving it left the trap set. maxRows
+// bounds the table; <= 0 means every location.
+func TraceSummary(w io.Writer, m *trace.Metrics, maxRows int) {
+	fmt.Fprintf(w, "trace: %d events", m.Events)
+	if m.Dropped > 0 {
+		fmt.Fprintf(w, " (%d DROPPED — raise TraceBufferSize to reconcile)", m.Dropped)
+	}
+	fmt.Fprintln(w)
+	for _, kind := range []trace.Kind{
+		trace.KindNearMiss, trace.KindPairAdded, trace.KindDelayPlanned,
+		trace.KindTrapSet, trace.KindDelayInjected, trace.KindDelayProductive,
+		trace.KindTrapSprung, trace.KindHBEdge, trace.KindPairPrunedHB,
+		trace.KindPairPrunedDecay,
+	} {
+		if n := m.ByKind[kind.String()]; n > 0 {
+			fmt.Fprintf(w, "  %-18s %d\n", kind.String(), n)
+		}
+	}
+	rows := m.Sorted()
+	if maxRows > 0 && len(rows) > maxRows {
+		rows = rows[:maxRows]
+	}
+	if len(rows) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "  %-40s %9s %9s %7s %7s %7s %6s %6s %7s\n",
+		"location", "nearmiss", "gap(avg)", "planned", "delays", "product", "sprung", "hb-", "decay-")
+	for _, lm := range rows {
+		loc := lm.Loc
+		if len(loc) > 40 {
+			loc = "…" + loc[len(loc)-39:]
+		}
+		fmt.Fprintf(w, "  %-40s %9d %9s %7d %7d %7d %6d %6d %7d\n",
+			loc, lm.NearMisses, shortDur(lm.AvgGap()), lm.DelaysPlanned,
+			lm.DelaysInjected, lm.DelaysProductive, lm.TrapsSprung,
+			lm.PrunedHB, lm.PrunedDecay)
+	}
+	if maxRows > 0 && len(m.PerLoc) > maxRows {
+		fmt.Fprintf(w, "  … %d more locations (full table in metrics.json)\n",
+			len(m.PerLoc)-maxRows)
+	}
+}
+
+// shortDur renders a duration rounded to a readable precision for the table.
+func shortDur(d time.Duration) string {
+	switch {
+	case d == 0:
+		return "-"
+	case d < time.Millisecond:
+		return d.Round(time.Microsecond).String()
+	case d < time.Second:
+		return d.Round(10 * time.Microsecond).String()
+	default:
+		return d.Round(time.Millisecond).String()
+	}
+}

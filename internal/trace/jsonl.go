@@ -1,0 +1,210 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/ids"
+)
+
+// SchemaVersion guards trace consumers against incompatible producers; it is
+// carried on every JSONL line so files remain self-describing when
+// concatenated or split.
+const SchemaVersion = 1
+
+// JSONEvent is the wire form of one event: one JSON object per line
+// (docs/OBSERVABILITY.md documents the schema field by field). Locations are
+// resolved to their stable interned keys at serialization time — never on the
+// emission path — so traces from different processes are comparable.
+type JSONEvent struct {
+	V      int    `json:"v"`
+	Ev     string `json:"ev"`
+	Module string `json:"module,omitempty"`
+	Run    int    `json:"run,omitempty"`
+	TUS    int64  `json:"t_us"`
+	Thread int64  `json:"thread,omitempty"`
+	Obj    uint64 `json:"obj,omitempty"`
+	OpA    uint64 `json:"op_a,omitempty"`
+	OpB    uint64 `json:"op_b,omitempty"`
+	LocA   string `json:"loc_a,omitempty"`
+	LocB   string `json:"loc_b,omitempty"`
+	DurUS  int64  `json:"dur_us,omitempty"`
+}
+
+// jsonEventOf converts one drained event.
+func jsonEventOf(module string, run int, e Event) JSONEvent {
+	je := JSONEvent{
+		V:      SchemaVersion,
+		Ev:     e.Kind.String(),
+		Module: module,
+		Run:    run,
+		TUS:    e.At.Microseconds(),
+		Thread: int64(e.Thread),
+		Obj:    uint64(e.Obj),
+		OpA:    uint64(e.OpA),
+		OpB:    uint64(e.OpB),
+		DurUS:  e.Dur.Microseconds(),
+	}
+	if e.OpA != 0 {
+		je.LocA = e.OpA.Key()
+	}
+	if e.OpB != 0 {
+		je.LocB = e.OpB.Key()
+	}
+	return je
+}
+
+// WriteJSONL serializes one module trace, one event per line.
+func WriteJSONL(w io.Writer, mt ModuleTrace) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, e := range mt.Events {
+		if err := enc.Encode(jsonEventOf(mt.Module, mt.Run, e)); err != nil {
+			return fmt.Errorf("trace: encode event: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// pairKinds require both locations on the wire.
+var pairKinds = map[Kind]bool{
+	KindNearMiss:        true,
+	KindTrapSprung:      true,
+	KindPairAdded:       true,
+	KindHBEdge:          true,
+	KindPairPrunedHB:    true,
+	KindPairPrunedDecay: true,
+}
+
+// ValidateJSONL checks every line of r against the schema and returns the
+// event counts by kind — the input of reconciliation against core.Stats.
+// The first malformed line fails the whole stream: a trace that cannot be
+// trusted line-by-line cannot be reconciled at all.
+func ValidateJSONL(r io.Reader) (map[string]int64, error) {
+	counts := map[string]int64{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var je JSONEvent
+		if err := json.Unmarshal(raw, &je); err != nil {
+			return nil, fmt.Errorf("trace: line %d: invalid JSON: %w", line, err)
+		}
+		if je.V != SchemaVersion {
+			return nil, fmt.Errorf("trace: line %d: schema version %d, want %d", line, je.V, SchemaVersion)
+		}
+		k, ok := KindFromString(je.Ev)
+		if !ok {
+			return nil, fmt.Errorf("trace: line %d: unknown event kind %q", line, je.Ev)
+		}
+		if je.TUS < 0 {
+			return nil, fmt.Errorf("trace: line %d: negative timestamp %d", line, je.TUS)
+		}
+		if je.DurUS < 0 {
+			return nil, fmt.Errorf("trace: line %d: negative duration %d", line, je.DurUS)
+		}
+		if je.OpA == 0 {
+			return nil, fmt.Errorf("trace: line %d: %s event without op_a", line, je.Ev)
+		}
+		if pairKinds[k] && je.OpB == 0 {
+			return nil, fmt.Errorf("trace: line %d: %s event without op_b", line, je.Ev)
+		}
+		counts[je.Ev]++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: read: %w", err)
+	}
+	return counts, nil
+}
+
+// StatTotals are the core.Stats counters that have an exact event-count
+// mirror. Defined here (rather than importing internal/core, which imports
+// this package) so producers and validators share one reconciliation rule.
+type StatTotals struct {
+	DelaysInjected   int64 `json:"delays_injected"`
+	NearMisses       int64 `json:"near_misses"`
+	PairsAdded       int64 `json:"pairs_added"`
+	PairsPrunedHB    int64 `json:"pairs_pruned_hb"`
+	PairsPrunedDecay int64 `json:"pairs_pruned_decay"`
+	Violations       int64 `json:"violations"`
+}
+
+// Reconcile checks the event counts against the aggregate counters and
+// returns one error per divergence, joined. A dropped event breaks the
+// guarantee by construction, so any drop is also an error.
+func Reconcile(counts map[string]int64, stats StatTotals, dropped int64) error {
+	var errs []error
+	check := func(kind Kind, want int64) {
+		if got := counts[kind.String()]; got != want {
+			errs = append(errs, fmt.Errorf("trace: %s events = %d, stats say %d", kind, got, want))
+		}
+	}
+	if dropped != 0 {
+		errs = append(errs, fmt.Errorf("trace: %d events dropped; counts cannot reconcile", dropped))
+	}
+	check(KindTrapSet, stats.DelaysInjected)
+	check(KindDelayInjected, stats.DelaysInjected)
+	check(KindNearMiss, stats.NearMisses)
+	check(KindPairAdded, stats.PairsAdded)
+	check(KindPairPrunedHB, stats.PairsPrunedHB)
+	check(KindPairPrunedDecay, stats.PairsPrunedDecay)
+	check(KindTrapSprung, stats.Violations)
+	if len(errs) == 0 {
+		return nil
+	}
+	msg := "trace: reconciliation failed:"
+	for _, e := range errs {
+		msg += "\n  " + e.Error()
+	}
+	return fmt.Errorf("%s", msg)
+}
+
+// Summary is the sidecar written next to events.jsonl: the producer's own
+// accounting and counters, letting a consumer validate the trace without
+// re-running the suite.
+type Summary struct {
+	Version int              `json:"version"`
+	Tool    string           `json:"tool"`
+	Modules int              `json:"modules"`
+	Runs    int              `json:"runs"`
+	Emitted int64            `json:"emitted"`
+	Dropped int64            `json:"dropped"`
+	Drained int64            `json:"drained"`
+	ByKind  map[string]int64 `json:"by_kind"`
+	Stats   StatTotals       `json:"stats"`
+}
+
+// WriteSummary serializes the sidecar.
+func (s *Summary) WriteSummary(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// ReadSummary parses the sidecar.
+func ReadSummary(r io.Reader) (*Summary, error) {
+	var s Summary
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("trace: parse summary: %w", err)
+	}
+	if s.Version != SchemaVersion {
+		return nil, fmt.Errorf("trace: summary version %d, want %d", s.Version, SchemaVersion)
+	}
+	return &s, nil
+}
+
+// resolvedLoc renders an op for human-readable output: the interned key when
+// one exists, the numeric id otherwise.
+func resolvedLoc(op ids.OpID) string {
+	if k := op.Key(); k != "" {
+		return k
+	}
+	return fmt.Sprintf("op#%d", uint64(op))
+}

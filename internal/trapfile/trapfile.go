@@ -2,12 +2,19 @@
 // (§3.4.6 "Multiple testing runs"). Pairs are stored by their stable source
 // location keys, not process-local ids, so a trap file written by one test
 // process seeds the next.
+//
+// Save is crash-safe: the new contents are written to a temporary file in
+// the same directory, synced, and atomically renamed over the old file. A
+// test process killed mid-save (the normal fate of a process whose module
+// hit a hard timeout) leaves the previous trap file intact, never a
+// truncated one.
 package trapfile
 
 import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"repro/internal/ids"
 	"repro/internal/report"
@@ -29,19 +36,41 @@ type Pair struct {
 	B string `json:"b"`
 }
 
+// normalize canonicalizes a pair list: empty-key halves drop the pair (a key
+// that cannot be re-interned is useless and, worse, every such pair would
+// collide on the same empty intern slot), endpoints are ordered A <= B so a
+// pair reads the same regardless of which side observed it, and duplicates
+// collapse to one entry. Load applies it to whatever a file claims, Save to
+// whatever the detector exports, so the invariant holds on both sides of
+// the process boundary.
+func normalize(pairs []Pair) []Pair {
+	out := make([]Pair, 0, len(pairs))
+	seen := make(map[Pair]bool, len(pairs))
+	for _, p := range pairs {
+		if p.A == "" || p.B == "" {
+			continue
+		}
+		if p.A > p.B {
+			p.A, p.B = p.B, p.A
+		}
+		if seen[p] {
+			continue
+		}
+		seen[p] = true
+		out = append(out, p)
+	}
+	return out
+}
+
 // FromKeys converts in-memory pair keys to their persistent form. Pairs with
 // un-interned locations (no stable key) are dropped — they cannot be
 // re-identified in another process anyway.
 func FromKeys(pairs []report.PairKey) []Pair {
 	out := make([]Pair, 0, len(pairs))
 	for _, p := range pairs {
-		a, b := p.A.Key(), p.B.Key()
-		if a == "" || b == "" {
-			continue
-		}
-		out = append(out, Pair{A: a, B: b})
+		out = append(out, Pair{A: p.A.Key(), B: p.B.Key()})
 	}
-	return out
+	return normalize(out)
 }
 
 // ToKeys re-interns persistent pairs into this process's OpID space.
@@ -53,21 +82,65 @@ func ToKeys(pairs []Pair) []report.PairKey {
 	return out
 }
 
-// Save writes the trap set to path.
+// testHookAfterWrite, when non-nil, runs after the temp file is durably
+// written and before the rename. Tests return an error to simulate a
+// process killed at the most dangerous instant: Save stops right there,
+// deliberately leaving the temp file behind — a killed process cleans up
+// nothing.
+var testHookAfterWrite func(tmpPath string) error
+
+// Save atomically replaces the trap file at path. The previous contents stay
+// readable until the very last step, a same-directory rename.
 func Save(path, tool string, pairs []report.PairKey) error {
 	f := File{Version: FormatVersion, Tool: tool, Pairs: FromKeys(pairs)}
 	data, err := json.MarshalIndent(f, "", "  ")
 	if err != nil {
 		return fmt.Errorf("trapfile: marshal: %w", err)
 	}
-	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
-		return fmt.Errorf("trapfile: write %s: %w", path, err)
+	data = append(data, '\n')
+
+	// The temp file must live in the target's directory: rename(2) is only
+	// atomic within one filesystem.
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("trapfile: create temp in %s: %w", dir, err)
+	}
+	tmpPath := tmp.Name()
+	cleanup := func(err error) error {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		return cleanup(fmt.Errorf("trapfile: write %s: %w", tmpPath, err))
+	}
+	// Sync before rename: otherwise a crash shortly after Save could leave
+	// the *renamed* file empty on disk — the exact torn state the temp-file
+	// dance exists to prevent.
+	if err := tmp.Sync(); err != nil {
+		return cleanup(fmt.Errorf("trapfile: sync %s: %w", tmpPath, err))
+	}
+	if err := tmp.Close(); err != nil {
+		return cleanup(fmt.Errorf("trapfile: close %s: %w", tmpPath, err))
+	}
+	if testHookAfterWrite != nil {
+		if err := testHookAfterWrite(tmpPath); err != nil {
+			return err
+		}
+	}
+	if err := os.Rename(tmpPath, path); err != nil {
+		os.Remove(tmpPath)
+		return fmt.Errorf("trapfile: rename %s: %w", path, err)
 	}
 	return nil
 }
 
 // Load reads a trap set from path. A missing file yields an empty set and no
-// error — the first run of a test has no trap file.
+// error — the first run of a test has no trap file. Pairs are normalized on
+// the way in (empty keys dropped, endpoints ordered, duplicates collapsed):
+// trap files are hand-editable JSON, and a malformed pair must degrade the
+// seed set, not corrupt the detector's trap set.
 func Load(path string) ([]report.PairKey, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -83,5 +156,5 @@ func Load(path string) ([]report.PairKey, error) {
 	if f.Version != FormatVersion {
 		return nil, fmt.Errorf("trapfile: %s has version %d, want %d", path, f.Version, FormatVersion)
 	}
-	return ToKeys(f.Pairs), nil
+	return ToKeys(normalize(f.Pairs)), nil
 }

@@ -63,3 +63,182 @@ func TestFromKeysDropsUninterned(t *testing.T) {
 		t.Fatalf("uninterned pair survived: %v", got)
 	}
 }
+
+// errCrash simulates a process killed between writing the temp file and the
+// rename: Save stops with no cleanup, exactly like kill -9 would leave things.
+type errCrash struct{ tmp string }
+
+func (e *errCrash) Error() string { return "simulated crash before rename" }
+
+func TestSaveCrashBeforeRenameKeepsPreviousFile(t *testing.T) {
+	a := ids.InternKey("pkg/crash.go:1")
+	b := ids.InternKey("pkg/crash.go:2")
+	c := ids.InternKey("pkg/crash.go:3")
+	dir := t.TempDir()
+	path := filepath.Join(dir, "traps.json")
+
+	if err := Save(path, "TSVD", []report.PairKey{report.KeyOf(a, b)}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second Save "dies" after the temp write, before the rename.
+	crash := &errCrash{}
+	testHookAfterWrite = func(tmpPath string) error {
+		crash.tmp = tmpPath
+		return crash
+	}
+	defer func() { testHookAfterWrite = nil }()
+	err := Save(path, "TSVD", []report.PairKey{report.KeyOf(a, c)})
+	if err != crash {
+		t.Fatalf("Save = %v, want the simulated crash", err)
+	}
+
+	// The previous file must be byte-for-byte observable and loadable.
+	got, lerr := Load(path)
+	if lerr != nil {
+		t.Fatalf("previous trap file unreadable after crash: %v", lerr)
+	}
+	if len(got) != 1 || got[0] != report.KeyOf(a, b) {
+		t.Fatalf("previous contents lost: %v", got)
+	}
+
+	// The abandoned temp file is present (the killed process cleaned up
+	// nothing) but harmless: it is not the trap file.
+	if _, serr := os.Stat(crash.tmp); serr != nil {
+		t.Fatalf("simulated crash should leave the temp file: %v", serr)
+	}
+
+	// A later, healthy Save completes the replacement.
+	testHookAfterWrite = nil
+	if err := Save(path, "TSVD", []report.PairKey{report.KeyOf(a, c)}); err != nil {
+		t.Fatal(err)
+	}
+	got, lerr = Load(path)
+	if lerr != nil || len(got) != 1 || got[0] != report.KeyOf(a, c) {
+		t.Fatalf("recovery Save not observed: %v, %v", got, lerr)
+	}
+}
+
+func TestSaveNeverExposesPartialFile(t *testing.T) {
+	// At the hook point the full new contents exist only under the temp
+	// name; the destination still holds the old bytes. This is the
+	// "partially-written file is never observed" contract: there is no
+	// instant at which path holds a prefix of the new contents.
+	a := ids.InternKey("pkg/partial.go:1")
+	b := ids.InternKey("pkg/partial.go:2")
+	dir := t.TempDir()
+	path := filepath.Join(dir, "traps.json")
+	if err := Save(path, "TSVD", nil); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var atHook []byte
+	testHookAfterWrite = func(tmpPath string) error {
+		atHook, err = os.ReadFile(path)
+		if err != nil {
+			t.Errorf("destination unreadable mid-save: %v", err)
+		}
+		tmp, terr := os.ReadFile(tmpPath)
+		if terr != nil {
+			t.Errorf("temp file unreadable mid-save: %v", terr)
+		}
+		if len(tmp) == 0 {
+			t.Error("temp file empty at hook point; new contents not yet durable")
+		}
+		return nil
+	}
+	defer func() { testHookAfterWrite = nil }()
+	if err := Save(path, "TSVD", []report.PairKey{report.KeyOf(a, b)}); err != nil {
+		t.Fatal(err)
+	}
+	if string(atHook) != string(before) {
+		t.Fatalf("destination mutated before rename:\nbefore: %s\nat hook: %s", before, atHook)
+	}
+
+	// No stray temp files after a successful Save.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "traps.json" {
+		t.Fatalf("unexpected directory contents after Save: %v", entries)
+	}
+}
+
+func TestLoadNormalizesMalformedFiles(t *testing.T) {
+	ka, kb := "pkg/n.go:1", "pkg/n.go:2"
+	a, b := ids.InternKey(ka), ids.InternKey(kb)
+	cases := []struct {
+		name string
+		json string
+		want []report.PairKey
+	}{
+		{
+			name: "empty keys dropped",
+			json: `{"version":1,"pairs":[{"a":"","b":"` + kb + `"},{"a":"` + ka + `","b":""},{"a":"","b":""}]}`,
+			want: nil,
+		},
+		{
+			name: "reversed duplicate collapses",
+			json: `{"version":1,"pairs":[{"a":"` + ka + `","b":"` + kb + `"},{"a":"` + kb + `","b":"` + ka + `"}]}`,
+			want: []report.PairKey{report.KeyOf(a, b)},
+		},
+		{
+			name: "exact duplicate collapses",
+			json: `{"version":1,"pairs":[{"a":"` + ka + `","b":"` + kb + `"},{"a":"` + ka + `","b":"` + kb + `"}]}`,
+			want: []report.PairKey{report.KeyOf(a, b)},
+		},
+		{
+			name: "self pair survives once",
+			json: `{"version":1,"pairs":[{"a":"` + ka + `","b":"` + ka + `"},{"a":"` + ka + `","b":"` + ka + `"}]}`,
+			want: []report.PairKey{report.KeyOf(a, a)},
+		},
+		{
+			name: "mixed garbage and good",
+			json: `{"version":1,"pairs":[{"a":"","b":""},{"a":"` + kb + `","b":"` + ka + `"}]}`,
+			want: []report.PairKey{report.KeyOf(a, b)},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "traps.json")
+			if err := os.WriteFile(path, []byte(tc.json), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			got, err := Load(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(tc.want) {
+				t.Fatalf("Load = %v, want %v", got, tc.want)
+			}
+			for i := range got {
+				if got[i] != tc.want[i] {
+					t.Fatalf("Load[%d] = %v, want %v", i, got[i], tc.want[i])
+				}
+			}
+		})
+	}
+}
+
+func TestSaveNormalizesPairs(t *testing.T) {
+	a := ids.InternKey("pkg/sn.go:1")
+	b := ids.InternKey("pkg/sn.go:2")
+	path := filepath.Join(t.TempDir(), "traps.json")
+	// Duplicates in the export must not survive the round trip.
+	pairs := []report.PairKey{report.KeyOf(a, b), report.KeyOf(b, a), report.KeyOf(a, b)}
+	if err := Save(path, "TSVD", pairs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != report.KeyOf(a, b) {
+		t.Fatalf("normalized round trip = %v, want one (a,b) pair", got)
+	}
+}
