@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench trace-smoke
+.PHONY: check vet build test race bench trace-smoke fleet-smoke
 
-check: vet build test race trace-smoke
+check: vet build test race trace-smoke fleet-smoke
 
 vet:
 	$(GO) vet ./...
@@ -29,6 +29,13 @@ trace-smoke:
 	$(GO) run ./cmd/tsvd-run -modules 5 -trace $$dir >/dev/null && \
 	$(GO) run ./cmd/tsvd-trace-check $$dir && \
 	rm -rf $$dir
+
+# End-to-end fleet-mode gate: a tsvd-trapd daemon plus three concurrent
+# tsvd-run shards must converge on one merged trap set, and a shard whose
+# daemon is killed mid-run must degrade to its local trap file and exit 0
+# (see docs/DEPLOYMENT.md).
+fleet-smoke:
+	$(GO) run ./cmd/tsvd-fleet-smoke
 
 # OnCall hot-path cost (see docs/PERFORMANCE.md for interpretation).
 bench:

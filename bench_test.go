@@ -397,7 +397,7 @@ func BenchmarkOnCallContention(b *testing.B) {
 // BenchmarkDictionarySetInstrumented measures the end-to-end per-operation
 // cost through the public API (prologue + detector + raw op).
 func BenchmarkDictionarySetInstrumented(b *testing.B) {
-	if err := Install(DefaultConfig()); err != nil {
+	if _, err := Install(DefaultConfig()); err != nil {
 		b.Fatal(err)
 	}
 	d := NewDictionary[int, int]()

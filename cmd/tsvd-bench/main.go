@@ -74,11 +74,12 @@ func main() {
 		"resource":    experiments.ResourceUsage,
 		"asyncinline": experiments.AsyncInlining,
 		"overlap":     experiments.DelayOverlap,
+		"fleet":       experiments.Fleet,
 	}
 	order := []string{
 		"table1", "table2", "table3", "table4", "fig8",
 		"fig9a", "fig9b", "fig9c", "fig9d", "fig9e", "fig9f", "fig9g", "fig9h",
-		"resource", "asyncinline", "overlap",
+		"resource", "asyncinline", "overlap", "fleet",
 	}
 
 	names := strings.Split(*exp, ",")

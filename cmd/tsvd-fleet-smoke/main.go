@@ -1,0 +1,206 @@
+// Command tsvd-fleet-smoke is the end-to-end gate for fleet mode (`make
+// fleet-smoke`): it exercises the real binaries — a tsvd-trapd daemon and
+// concurrent tsvd-run shards — the way a CI fleet would, and fails loudly
+// if any of the deployment contract breaks:
+//
+//  1. Three shards run concurrently against one daemon; afterwards the
+//     daemon's merged snapshot must equal the union of the per-shard local
+//     trap files exactly (the deterministic-merge contract).
+//  2. The daemon is killed while a fourth shard is mid-run; the shard must
+//     fall back to its local trap file, keep every pair it had, report the
+//     degradation on stderr, and still exit 0 (fleet mode is an accelerant,
+//     never a point of failure).
+//
+// Exit status: 0 when both scenarios hold, 1 otherwise.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/trapfile"
+	"repro/internal/trapstore"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "tsvd-fleet-smoke: FAIL: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("tsvd-fleet-smoke: ok")
+}
+
+func run() error {
+	dir, err := os.MkdirTemp("", "tsvd-fleet-smoke-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	trapdBin := filepath.Join(dir, "tsvd-trapd")
+	runBin := filepath.Join(dir, "tsvd-run")
+	for bin, pkg := range map[string]string{trapdBin: "./cmd/tsvd-trapd", runBin: "./cmd/tsvd-run"} {
+		if out, err := exec.Command("go", "build", "-o", bin, pkg).CombinedOutput(); err != nil {
+			return fmt.Errorf("go build %s: %v\n%s", pkg, err, out)
+		}
+	}
+
+	// --- Scenario 1: three concurrent shards converge through the daemon ---
+
+	daemon, baseURL, err := startDaemon(trapdBin, filepath.Join(dir, "snapshot.json"))
+	if err != nil {
+		return err
+	}
+	defer daemon.Process.Kill()
+	fmt.Printf("daemon up at %s\n", baseURL)
+
+	const shards = 3
+	shardFile := func(i int) string { return filepath.Join(dir, fmt.Sprintf("shard%d.json", i)) }
+	var wg sync.WaitGroup
+	errs := make([]error, shards)
+	for i := 0; i < shards; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Different -seed per shard: different machines testing
+			// different modules, converging on one trap set.
+			cmd := exec.Command(runBin,
+				"-modules", "10", "-runs", "2", "-seed", fmt.Sprint(33+i),
+				"-trapfile", shardFile(i), "-trap-server", baseURL)
+			if out, err := cmd.CombinedOutput(); err != nil {
+				errs[i] = fmt.Errorf("shard %d: %v\n%s", i, err, out)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+
+	union := trapfile.File{}
+	for i := 0; i < shards; i++ {
+		f, err := trapfile.LoadFile(shardFile(i))
+		if err != nil {
+			return fmt.Errorf("shard %d trap file: %v", i, err)
+		}
+		if len(f.Pairs) == 0 {
+			return fmt.Errorf("shard %d published no pairs", i)
+		}
+		union = trapfile.Merge(union, f)
+	}
+	client := trapstore.NewHTTPStore(baseURL, trapstore.HTTPConfig{})
+	merged, err := client.Fetch()
+	client.Close()
+	if err != nil {
+		return fmt.Errorf("fetch merged snapshot: %v", err)
+	}
+	if err := samePairs(merged.Pairs, union.Pairs); err != nil {
+		return fmt.Errorf("daemon snapshot != union of shard trap files: %v", err)
+	}
+	fmt.Printf("3 shards converged: %d pairs in daemon == union of shard files\n", len(merged.Pairs))
+
+	// --- Scenario 2: daemon killed mid-run; the shard degrades, exits 0 ---
+
+	before, err := trapfile.LoadFile(shardFile(0))
+	if err != nil {
+		return err
+	}
+	// Enough runs that the kill below lands between store syncs, with
+	// several more syncs (and therefore fallbacks) still to come.
+	cmd := exec.Command(runBin,
+		"-modules", "40", "-runs", "8", "-seed", "33",
+		"-trapfile", shardFile(0), "-trap-server", baseURL)
+	var stderr strings.Builder
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		return err
+	}
+	time.Sleep(1200 * time.Millisecond) // let the shard get into its runs
+	if err := daemon.Process.Kill(); err != nil {
+		return fmt.Errorf("kill daemon: %v", err)
+	}
+	if err := cmd.Wait(); err != nil {
+		return fmt.Errorf("shard with killed daemon exited nonzero: %v\nstderr: %s", err, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "unreachable") {
+		return fmt.Errorf("shard did not report the degradation; stderr: %q", stderr.String())
+	}
+	after, err := trapfile.LoadFile(shardFile(0))
+	if err != nil {
+		return err
+	}
+	if missing := subtract(before.Pairs, after.Pairs); len(missing) > 0 {
+		return fmt.Errorf("local trap file lost %d pairs after daemon death: %v", len(missing), missing)
+	}
+	fmt.Printf("daemon killed mid-run: shard exited 0, degraded gracefully, kept all %d prior pairs (%d now)\n",
+		len(before.Pairs), len(after.Pairs))
+	return nil
+}
+
+// startDaemon launches tsvd-trapd on an ephemeral port and parses the bound
+// base URL from its startup line.
+func startDaemon(bin, snapshot string) (*exec.Cmd, string, error) {
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-snapshot", snapshot)
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, "", err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, "", err
+	}
+	lines := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		if sc.Scan() {
+			lines <- sc.Text()
+		}
+		close(lines)
+	}()
+	select {
+	case line, ok := <-lines:
+		url, found := strings.CutPrefix(line, "tsvd-trapd: listening on ")
+		if !ok || !found {
+			cmd.Process.Kill()
+			return nil, "", fmt.Errorf("unexpected daemon startup line %q", line)
+		}
+		return cmd, url, nil
+	case <-time.After(10 * time.Second):
+		cmd.Process.Kill()
+		return nil, "", fmt.Errorf("daemon did not print its listening line in time")
+	}
+}
+
+// samePairs checks set equality of two normalized pair slices.
+func samePairs(a, b []trapfile.Pair) error {
+	if extra := subtract(a, b); len(extra) > 0 {
+		return fmt.Errorf("%d pairs only on the daemon side: %v", len(extra), extra)
+	}
+	if extra := subtract(b, a); len(extra) > 0 {
+		return fmt.Errorf("%d pairs only on the shard side: %v", len(extra), extra)
+	}
+	return nil
+}
+
+// subtract returns the members of a that b lacks.
+func subtract(a, b []trapfile.Pair) []trapfile.Pair {
+	in := make(map[trapfile.Pair]bool, len(b))
+	for _, p := range b {
+		in[p] = true
+	}
+	var out []trapfile.Pair
+	for _, p := range a {
+		if !in[p] {
+			out = append(out, p)
+		}
+	}
+	return out
+}

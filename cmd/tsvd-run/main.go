@@ -9,13 +9,26 @@
 //	tsvd-run -scenarios
 //	tsvd-run -modules 20 -algo tsvdhb -v
 //	tsvd-run -modules 5 -trace /tmp/trace-out
+//	tsvd-run -modules 30 -trapfile traps.json -trap-server http://127.0.0.1:8321
 //
-// Exit status: 0 on success, 1 when the run itself fails or reports pairs
-// outside the suite's ground truth (a detector soundness regression), 2 on
-// usage errors.
+// With -trapfile the run seeds from and persists to a local trap file
+// (§3.4.6); adding -trap-server joins a fleet: the run also fetches from and
+// publishes to a tsvd-trapd daemon, degrading back to the local file alone
+// when the daemon is unreachable (the run still exits 0 — fleet mode is an
+// accelerant, never a point of failure).
+//
+// Exit status:
+//
+//	0 — success (including daemon unreachable but local trap file intact)
+//	1 — the run failed, or reported pairs outside the suite's ground truth
+//	    (a detector soundness regression)
+//	2 — usage errors
+//	3 — a corrupt trap file or trap-server payload (trapfile.ErrCorrupt)
+//	4 — trap store unreachable with no local fallback (trapstore.ErrUnavailable)
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -27,6 +40,7 @@ import (
 	"repro/internal/report"
 	"repro/internal/trace"
 	"repro/internal/trapfile"
+	"repro/internal/trapstore"
 	"repro/internal/workload"
 )
 
@@ -36,16 +50,17 @@ func main() {
 
 func run() int {
 	var (
-		algoName  = flag.String("algo", "tsvd", "technique: tsvd, tsvdhb, dynamicrandom, datacollider")
-		modules   = flag.Int("modules", 50, "number of generated modules")
-		runs      = flag.Int("runs", 2, "consecutive runs (trap set persists between runs)")
-		seed      = flag.Int64("seed", 2019, "suite seed")
-		scale     = flag.Float64("scale", 0.02, "time scale (1.0 = the paper's 100ms delays)")
-		verbose   = flag.Bool("v", false, "print each bug's two-sided report")
-		jsonOut   = flag.Bool("json", false, "emit the bug report as JSON on stdout")
-		scenario  = flag.Bool("scenarios", false, "run the 9 open-source scenarios instead")
-		trapsFile = flag.String("trapfile", "", "trap file to load before run 1 and save after the last run (§3.4.6)")
-		traceDir  = flag.String("trace", "", "directory to write the detector event trace (events.jsonl, metrics.json, summary.json)")
+		algoName   = flag.String("algo", "tsvd", "technique: tsvd, tsvdhb, dynamicrandom, datacollider")
+		modules    = flag.Int("modules", 50, "number of generated modules")
+		runs       = flag.Int("runs", 2, "consecutive runs (trap set persists between runs)")
+		seed       = flag.Int64("seed", 2019, "suite seed")
+		scale      = flag.Float64("scale", 0.02, "time scale (1.0 = the paper's 100ms delays)")
+		verbose    = flag.Bool("v", false, "print each bug's two-sided report")
+		jsonOut    = flag.Bool("json", false, "emit the bug report as JSON on stdout")
+		scenario   = flag.Bool("scenarios", false, "run the 9 open-source scenarios instead")
+		trapsFile  = flag.String("trapfile", "", "local trap file to seed each run from and publish to (§3.4.6)")
+		trapServer = flag.String("trap-server", "", "tsvd-trapd base URL to share traps with across shards (fleet mode)")
+		traceDir   = flag.String("trace", "", "directory to write the detector event trace (events.jsonl, metrics.json, summary.json)")
 	)
 	flag.Parse()
 
@@ -91,29 +106,59 @@ func run() int {
 	if *traceDir != "" {
 		opts.Config.Trace = true
 	}
-	if *trapsFile != "" {
-		pairs, err := trapfile.Load(*trapsFile)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "tsvd-run: %v\n", err)
-			return 1
-		}
-		opts.InitialTraps = pairs
+
+	var storeTracer *trace.Tracer
+	if *traceDir != "" && (*trapsFile != "" || *trapServer != "") {
+		storeTracer = trace.New(1 << 12)
 	}
+	store := buildStore(*trapServer, *trapsFile, storeTracer)
+	if store != nil {
+		opts.Store = store
+		defer store.Close()
+	}
+
 	out := harness.Run(suite, opts)
-	if *trapsFile != "" {
-		if err := trapfile.Save(*trapsFile, algo.String(), out.FinalTraps); err != nil {
-			fmt.Fprintf(os.Stderr, "tsvd-run: %v\n", err)
-			return 1
-		}
+
+	var storeTotals trace.StoreTotals
+	if store != nil {
+		storeTotals = store.Totals()
 	}
+	if storeTracer != nil {
+		// The store's fetch/publish/fallback events join the detector
+		// traces as their own pseudo-module, so tsvd-trace-check can
+		// reconcile them against summary.store.
+		tot := storeTracer.Totals()
+		out.Traces = append(out.Traces, trace.ModuleTrace{
+			Module: "trapstore", Events: storeTracer.Drain(),
+			Emitted: tot.Emitted, Dropped: tot.Dropped,
+		})
+		out.TraceTotals.Emitted += tot.Emitted
+		out.TraceTotals.Dropped += tot.Dropped
+		out.TraceTotals.Buffered += tot.Buffered
+	}
+
 	var metrics *trace.Metrics
 	if *traceDir != "" {
 		var err error
-		metrics, err = writeTrace(*traceDir, algo.String(), *modules, *runs, out)
+		metrics, err = writeTrace(*traceDir, algo.String(), *modules, *runs, out, storeTotals)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "tsvd-run: %v\n", err)
 			return 1
 		}
+	}
+
+	if out.StoreErr != nil {
+		// The suite itself ran to completion; classify the store failure by
+		// sentinel so CI can tell a corrupt file from a dead daemon.
+		fmt.Fprintf(os.Stderr, "tsvd-run: trap store: %v\n", out.StoreErr)
+		return exitCodeFor(out.StoreErr)
+	}
+	if storeTotals.Fallbacks > 0 {
+		// Degraded but healthy: the daemon was unreachable and the local
+		// trap file absorbed everything. Worth a line, not a failure.
+		fmt.Fprintf(os.Stderr,
+			"tsvd-run: trap server unreachable %d time(s); continued on the local trap file\n",
+			storeTotals.Fallbacks)
 	}
 
 	status := 0
@@ -165,10 +210,45 @@ func run() int {
 	return status
 }
 
+// buildStore assembles the run's trap store from the two flags: the local
+// trap file, the fleet daemon, or — when both are given — the daemon with
+// graceful degradation to the file. Returns nil when neither flag is set.
+func buildStore(serverURL, filePath string, tracer *trace.Tracer) trapstore.TrapStore {
+	switch {
+	case serverURL != "" && filePath != "":
+		return trapstore.NewFallback(
+			trapstore.NewHTTPStore(serverURL, trapstore.HTTPConfig{Tracer: tracer}),
+			trapstore.NewFileStore(filePath, tracer),
+			tracer)
+	case serverURL != "":
+		return trapstore.NewHTTPStore(serverURL, trapstore.HTTPConfig{Tracer: tracer})
+	case filePath != "":
+		return trapstore.NewFileStore(filePath, tracer)
+	default:
+		return nil
+	}
+}
+
+// exitCodeFor maps a trap-store failure to the documented exit codes by
+// sentinel, not by message text.
+func exitCodeFor(err error) int {
+	switch {
+	case err == nil:
+		return 0
+	case errors.Is(err, trapfile.ErrCorrupt):
+		return 3
+	case errors.Is(err, trapstore.ErrUnavailable):
+		return 4
+	default:
+		return 1
+	}
+}
+
 // writeTrace drains the run's event traces into dir: events.jsonl (one event
 // per line, all module runs concatenated), metrics.json (the per-location
 // aggregate) and summary.json (producer-side accounting for tsvd-trace-check).
-func writeTrace(dir, tool string, modules, runs int, out *harness.Outcome) (*trace.Metrics, error) {
+func writeTrace(dir, tool string, modules, runs int, out *harness.Outcome,
+	storeTotals trace.StoreTotals) (*trace.Metrics, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("trace dir: %w", err)
 	}
@@ -212,6 +292,7 @@ func writeTrace(dir, tool string, modules, runs int, out *harness.Outcome) (*tra
 		Drained: drained,
 		ByKind:  trace.CountByKind(out.Traces),
 		Stats:   out.TraceStatTotals(),
+		Store:   storeTotals,
 	}
 	sf, err := os.Create(filepath.Join(dir, "summary.json"))
 	if err != nil {

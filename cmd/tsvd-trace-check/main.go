@@ -78,7 +78,7 @@ func run() int {
 			ok = false
 		}
 	}
-	if err := trace.Reconcile(counts, sum.Stats, sum.Dropped); err != nil {
+	if err := trace.Reconcile(counts, sum.Stats, sum.Store, sum.Dropped); err != nil {
 		fmt.Fprintf(os.Stderr, "tsvd-trace-check: %v\n", err)
 		ok = false
 	}

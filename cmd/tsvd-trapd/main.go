@@ -1,0 +1,124 @@
+// Command tsvd-trapd is the fleet trap-aggregation daemon: it holds the
+// merged dangerous-pair set that concurrent test shards (tsvd-run
+// -trap-server, or any trapstore.HTTPStore client) publish to and seed
+// from, generalizing the paper's cross-run trap persistence (§3.4.6)
+// across the shards of a CI fleet.
+//
+// Usage:
+//
+//	tsvd-trapd -addr 127.0.0.1:8321 -snapshot /var/lib/tsvd/traps.json
+//	tsvd-trapd -addr 127.0.0.1:0 -v     # ephemeral port, printed on stdout
+//
+// The daemon speaks the trapstore wire schema on /v1/traps (GET snapshot
+// with an ETag generation counter, POST merge) and answers liveness probes
+// on /healthz. With -snapshot it seeds its set from the file at startup and
+// persists after every merge that grows the set, so a restarted daemon
+// resumes where it stopped. SIGINT/SIGTERM shut it down gracefully, saving
+// a final snapshot.
+//
+// On startup it prints exactly one line, "tsvd-trapd: listening on
+// http://HOST:PORT", so wrappers that start it with -addr ...:0 can
+// discover the bound port. Exit status: 0 on clean shutdown, 1 on runtime
+// failures, 2 on usage errors.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/trapfile"
+	"repro/internal/trapstore"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:8321", "listen address (use :0 for an ephemeral port)")
+		snapshot = flag.String("snapshot", "", "trap file to seed from at startup and persist after every merge")
+		tool     = flag.String("tool", "TSVD", "tool label for the aggregated trap set")
+		verbose  = flag.Bool("v", false, "log every merge")
+	)
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "tsvd-trapd: unexpected arguments %v\n", flag.Args())
+		return 2
+	}
+
+	logger := log.New(os.Stderr, "tsvd-trapd: ", log.LstdFlags)
+
+	store := trapstore.NewMemory(*tool, nil)
+	if *snapshot != "" {
+		f, err := trapfile.LoadFile(*snapshot)
+		if err != nil {
+			// A corrupt snapshot must not be silently replaced by an empty
+			// set: shards would lose every previously aggregated pair.
+			logger.Printf("refusing to start: %v", err)
+			return 1
+		}
+		store.Seed(f)
+		if len(f.Pairs) > 0 {
+			logger.Printf("seeded %d pairs from %s", len(f.Pairs), *snapshot)
+		}
+	}
+
+	saveSnapshot := func(f trapfile.File, gen uint64) {
+		if *snapshot == "" {
+			return
+		}
+		if err := trapfile.Save(*snapshot, f); err != nil {
+			logger.Printf("snapshot save failed (set kept in memory): %v", err)
+		} else if *verbose {
+			logger.Printf("snapshot saved: %d pairs, generation %d", len(f.Pairs), gen)
+		}
+	}
+	logf := func(string, ...any) {}
+	if *verbose {
+		logf = logger.Printf
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Printf("%v", err)
+		return 1
+	}
+	// The one machine-readable startup line: wrappers parse the bound
+	// address from it when they start the daemon on an ephemeral port.
+	fmt.Printf("tsvd-trapd: listening on http://%s\n", ln.Addr())
+
+	srv := &http.Server{Handler: trapstore.Handler(store, saveSnapshot, logf)}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case <-ctx.Done():
+		logger.Printf("shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			logger.Printf("shutdown: %v", err)
+		}
+		f, gen := store.Snapshot()
+		saveSnapshot(f, gen)
+		return 0
+	case err := <-errc:
+		if !errors.Is(err, http.ErrServerClosed) {
+			logger.Printf("%v", err)
+			return 1
+		}
+		return 0
+	}
+}

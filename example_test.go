@@ -7,15 +7,17 @@ import (
 	tsvd "repro"
 )
 
-// Example_detectViolation shows the whole workflow: install the detector,
-// run racing code over an instrumented container, read the deduplicated
-// bug reports.
+// Example_detectViolation shows the whole workflow: install a detection
+// session, run racing code over an instrumented container, read the
+// deduplicated bug reports from the session handle.
 func Example_detectViolation() {
 	// Scaled 10× faster than the paper's 100ms delays, for a quick demo.
-	if err := tsvd.Install(tsvd.DefaultConfig().Scaled(0.1)); err != nil {
+	session, err := tsvd.Install(tsvd.DefaultConfig().Scaled(0.1))
+	if err != nil {
 		fmt.Println("install:", err)
 		return
 	}
+	defer session.Close()
 
 	dict := tsvd.NewDictionary[string, int]()
 	done := make(chan struct{})
@@ -32,7 +34,7 @@ func Example_detectViolation() {
 	}
 	<-done
 
-	if len(tsvd.Bugs()) > 0 {
+	if len(session.Bugs()) > 0 {
 		fmt.Println("caught a thread-safety violation red-handed")
 	}
 	// Output:
@@ -44,7 +46,7 @@ func Example_detectViolation() {
 func Example_tasks() {
 	cfg := tsvd.DefaultConfig()
 	cfg.Algorithm = tsvd.Nop // no detection needed for this example
-	if err := tsvd.Install(cfg); err != nil {
+	if _, err := tsvd.Install(cfg); err != nil {
 		fmt.Println("install:", err)
 		return
 	}

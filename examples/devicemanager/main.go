@@ -30,9 +30,11 @@ func (m *deviceManager) clientStatusUpdate(clientID int, status string) *tsvd.Ta
 }
 
 func main() {
-	if err := tsvd.Install(tsvd.DefaultConfig().Scaled(0.1)); err != nil {
+	session, err := tsvd.Install(tsvd.DefaultConfig().Scaled(0.1))
+	if err != nil {
 		log.Fatal(err)
 	}
+	defer session.Close()
 	mgr := &deviceManager{
 		globalStatus: tsvd.NewDictionary[int, string](),
 		sched:        tsvd.NewScheduler(),
@@ -53,7 +55,7 @@ func main() {
 		t.Wait()
 	}
 
-	bugs := tsvd.Bugs()
+	bugs := session.Bugs()
 	fmt.Printf("device manager: %d violation(s) on GlobalStatus\n\n", len(bugs))
 	for _, bug := range bugs {
 		fmt.Print(bug.First.String())

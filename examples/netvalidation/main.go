@@ -15,9 +15,11 @@ import (
 )
 
 func main() {
-	if err := tsvd.Install(tsvd.DefaultConfig().Scaled(0.1)); err != nil {
+	session, err := tsvd.Install(tsvd.DefaultConfig().Scaled(0.1))
+	if err != nil {
 		log.Fatal(err)
 	}
+	defer session.Close()
 	sched := tsvd.NewScheduler()
 	configureCache := tsvd.NewDictionary[string, int]()
 
@@ -37,7 +39,7 @@ func main() {
 		configureCache.Set(host, cl) // line 4 of Figure 10(b)
 	})
 
-	bugs := tsvd.Bugs()
+	bugs := session.Bugs()
 	fmt.Printf("network validation: %d violation(s) on configureCache\n\n", len(bugs))
 	for _, bug := range bugs {
 		fmt.Print(bug.First.String())

@@ -13,11 +13,13 @@ import (
 )
 
 func main() {
-	// Install the detector with the paper's defaults, time-scaled 10×
-	// faster so the demo finishes quickly.
-	if err := tsvd.Install(tsvd.DefaultConfig().Scaled(0.1)); err != nil {
+	// Install a detection session with the paper's defaults, time-scaled
+	// 10× faster so the demo finishes quickly.
+	session, err := tsvd.Install(tsvd.DefaultConfig().Scaled(0.1))
+	if err != nil {
 		log.Fatal(err)
 	}
+	defer session.Close()
 
 	// A thread-unsafe dictionary shared by two goroutines — one writes
 	// key1 while the other reads key2. Different keys, still a
@@ -43,14 +45,14 @@ func main() {
 	<-done1
 	<-done2
 
-	bugs := tsvd.Bugs()
+	bugs := session.Bugs()
 	fmt.Printf("TSVD caught %d unique thread-safety violation(s)\n\n", len(bugs))
 	for _, bug := range bugs {
 		fmt.Print(bug.First.String())
 		fmt.Printf("  seen %d time(s) through %d distinct stack pair(s)\n\n",
 			bug.Occurrences, bug.StackPairs)
 	}
-	st := tsvd.Stats()
+	st := session.Stats()
 	fmt.Printf("stats: %d instrumented calls, %d near-misses, %d delays injected (%v total)\n",
 		st.OnCalls, st.NearMisses, st.DelaysInjected, st.TotalDelay)
 	if len(bugs) == 0 {

@@ -36,15 +36,17 @@ func getSqrt(sched *tsvd.Scheduler, x float64, dict *tsvd.Dictionary[float64, fl
 }
 
 func main() {
-	if err := tsvd.Install(tsvd.DefaultConfig().Scaled(0.1)); err != nil {
+	session, err := tsvd.Install(tsvd.DefaultConfig().Scaled(0.1))
+	if err != nil {
 		log.Fatal(err)
 	}
+	defer session.Close()
 	sched := tsvd.NewScheduler()
 	dict := tsvd.NewDictionary[float64, float64]()
 
 	// Lines 13–16: two concurrent getSqrt calls on an empty cache.
 	// Repeat with fresh keys until the detector converts a near miss.
-	for round := 0; round < 120 && len(tsvd.Bugs()) == 0; round++ {
+	for round := 0; round < 120 && len(session.Bugs()) == 0; round++ {
 		a := float64(round)*2 + 2
 		b := float64(round)*2 + 3
 		sqrtA := getSqrt(sched, a, dict)
@@ -56,7 +58,7 @@ func main() {
 	}
 	fmt.Println()
 
-	bugs := tsvd.Bugs()
+	bugs := session.Bugs()
 	fmt.Printf("sqrt cache: %d violation(s), as predicted by Figure 4\n\n", len(bugs))
 	for _, bug := range bugs {
 		fmt.Print(bug.First.String())

@@ -133,7 +133,7 @@ func TestTracedDetectorEventsMatchStats(t *testing.T) {
 		PairsPrunedHB:    st.PairsPrunedHB,
 		PairsPrunedDecay: st.PairsPrunedDecay,
 		Violations:       st.Violations,
-	}, tot.Dropped); err != nil {
+	}, trace.StoreTotals{}, tot.Dropped); err != nil {
 		t.Fatal(err)
 	}
 	if counts["near_miss"] == 0 {

@@ -9,6 +9,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/harness"
 	"repro/internal/scenarios"
+	"repro/internal/trapstore"
 	"repro/internal/workload"
 )
 
@@ -101,4 +102,39 @@ func DelayOverlap(p Params, w io.Writer) {
 		aggressive.TotalFound(), aggressive.Stats.DelaysInjected)
 	fmt.Fprintf(w, "%-26s %6d %9d\n", "avoid overlaps",
 		avoiding.TotalFound(), avoiding.Stats.DelaysInjected)
+}
+
+// Fleet measures the tentpole of fleet mode: K shards sharing one trap
+// store catch cold bugs (single-occurrence per run, §3.4.6's motivating
+// class) within their very first round, because peers' publishes seed them
+// before their own runs start; isolated shards must each spend a round
+// learning the pairs themselves. Reported per shard count: distinct cold
+// bugs the shard itself trapped within the budget.
+func Fleet(p Params, w io.Writer) {
+	// The cold-bug-rich suite (same seed the harness tests pin): enough
+	// single-occurrence bugs that seeding is the only way to catch them.
+	suite := workload.GenerateSuite(33, 120)
+	planted := suite.BugsByKind()
+
+	fmt.Fprintf(w, "fleet mode: shared trap store vs isolated shards (cold bugs planted: %d)\n",
+		planted[workload.BugCold])
+	fmt.Fprintf(w, "%-9s %7s %18s %18s %15s\n",
+		"shards", "rounds", "cold catches", "fleet-wide bugs", "mean 1st round")
+	for _, shards := range []int{2, 3, 4} {
+		for _, rounds := range []int{1, 2} {
+			shared := harness.RunFleet(suite, shards, rounds, p.opts(config.AlgoTSVD, 1),
+				trapstore.NewMemory("TSVD", nil))
+			isolated := harness.RunFleet(suite, shards, rounds, p.opts(config.AlgoTSVD, 1), nil)
+			sm, _ := shared.MeanFirstBugRound()
+			im, _ := isolated.MeanFirstBugRound()
+			fmt.Fprintf(w, "%-9d %7d %8d vs %-7d %8d vs %-7d %6.2f vs %-5.2f\n",
+				shards, rounds,
+				shared.ColdCatches, isolated.ColdCatches,
+				len(shared.Found), len(isolated.Found),
+				sm, im)
+		}
+	}
+	fmt.Fprintf(w, "(cold catches: per-shard distinct cold bugs, summed over shards;\n")
+	fmt.Fprintf(w, " shared vs isolated store. Cold bugs need a seeded trap, so isolated\n")
+	fmt.Fprintf(w, " shards catch none in round 1 by construction.)\n")
 }

@@ -1,0 +1,128 @@
+package harness
+
+import (
+	"errors"
+
+	"repro/internal/report"
+	"repro/internal/trapstore"
+	"repro/internal/workload"
+)
+
+// FleetOutcome aggregates a RunFleet execution: K shards running the suite
+// in lockstep rounds, each syncing with a trap store between rounds.
+type FleetOutcome struct {
+	Shards int
+	Rounds int
+
+	// Found maps each planted bug the fleet caught to the earliest 1-based
+	// round in which any shard caught it.
+	Found map[report.PairKey]int
+	// NewByRound[r-1] counts planted bugs first caught (fleet-wide) in
+	// round r.
+	NewByRound []int
+	// ShardFirstBug[i] is the first round in which shard i caught any
+	// planted bug (0 = never within the budget).
+	ShardFirstBug []int
+	// ShardCold[i] counts the distinct cold planted bugs shard i caught.
+	// Cold bugs occur once per run, so a shard can only trap one by being
+	// seeded with the dangerous pair before the occurrence — they are the
+	// bug class trap sharing exists for (§3.4.6).
+	ShardCold []int
+	// ColdCatches sums ShardCold: the fleet-wide count of per-shard cold
+	// catches, the headline number a shared store is supposed to raise.
+	ColdCatches int
+	// StoreErr joins every store error any shard accumulated.
+	StoreErr error
+}
+
+// MeanFirstBugRound averages ShardFirstBug over the shards that caught
+// anything; the second result is how many never did.
+func (o *FleetOutcome) MeanFirstBugRound() (float64, int) {
+	sum, caught, never := 0, 0, 0
+	for _, r := range o.ShardFirstBug {
+		if r == 0 {
+			never++
+			continue
+		}
+		sum += r
+		caught++
+	}
+	if caught == 0 {
+		return 0, never
+	}
+	return float64(sum) / float64(caught), never
+}
+
+// RunFleet simulates a CI fleet: shards shards each execute the suite once
+// per round, for rounds rounds, syncing their trap sets through a store
+// before and after every run (the same per-run protocol tsvd-run uses
+// against tsvd-trapd). With shared non-nil every shard uses that one store,
+// so pairs discovered by one shard seed every other shard's next round;
+// with shared nil each shard gets a private in-memory store — the isolated
+// baseline where a shard only ever learns from its own runs.
+//
+// Shards run sequentially within a round (concurrent suites would contend
+// for CPU and perturb the delay-injection timing the detector depends on);
+// the lockstep-wave model matches a CI system that starts all shards
+// together and waits for the slowest.
+func RunFleet(suite *workload.Suite, shards, rounds int, base Options, shared trapstore.TrapStore) *FleetOutcome {
+	base = base.withDefaults()
+	out := &FleetOutcome{
+		Shards:        shards,
+		Rounds:        rounds,
+		Found:         map[report.PairKey]int{},
+		NewByRound:    make([]int, rounds),
+		ShardFirstBug: make([]int, shards),
+		ShardCold:     make([]int, shards),
+	}
+	planted := suite.PlantedPairs()
+
+	stores := make([]trapstore.TrapStore, shards)
+	coldSeen := make([]map[report.PairKey]bool, shards)
+	for i := range stores {
+		if shared != nil {
+			stores[i] = shared
+		} else {
+			stores[i] = trapstore.NewMemory("TSVD", nil)
+		}
+		coldSeen[i] = map[report.PairKey]bool{}
+	}
+
+	for round := 1; round <= rounds; round++ {
+		for sh := 0; sh < shards; sh++ {
+			o := base
+			o.Runs = 1
+			o.Store = stores[sh]
+			// Distinct schedule and detector randomness per (shard, round):
+			// shards are different machines running the same tests.
+			o.RunSeedBase = Seed(base.runSeedBase() + int64(sh)*1_000_003 + int64(round)*7919)
+			o.Config.Seed = base.Config.Seed + int64(sh)*104_729 + int64(round)*15_485_863
+			ro := Run(suite, o)
+
+			if ro.StoreErr != nil {
+				out.StoreErr = errors.Join(out.StoreErr, ro.StoreErr)
+			}
+			for pair := range ro.FoundBugs {
+				b, known := planted[pair]
+				if !known {
+					continue
+				}
+				if _, seen := out.Found[pair]; !seen {
+					out.Found[pair] = round
+					out.NewByRound[round-1]++
+				}
+				if out.ShardFirstBug[sh] == 0 {
+					out.ShardFirstBug[sh] = round
+				}
+				if b.Kind == workload.BugCold && !coldSeen[sh][pair] {
+					coldSeen[sh][pair] = true
+					out.ShardCold[sh]++
+				}
+			}
+		}
+	}
+	for _, c := range out.ShardCold {
+		out.ColdCatches += c
+	}
+	return out
+}

@@ -1,0 +1,74 @@
+package harness
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/trapstore"
+	"repro/internal/workload"
+)
+
+// TestFleetSharedStoreSeedsColdBugsInRoundOne is the fleet-mode payoff: cold
+// bugs occur once per run, so a shard can only trap one if it was seeded
+// with the dangerous pair before the occurrence. Isolated shards have no
+// seed in their first run and catch none; shards sharing a store are seeded
+// by their peers' publishes within the same wave and start catching cold
+// bugs a full round earlier.
+func TestFleetSharedStoreSeedsColdBugsInRoundOne(t *testing.T) {
+	suite := workload.GenerateSuite(33, 120) // cold-bug-rich seed
+	if suite.BugsByKind()[workload.BugCold] < 3 {
+		t.Fatalf("suite has too few cold bugs: %v", suite.BugsByKind())
+	}
+
+	const shards, rounds = 3, 1
+	shared := RunFleet(suite, shards, rounds, opts(config.AlgoTSVD, 1),
+		trapstore.NewMemory("TSVD", nil))
+	isolated := RunFleet(suite, shards, rounds, opts(config.AlgoTSVD, 1), nil)
+
+	if shared.StoreErr != nil || isolated.StoreErr != nil {
+		t.Fatalf("store errors: shared=%v isolated=%v", shared.StoreErr, isolated.StoreErr)
+	}
+	if isolated.ColdCatches != 0 {
+		// Cold bugs need a prior near miss to be trapped; an unseeded
+		// first run catching one means the workload's cold class broke.
+		t.Fatalf("isolated shards caught %d cold bugs in round 1", isolated.ColdCatches)
+	}
+	if shared.ColdCatches <= isolated.ColdCatches {
+		t.Fatalf("shared store did not beat isolation: shared=%d isolated=%d",
+			shared.ColdCatches, isolated.ColdCatches)
+	}
+	if len(shared.Found) == 0 {
+		t.Fatal("fleet found nothing at all")
+	}
+}
+
+// TestFleetOutcomeAccounting pins the bookkeeping on a small suite: every
+// Found round is within budget, NewByRound sums to len(Found), and
+// MeanFirstBugRound's never-count matches the zero entries.
+func TestFleetOutcomeAccounting(t *testing.T) {
+	suite := workload.GenerateSuite(21, 20)
+	out := RunFleet(suite, 2, 2, opts(config.AlgoTSVD, 1), trapstore.NewMemory("TSVD", nil))
+
+	sum := 0
+	for _, n := range out.NewByRound {
+		sum += n
+	}
+	if sum != len(out.Found) {
+		t.Fatalf("NewByRound sums to %d, Found has %d", sum, len(out.Found))
+	}
+	for pair, round := range out.Found {
+		if round < 1 || round > out.Rounds {
+			t.Fatalf("bug %v first found in impossible round %d", pair, round)
+		}
+	}
+	_, never := out.MeanFirstBugRound()
+	zeros := 0
+	for _, r := range out.ShardFirstBug {
+		if r == 0 {
+			zeros++
+		}
+	}
+	if never != zeros {
+		t.Fatalf("MeanFirstBugRound never=%d, zero entries=%d", never, zeros)
+	}
+}

@@ -8,6 +8,7 @@
 package harness
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -18,6 +19,8 @@ import (
 	"repro/internal/report"
 	"repro/internal/task"
 	"repro/internal/trace"
+	"repro/internal/trapfile"
+	"repro/internal/trapstore"
 	"repro/internal/workload"
 )
 
@@ -47,6 +50,15 @@ type Options struct {
 	// written by a previous process (§3.4.6). Pairs belonging to other
 	// modules are inert.
 	InitialTraps []report.PairKey
+	// Store, when non-nil, is a shared trap store (fleet mode, §3.4.6
+	// generalized across concurrent shards): before each run the harness
+	// fetches the store's pairs and seeds every module with them, and after
+	// each run it publishes the union of the per-module trap sets. Store
+	// errors never abort the suite — they accumulate in Outcome.StoreErr
+	// for the caller to classify (a trapstore.Fallback already degrades
+	// around an unreachable daemon, so errors here are data errors or an
+	// unreachable store with no local fallback).
+	Store trapstore.TrapStore
 }
 
 // Seed wraps an explicit run-seed base. harness.Seed(0) is a real,
@@ -96,6 +108,11 @@ type Outcome struct {
 	// FinalTraps is the union of every module's dangerous pairs after the
 	// last run — the contents of the next trap file.
 	FinalTraps []report.PairKey
+	// StoreErr joins every error Options.Store returned during the suite
+	// (nil when no store was configured or every operation succeeded). The
+	// suite itself always runs to completion; callers classify the error
+	// with errors.Is (trapfile.ErrCorrupt, trapstore.ErrUnavailable).
+	StoreErr error
 
 	// Traces holds each module run's drained event trace, in completion
 	// order, when Config.Trace is enabled (empty otherwise). Each detector
@@ -181,6 +198,18 @@ func Run(suite *workload.Suite, opts Options) *Outcome {
 		}
 	}
 	for run := 1; run <= opts.Runs; run++ {
+		if opts.Store != nil {
+			// Seed this run from everything the fleet has found so far.
+			f, err := opts.Store.Fetch()
+			if err != nil {
+				out.StoreErr = errors.Join(out.StoreErr, err)
+			} else if len(f.Pairs) > 0 {
+				seed := trapfile.ToKeys(f.Pairs)
+				for mi := range traps {
+					traps[mi] = unionKeys(traps[mi], seed)
+				}
+			}
+		}
 		ro := runSuite(suite, opts, opts.Config, traps, run)
 		out.WallTime += ro.WallTime
 		out.Stats = sumStats(out.Stats, ro.Stats)
@@ -209,18 +238,48 @@ func Run(suite *workload.Suite, opts Options) *Outcome {
 			}
 		}
 		out.NewBugsByRun = append(out.NewBugsByRun, newBugs)
+
+		if opts.Store != nil {
+			// Hand this run's discoveries to the fleet.
+			f := trapfile.New(opts.Config.Algorithm.String(), unionTraps(traps))
+			if err := opts.Store.Publish(f); err != nil {
+				out.StoreErr = errors.Join(out.StoreErr, err)
+			}
+		}
 	}
 	out.ModulesWithBugs = len(modulesWithFound)
+	out.FinalTraps = unionTraps(traps)
+	return out
+}
+
+// unionTraps flattens the per-module trap slots into one deduplicated set.
+func unionTraps(traps [][]report.PairKey) []report.PairKey {
+	var out []report.PairKey
 	seen := map[report.PairKey]bool{}
 	for _, pairs := range traps {
 		for _, p := range pairs {
 			if !seen[p] {
 				seen[p] = true
-				out.FinalTraps = append(out.FinalTraps, p)
+				out = append(out, p)
 			}
 		}
 	}
 	return out
+}
+
+// unionKeys appends the members of add that cur lacks.
+func unionKeys(cur, add []report.PairKey) []report.PairKey {
+	seen := make(map[report.PairKey]bool, len(cur))
+	for _, p := range cur {
+		seen[p] = true
+	}
+	for _, p := range add {
+		if !seen[p] {
+			seen[p] = true
+			cur = append(cur, p)
+		}
+	}
+	return cur
 }
 
 // runResult is one run over the whole suite.

@@ -263,7 +263,7 @@ func TestTraceReconcilesWithStats(t *testing.T) {
 			t.Fatalf("%v: drained %d != emitted %d", algo, drained, out.TraceTotals.Emitted)
 		}
 		counts := trace.CountByKind(out.Traces)
-		if err := trace.Reconcile(counts, out.TraceStatTotals(), out.TraceTotals.Dropped); err != nil {
+		if err := trace.Reconcile(counts, out.TraceStatTotals(), trace.StoreTotals{}, out.TraceTotals.Dropped); err != nil {
 			t.Fatalf("%v: %v", algo, err)
 		}
 	}

@@ -11,8 +11,10 @@ import (
 
 // SchemaVersion guards trace consumers against incompatible producers; it is
 // carried on every JSONL line so files remain self-describing when
-// concatenated or split.
-const SchemaVersion = 1
+// concatenated or split. Version 2 added the trap-store event kinds
+// (store_fetch, store_publish, store_fallback) and the summary's store
+// totals.
+const SchemaVersion = 2
 
 // JSONEvent is the wire form of one event: one JSON object per line
 // (docs/OBSERVABILITY.md documents the schema field by field). Locations are
@@ -136,10 +138,21 @@ type StatTotals struct {
 	Violations       int64 `json:"violations"`
 }
 
-// Reconcile checks the event counts against the aggregate counters and
-// returns one error per divergence, joined. A dropped event breaks the
-// guarantee by construction, so any drop is also an error.
-func Reconcile(counts map[string]int64, stats StatTotals, dropped int64) error {
+// StoreTotals are the trap-store operation counters with an exact
+// event-count mirror: a store's successful fetches, successful publishes,
+// and primary→local fallbacks (internal/trapstore.Totals, in the wire form
+// shared between producer and validator).
+type StoreTotals struct {
+	Fetches   int64 `json:"fetches"`
+	Publishes int64 `json:"publishes"`
+	Fallbacks int64 `json:"fallbacks"`
+}
+
+// Reconcile checks the event counts against the aggregate counters — the
+// detector's and the trap store's — and returns one error per divergence,
+// joined. A dropped event breaks the guarantee by construction, so any drop
+// is also an error.
+func Reconcile(counts map[string]int64, stats StatTotals, store StoreTotals, dropped int64) error {
 	var errs []error
 	check := func(kind Kind, want int64) {
 		if got := counts[kind.String()]; got != want {
@@ -156,6 +169,9 @@ func Reconcile(counts map[string]int64, stats StatTotals, dropped int64) error {
 	check(KindPairPrunedHB, stats.PairsPrunedHB)
 	check(KindPairPrunedDecay, stats.PairsPrunedDecay)
 	check(KindTrapSprung, stats.Violations)
+	check(KindStoreFetch, store.Fetches)
+	check(KindStorePublish, store.Publishes)
+	check(KindStoreFallback, store.Fallbacks)
 	if len(errs) == 0 {
 		return nil
 	}
@@ -179,6 +195,9 @@ type Summary struct {
 	Drained int64            `json:"drained"`
 	ByKind  map[string]int64 `json:"by_kind"`
 	Stats   StatTotals       `json:"stats"`
+	// Store is the trap-store client's own operation accounting, mirrored by
+	// the store_* events (zero-valued when the run used no trap store).
+	Store StoreTotals `json:"store"`
 }
 
 // WriteSummary serializes the sidecar.

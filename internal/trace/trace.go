@@ -84,6 +84,19 @@ const (
 	// probability decayed below the prune threshold (§3.4.5). Count equals
 	// Stats.PairsPrunedDecay.
 	KindPairPrunedDecay
+	// KindStoreFetch: a trap store served a snapshot of the shared
+	// dangerous-pair set (fleet mode, §3.4.6 across shards). OpA is the
+	// store's interned endpoint key, Dur the request duration. Count equals
+	// the store's Totals().Fetches.
+	KindStoreFetch
+	// KindStorePublish: a run's dangerous pairs were published to a trap
+	// store. OpA is the store's interned endpoint key, Dur the request
+	// duration. Count equals the store's Totals().Publishes.
+	KindStorePublish
+	// KindStoreFallback: the primary (remote) trap store was unreachable and
+	// the operation degraded to the local store. OpA is the primary store's
+	// interned endpoint key. Count equals the store's Totals().Fallbacks.
+	KindStoreFallback
 
 	numKinds
 )
@@ -100,6 +113,9 @@ var kindNames = [numKinds]string{
 	KindHBEdge:          "hb_edge",
 	KindPairPrunedHB:    "pair_pruned_hb",
 	KindPairPrunedDecay: "pair_pruned_decay",
+	KindStoreFetch:      "store_fetch",
+	KindStorePublish:    "store_publish",
+	KindStoreFallback:   "store_fallback",
 }
 
 // String returns the snake_case wire name used in the JSONL schema.

@@ -189,11 +189,11 @@ func TestValidateJSONLRejectsMalformed(t *testing.T) {
 	cases := map[string]string{
 		"bad json":          "{nope\n",
 		"wrong version":     `{"v":9,"ev":"near_miss","t_us":1,"op_a":1,"op_b":2}` + "\n",
-		"unknown kind":      `{"v":1,"ev":"bogus","t_us":1,"op_a":1}` + "\n",
-		"negative time":     `{"v":1,"ev":"trap_set","t_us":-1,"op_a":1}` + "\n",
-		"negative duration": `{"v":1,"ev":"trap_set","t_us":1,"dur_us":-5,"op_a":1}` + "\n",
-		"missing op_a":      `{"v":1,"ev":"trap_set","t_us":1}` + "\n",
-		"pair without op_b": `{"v":1,"ev":"near_miss","t_us":1,"op_a":1}` + "\n",
+		"unknown kind":      `{"v":2,"ev":"bogus","t_us":1,"op_a":1}` + "\n",
+		"negative time":     `{"v":2,"ev":"trap_set","t_us":-1,"op_a":1}` + "\n",
+		"negative duration": `{"v":2,"ev":"trap_set","t_us":1,"dur_us":-5,"op_a":1}` + "\n",
+		"missing op_a":      `{"v":2,"ev":"trap_set","t_us":1}` + "\n",
+		"pair without op_b": `{"v":2,"ev":"near_miss","t_us":1,"op_a":1}` + "\n",
 	}
 	for name, line := range cases {
 		if _, err := ValidateJSONL(strings.NewReader(line)); err == nil {
@@ -201,7 +201,7 @@ func TestValidateJSONLRejectsMalformed(t *testing.T) {
 		}
 	}
 	// Blank lines are tolerated (files are concatenated in the harness).
-	good := `{"v":1,"ev":"trap_set","t_us":1,"op_a":7}` + "\n\n"
+	good := `{"v":2,"ev":"trap_set","t_us":1,"op_a":7}` + "\n\n"
 	if _, err := ValidateJSONL(strings.NewReader(good)); err != nil {
 		t.Fatalf("blank line rejected: %v", err)
 	}
@@ -217,15 +217,15 @@ func TestReconcile(t *testing.T) {
 		DelaysInjected: 2, NearMisses: 5, PairsAdded: 3,
 		PairsPrunedHB: 1, PairsPrunedDecay: 0, Violations: 1,
 	}
-	if err := Reconcile(counts, stats, 0); err != nil {
+	if err := Reconcile(counts, stats, StoreTotals{}, 0); err != nil {
 		t.Fatalf("exact counts rejected: %v", err)
 	}
-	if err := Reconcile(counts, stats, 3); err == nil {
+	if err := Reconcile(counts, stats, StoreTotals{}, 3); err == nil {
 		t.Fatal("dropped events accepted")
 	}
 	bad := stats
 	bad.NearMisses = 6
-	if err := Reconcile(counts, bad, 0); err == nil {
+	if err := Reconcile(counts, bad, StoreTotals{}, 0); err == nil {
 		t.Fatal("diverging counter accepted")
 	}
 }
@@ -341,4 +341,33 @@ func BenchmarkEmit(b *testing.B) {
 				time.Duration(i), time.Microsecond)
 		}
 	})
+}
+
+func TestReconcileStoreTotals(t *testing.T) {
+	counts := map[string]int64{
+		"store_fetch": 4, "store_publish": 2, "store_fallback": 1,
+	}
+	store := StoreTotals{Fetches: 4, Publishes: 2, Fallbacks: 1}
+	if err := Reconcile(counts, StatTotals{}, store, 0); err != nil {
+		t.Fatalf("exact store counts rejected: %v", err)
+	}
+	bad := store
+	bad.Fallbacks = 0
+	if err := Reconcile(counts, StatTotals{}, bad, 0); err == nil {
+		t.Fatal("diverging store counter accepted")
+	}
+}
+
+func TestValidateJSONLStoreKinds(t *testing.T) {
+	lines := `{"v":2,"ev":"store_fetch","t_us":1,"op_a":7,"loc_a":"trapstore:http://x"}
+{"v":2,"ev":"store_publish","t_us":2,"op_a":7}
+{"v":2,"ev":"store_fallback","t_us":3,"op_a":7}
+`
+	counts, err := ValidateJSONL(strings.NewReader(lines))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts["store_fetch"] != 1 || counts["store_publish"] != 1 || counts["store_fallback"] != 1 {
+		t.Fatalf("counts = %v", counts)
+	}
 }

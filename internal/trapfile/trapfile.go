@@ -8,20 +8,37 @@
 // test process killed mid-save (the normal fate of a process whose module
 // hit a hard timeout) leaves the previous trap file intact, never a
 // truncated one.
+//
+// Merge is the single union rule for trap sets everywhere they meet: a
+// local file absorbing a run's exports, the fleet daemon (cmd/tsvd-trapd)
+// absorbing a shard's publish, and a shard folding a daemon snapshot into
+// its local seeds all call the same function, so every replica of a trap
+// set converges to the same bytes regardless of merge order.
 package trapfile
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 
 	"repro/internal/ids"
 	"repro/internal/report"
 )
 
-// FormatVersion guards against reading files from incompatible builds.
+// FormatVersion guards against reading files from incompatible builds. The
+// trap-server wire schema (internal/trapstore) carries the same number: a
+// daemon and its shards must agree on the pair encoding exactly as two
+// consecutive local runs must.
 const FormatVersion = 1
+
+// ErrCorrupt marks a trap file (or trap-server payload) that exists but
+// cannot be trusted: invalid JSON or a foreign format version. Callers
+// distinguish it from transient I/O trouble with errors.Is; cmd/tsvd-run
+// maps it to its own exit code.
+var ErrCorrupt = errors.New("trapfile: corrupt")
 
 // File is the serialized trap set.
 type File struct {
@@ -36,13 +53,23 @@ type Pair struct {
 	B string `json:"b"`
 }
 
+// less orders pairs lexicographically by (A, B) — the canonical order every
+// normalized pair list is stored and transmitted in.
+func (p Pair) less(q Pair) bool {
+	if p.A != q.A {
+		return p.A < q.A
+	}
+	return p.B < q.B
+}
+
 // normalize canonicalizes a pair list: empty-key halves drop the pair (a key
 // that cannot be re-interned is useless and, worse, every such pair would
 // collide on the same empty intern slot), endpoints are ordered A <= B so a
-// pair reads the same regardless of which side observed it, and duplicates
-// collapse to one entry. Load applies it to whatever a file claims, Save to
-// whatever the detector exports, so the invariant holds on both sides of
-// the process boundary.
+// pair reads the same regardless of which side observed it, duplicates
+// collapse to one entry, and the result is sorted by (A, B) so two trap sets
+// with the same pairs serialize to the same bytes. Load applies it to
+// whatever a file claims, Save to whatever the detector exports, and Merge
+// to both inputs, so the invariant holds on every side of every boundary.
 func normalize(pairs []Pair) []Pair {
 	out := make([]Pair, 0, len(pairs))
 	seen := make(map[Pair]bool, len(pairs))
@@ -59,7 +86,28 @@ func normalize(pairs []Pair) []Pair {
 		seen[p] = true
 		out = append(out, p)
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i].less(out[j]) })
 	return out
+}
+
+// New assembles a normalized File from a detector's exported pairs — the
+// value Save and TrapStore.Publish consume.
+func New(tool string, pairs []report.PairKey) File {
+	return File{Version: FormatVersion, Tool: tool, Pairs: FromKeys(pairs)}
+}
+
+// Merge unions two trap sets deterministically: both sides are normalized,
+// the union is sorted by (A, B), and the newer side's Tool label wins when
+// it has one. Merge is commutative up to the Tool label and associative, so
+// a daemon merging shard publishes in any arrival order, and a shard merging
+// a daemon snapshot into local seeds, reach identical pair lists.
+func Merge(older, newer File) File {
+	merged := File{Version: FormatVersion, Tool: newer.Tool}
+	if merged.Tool == "" {
+		merged.Tool = older.Tool
+	}
+	merged.Pairs = normalize(append(append([]Pair(nil), older.Pairs...), newer.Pairs...))
+	return merged
 }
 
 // FromKeys converts in-memory pair keys to their persistent form. Pairs with
@@ -89,10 +137,13 @@ func ToKeys(pairs []Pair) []report.PairKey {
 // nothing.
 var testHookAfterWrite func(tmpPath string) error
 
-// Save atomically replaces the trap file at path. The previous contents stay
+// Save atomically replaces the trap file at path with f, normalized. The
+// Version field is stamped by Save — callers build f with New or a literal
+// and never track the format version themselves. The previous contents stay
 // readable until the very last step, a same-directory rename.
-func Save(path, tool string, pairs []report.PairKey) error {
-	f := File{Version: FormatVersion, Tool: tool, Pairs: FromKeys(pairs)}
+func Save(path string, f File) error {
+	f.Version = FormatVersion
+	f.Pairs = normalize(f.Pairs)
 	data, err := json.MarshalIndent(f, "", "  ")
 	if err != nil {
 		return fmt.Errorf("trapfile: marshal: %w", err)
@@ -136,25 +187,44 @@ func Save(path, tool string, pairs []report.PairKey) error {
 	return nil
 }
 
-// Load reads a trap set from path. A missing file yields an empty set and no
-// error — the first run of a test has no trap file. Pairs are normalized on
-// the way in (empty keys dropped, endpoints ordered, duplicates collapsed):
-// trap files are hand-editable JSON, and a malformed pair must degrade the
-// seed set, not corrupt the detector's trap set.
-func Load(path string) ([]report.PairKey, error) {
+// LoadFile reads a trap set from path in its wire form, normalized. A
+// missing file yields an empty current-version File and no error — the
+// first run of a test has no trap file. Unparseable contents and foreign
+// format versions wrap ErrCorrupt: the file exists but cannot be trusted.
+func LoadFile(path string) (File, error) {
+	empty := File{Version: FormatVersion}
 	data, err := os.ReadFile(path)
 	if err != nil {
 		if os.IsNotExist(err) {
-			return nil, nil
+			return empty, nil
 		}
-		return nil, fmt.Errorf("trapfile: read %s: %w", path, err)
+		return empty, fmt.Errorf("trapfile: read %s: %w", path, err)
 	}
 	var f File
 	if err := json.Unmarshal(data, &f); err != nil {
-		return nil, fmt.Errorf("trapfile: parse %s: %w", path, err)
+		return empty, fmt.Errorf("trapfile: parse %s: %w: %v", path, ErrCorrupt, err)
 	}
 	if f.Version != FormatVersion {
-		return nil, fmt.Errorf("trapfile: %s has version %d, want %d", path, f.Version, FormatVersion)
+		return empty, fmt.Errorf("trapfile: %s has version %d, want %d: %w",
+			path, f.Version, FormatVersion, ErrCorrupt)
 	}
-	return ToKeys(normalize(f.Pairs)), nil
+	f.Pairs = normalize(f.Pairs)
+	return f, nil
+}
+
+// Load reads a trap set from path and re-interns it into this process's
+// OpID space — the seed-set form core.WithInitialTraps consumes. Pairs are
+// normalized on the way in (empty keys dropped, endpoints ordered,
+// duplicates collapsed, sorted): trap files are hand-editable JSON, and a
+// malformed pair must degrade the seed set, not corrupt the detector's trap
+// set.
+func Load(path string) ([]report.PairKey, error) {
+	f, err := LoadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(f.Pairs) == 0 {
+		return nil, nil
+	}
+	return ToKeys(f.Pairs), nil
 }

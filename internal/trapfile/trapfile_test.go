@@ -1,6 +1,7 @@
 package trapfile
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"testing"
@@ -16,7 +17,7 @@ func TestRoundTrip(t *testing.T) {
 	pairs := []report.PairKey{report.KeyOf(a, b), report.KeyOf(c, c)}
 
 	path := filepath.Join(t.TempDir(), "traps.json")
-	if err := Save(path, "TSVD", pairs); err != nil {
+	if err := Save(path, New("TSVD", pairs)); err != nil {
 		t.Fatal(err)
 	}
 	got, err := Load(path)
@@ -77,7 +78,7 @@ func TestSaveCrashBeforeRenameKeepsPreviousFile(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "traps.json")
 
-	if err := Save(path, "TSVD", []report.PairKey{report.KeyOf(a, b)}); err != nil {
+	if err := Save(path, New("TSVD", []report.PairKey{report.KeyOf(a, b)})); err != nil {
 		t.Fatal(err)
 	}
 
@@ -88,7 +89,7 @@ func TestSaveCrashBeforeRenameKeepsPreviousFile(t *testing.T) {
 		return crash
 	}
 	defer func() { testHookAfterWrite = nil }()
-	err := Save(path, "TSVD", []report.PairKey{report.KeyOf(a, c)})
+	err := Save(path, New("TSVD", []report.PairKey{report.KeyOf(a, c)}))
 	if err != crash {
 		t.Fatalf("Save = %v, want the simulated crash", err)
 	}
@@ -110,7 +111,7 @@ func TestSaveCrashBeforeRenameKeepsPreviousFile(t *testing.T) {
 
 	// A later, healthy Save completes the replacement.
 	testHookAfterWrite = nil
-	if err := Save(path, "TSVD", []report.PairKey{report.KeyOf(a, c)}); err != nil {
+	if err := Save(path, New("TSVD", []report.PairKey{report.KeyOf(a, c)})); err != nil {
 		t.Fatal(err)
 	}
 	got, lerr = Load(path)
@@ -128,7 +129,7 @@ func TestSaveNeverExposesPartialFile(t *testing.T) {
 	b := ids.InternKey("pkg/partial.go:2")
 	dir := t.TempDir()
 	path := filepath.Join(dir, "traps.json")
-	if err := Save(path, "TSVD", nil); err != nil {
+	if err := Save(path, New("TSVD", nil)); err != nil {
 		t.Fatal(err)
 	}
 	before, err := os.ReadFile(path)
@@ -152,7 +153,7 @@ func TestSaveNeverExposesPartialFile(t *testing.T) {
 		return nil
 	}
 	defer func() { testHookAfterWrite = nil }()
-	if err := Save(path, "TSVD", []report.PairKey{report.KeyOf(a, b)}); err != nil {
+	if err := Save(path, New("TSVD", []report.PairKey{report.KeyOf(a, b)})); err != nil {
 		t.Fatal(err)
 	}
 	if string(atHook) != string(before) {
@@ -231,7 +232,7 @@ func TestSaveNormalizesPairs(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "traps.json")
 	// Duplicates in the export must not survive the round trip.
 	pairs := []report.PairKey{report.KeyOf(a, b), report.KeyOf(b, a), report.KeyOf(a, b)}
-	if err := Save(path, "TSVD", pairs); err != nil {
+	if err := Save(path, New("TSVD", pairs)); err != nil {
 		t.Fatal(err)
 	}
 	got, err := Load(path)
@@ -240,5 +241,118 @@ func TestSaveNormalizesPairs(t *testing.T) {
 	}
 	if len(got) != 1 || got[0] != report.KeyOf(a, b) {
 		t.Fatalf("normalized round trip = %v, want one (a,b) pair", got)
+	}
+}
+
+func TestLoadCorruptIsErrCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	garbage := filepath.Join(dir, "garbage.json")
+	os.WriteFile(garbage, []byte("not json"), 0o644)
+	if _, err := Load(garbage); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Load(garbage) = %v, want ErrCorrupt", err)
+	}
+	foreign := filepath.Join(dir, "foreign.json")
+	os.WriteFile(foreign, []byte(`{"version": 99, "pairs": []}`), 0o644)
+	if _, err := Load(foreign); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Load(foreign version) = %v, want ErrCorrupt", err)
+	}
+	// A genuinely unreadable file is I/O trouble, not corruption.
+	if _, err := Load(dir); err == nil || errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Load(directory) = %v, want a non-ErrCorrupt error", err)
+	}
+}
+
+func TestMergeDeterministicUnion(t *testing.T) {
+	ab := Pair{A: "pkg/m.go:1", B: "pkg/m.go:2"}
+	cd := Pair{A: "pkg/m.go:3", B: "pkg/m.go:4"}
+	ef := Pair{A: "pkg/m.go:5", B: "pkg/m.go:6"}
+	x := File{Tool: "TSVD", Pairs: []Pair{cd, ab}}
+	y := File{Tool: "TSVDHB", Pairs: []Pair{ef, {A: ab.B, B: ab.A}}}
+
+	got := Merge(x, y)
+	want := []Pair{ab, cd, ef}
+	if len(got.Pairs) != len(want) {
+		t.Fatalf("Merge union = %v, want %v", got.Pairs, want)
+	}
+	for i := range want {
+		if got.Pairs[i] != want[i] {
+			t.Fatalf("Merge[%d] = %v, want %v (sorted union)", i, got.Pairs[i], want[i])
+		}
+	}
+	if got.Tool != "TSVDHB" {
+		t.Fatalf("Merge tool = %q, want the newer side's", got.Tool)
+	}
+	if got.Version != FormatVersion {
+		t.Fatalf("Merge version = %d", got.Version)
+	}
+
+	// Order-independence up to the Tool label: the pair lists must match.
+	rev := Merge(y, x)
+	if len(rev.Pairs) != len(got.Pairs) {
+		t.Fatalf("Merge not commutative: %v vs %v", rev.Pairs, got.Pairs)
+	}
+	for i := range got.Pairs {
+		if rev.Pairs[i] != got.Pairs[i] {
+			t.Fatalf("Merge not commutative at %d: %v vs %v", i, rev.Pairs[i], got.Pairs[i])
+		}
+	}
+	if rev.Tool != "TSVD" {
+		t.Fatalf("Merge(y, x) tool = %q, want newer side %q", rev.Tool, "TSVD")
+	}
+
+	// Newer side with no tool label inherits the older one's.
+	if m := Merge(x, File{Pairs: []Pair{ef}}); m.Tool != "TSVD" {
+		t.Fatalf("Merge with unlabeled newer side lost tool: %q", m.Tool)
+	}
+}
+
+func TestMergeAssociative(t *testing.T) {
+	files := []File{
+		{Pairs: []Pair{{A: "a", B: "b"}, {A: "c", B: "d"}}},
+		{Pairs: []Pair{{A: "b", B: "a"}, {A: "e", B: "f"}}},
+		{Pairs: []Pair{{A: "c", B: "d"}, {A: "a", B: "a"}}},
+	}
+	left := Merge(Merge(files[0], files[1]), files[2])
+	right := Merge(files[0], Merge(files[1], files[2]))
+	if len(left.Pairs) != len(right.Pairs) {
+		t.Fatalf("Merge not associative: %v vs %v", left.Pairs, right.Pairs)
+	}
+	for i := range left.Pairs {
+		if left.Pairs[i] != right.Pairs[i] {
+			t.Fatalf("Merge not associative at %d: %v vs %v", i, left.Pairs[i], right.Pairs[i])
+		}
+	}
+}
+
+func TestSaveStampsVersionAndNormalizes(t *testing.T) {
+	ka, kb := "pkg/v.go:1", "pkg/v.go:2"
+	path := filepath.Join(t.TempDir(), "traps.json")
+	// A caller-assembled literal with a stale version and unsorted,
+	// duplicated pairs must come back canonical.
+	f := File{Version: 99, Tool: "TSVD", Pairs: []Pair{
+		{A: kb, B: ka}, {A: ka, B: kb},
+	}}
+	if err := Save(path, f); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version != FormatVersion {
+		t.Fatalf("saved version = %d, want %d", got.Version, FormatVersion)
+	}
+	if len(got.Pairs) != 1 || got.Pairs[0] != (Pair{A: ka, B: kb}) {
+		t.Fatalf("saved pairs = %v, want one sorted (a,b)", got.Pairs)
+	}
+}
+
+func TestLoadFileMissingIsEmpty(t *testing.T) {
+	f, err := LoadFile(filepath.Join(t.TempDir(), "absent.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Version != FormatVersion || len(f.Pairs) != 0 {
+		t.Fatalf("LoadFile(absent) = %+v, want empty current-version file", f)
 	}
 }

@@ -1,0 +1,277 @@
+package trapstore
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/trace"
+	"repro/internal/trapfile"
+)
+
+// HTTPConfig tunes an HTTPStore. The zero value selects the defaults below
+// — shards in CI should rarely need anything else.
+type HTTPConfig struct {
+	// Timeout bounds each individual HTTP request (default 2s). A daemon
+	// that hangs is indistinguishable from one that is down; the shard must
+	// not stall its test run waiting.
+	Timeout time.Duration
+	// Attempts is the total number of tries per operation, first included
+	// (default 4). Exhausting them yields an ErrUnavailable-wrapped error.
+	Attempts int
+	// BackoffBase is the pre-jitter delay before the first retry (default
+	// 50ms); each further retry doubles it.
+	BackoffBase time.Duration
+	// BackoffMax caps the pre-jitter delay (default 1s), bounding the worst
+	// case: an unreachable daemon costs at most
+	// Attempts·Timeout + Σ backoff ≈ a few seconds per operation.
+	BackoffMax time.Duration
+	// Tracer receives store_fetch/store_publish events; nil disables.
+	Tracer *trace.Tracer
+}
+
+func (c HTTPConfig) withDefaults() HTTPConfig {
+	if c.Timeout <= 0 {
+		c.Timeout = 2 * time.Second
+	}
+	if c.Attempts <= 0 {
+		c.Attempts = 4
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = 50 * time.Millisecond
+	}
+	if c.BackoffMax <= 0 {
+		c.BackoffMax = time.Second
+	}
+	return c
+}
+
+// HTTPStore is the shard-side client of cmd/tsvd-trapd.
+//
+// Robustness contract: every operation has a per-request timeout, transient
+// failures (transport errors, 5xx) retry with bounded exponential backoff
+// plus jitter, and exhausted retries return an error wrapping
+// ErrUnavailable — which Fallback turns into graceful degradation. Data
+// errors (a daemon speaking another schema version) wrap
+// trapfile.ErrCorrupt and are never retried: repeating a malformed exchange
+// cannot fix it.
+//
+// Fetch is conditional: the store remembers the last snapshot's ETag
+// (the daemon's generation counter) and sends If-None-Match, so a poll
+// against an idle daemon costs a header exchange, not a body.
+type HTTPStore struct {
+	url string
+	cfg HTTPConfig
+
+	client *http.Client
+	// sleep is swapped by tests to observe the backoff schedule without
+	// actually waiting.
+	sleep func(time.Duration)
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	etag     string
+	cached   trapfile.File
+	hasCache bool
+
+	instr
+}
+
+// NewHTTPStore returns a client for the daemon at baseURL (e.g.
+// "http://127.0.0.1:8321"); the /v1/traps resource path is appended.
+func NewHTTPStore(baseURL string, cfg HTTPConfig) *HTTPStore {
+	cfg = cfg.withDefaults()
+	base := strings.TrimSuffix(baseURL, "/")
+	return &HTTPStore{
+		url:    base + TrapsPath,
+		cfg:    cfg,
+		client: &http.Client{},
+		sleep:  time.Sleep,
+		rng:    rand.New(rand.NewSource(time.Now().UnixNano())),
+		instr:  newInstr(cfg.Tracer, base),
+	}
+}
+
+// URL returns the traps resource URL this store talks to.
+func (s *HTTPStore) URL() string { return s.url }
+
+// backoffDelay returns the jittered delay before retry number retry (0 for
+// the first retry). The pre-jitter delay is BackoffBase·2^retry capped at
+// BackoffMax; jitter draws uniformly from [d/2, d), so concurrent shards
+// that failed together do not retry in lockstep and the total schedule
+// stays bounded.
+func (s *HTTPStore) backoffDelay(retry int) time.Duration {
+	d := s.cfg.BackoffBase << retry
+	if d <= 0 || d > s.cfg.BackoffMax { // <<-overflow or past the cap
+		d = s.cfg.BackoffMax
+	}
+	s.mu.Lock()
+	j := time.Duration(s.rng.Int63n(int64(d/2) + 1))
+	s.mu.Unlock()
+	return d/2 + j
+}
+
+// retry runs op up to cfg.Attempts times. op reports whether its failure is
+// retryable; non-retryable errors surface immediately, exhausted attempts
+// wrap ErrUnavailable.
+func (s *HTTPStore) retry(name string, op func() (retryable bool, err error)) error {
+	var last error
+	for attempt := 0; attempt < s.cfg.Attempts; attempt++ {
+		if attempt > 0 {
+			s.sleep(s.backoffDelay(attempt - 1))
+		}
+		retryable, err := op()
+		if err == nil {
+			return nil
+		}
+		if !retryable {
+			return err
+		}
+		last = err
+	}
+	return fmt.Errorf("trapstore: %s %s: %d attempts exhausted: %w (last error: %v)",
+		name, s.url, s.cfg.Attempts, ErrUnavailable, last)
+}
+
+// do issues one request with the per-request timeout applied.
+func (s *HTTPStore) do(method string, hdr map[string]string, body []byte) (*http.Response, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.Timeout)
+	defer cancel()
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, s.url, rd)
+	if err != nil {
+		return nil, err
+	}
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := s.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	// Read the whole body under the same timeout so a daemon that hangs
+	// mid-body cannot stall the shard either.
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	resp.Body.Close()
+	if err != nil {
+		return nil, err
+	}
+	resp.Body = io.NopCloser(bytes.NewReader(data))
+	return resp, nil
+}
+
+// Fetch implements TrapStore.
+func (s *HTTPStore) Fetch() (trapfile.File, error) {
+	var out trapfile.File
+	begin := time.Now()
+	err := s.retry("fetch", func() (bool, error) {
+		hdr := map[string]string{}
+		s.mu.Lock()
+		if s.hasCache && s.etag != "" {
+			hdr["If-None-Match"] = s.etag
+		}
+		s.mu.Unlock()
+
+		resp, err := s.do(http.MethodGet, hdr, nil)
+		if err != nil {
+			return true, err
+		}
+		switch {
+		case resp.StatusCode == http.StatusNotModified:
+			s.mu.Lock()
+			out = s.cached
+			s.mu.Unlock()
+			return false, nil
+		case resp.StatusCode == http.StatusOK:
+			var snap wireSnapshot
+			if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+				return false, fmt.Errorf("trapstore: fetch %s: %w: %v", s.url, trapfile.ErrCorrupt, err)
+			}
+			if snap.Version != trapfile.FormatVersion {
+				return false, fmt.Errorf("trapstore: fetch %s: server speaks version %d, want %d: %w",
+					s.url, snap.Version, trapfile.FormatVersion, trapfile.ErrCorrupt)
+			}
+			f := trapfile.Merge(trapfile.File{}, trapfile.File{Tool: snap.Tool, Pairs: snap.Pairs})
+			s.mu.Lock()
+			s.cached, s.etag, s.hasCache = f, resp.Header.Get("ETag"), true
+			s.mu.Unlock()
+			out = f
+			return false, nil
+		case resp.StatusCode >= 500:
+			return true, fmt.Errorf("trapstore: fetch %s: server error %s", s.url, resp.Status)
+		default:
+			return false, fmt.Errorf("trapstore: fetch %s: %s (%s)", s.url, resp.Status, bodyExcerpt(resp))
+		}
+	})
+	if err != nil {
+		return trapfile.File{Version: trapfile.FormatVersion}, err
+	}
+	s.fetched(time.Since(begin))
+	return out, nil
+}
+
+// Publish implements TrapStore.
+func (s *HTTPStore) Publish(f trapfile.File) error {
+	payload, err := json.Marshal(wireSnapshot{
+		Version: trapfile.FormatVersion, Tool: f.Tool, Pairs: f.Pairs,
+	})
+	if err != nil {
+		return fmt.Errorf("trapstore: publish %s: marshal: %w", s.url, err)
+	}
+	begin := time.Now()
+	err = s.retry("publish", func() (bool, error) {
+		resp, err := s.do(http.MethodPost, map[string]string{"Content-Type": "application/json"}, payload)
+		if err != nil {
+			return true, err
+		}
+		switch {
+		case resp.StatusCode == http.StatusOK:
+			return false, nil
+		case resp.StatusCode >= 500:
+			return true, fmt.Errorf("trapstore: publish %s: server error %s", s.url, resp.Status)
+		case resp.StatusCode == http.StatusBadRequest:
+			// The daemon rejected the payload itself (schema mismatch):
+			// a data error, not an availability problem.
+			return false, fmt.Errorf("trapstore: publish %s: rejected: %s: %w",
+				s.url, bodyExcerpt(resp), trapfile.ErrCorrupt)
+		default:
+			return false, fmt.Errorf("trapstore: publish %s: %s (%s)", s.url, resp.Status, bodyExcerpt(resp))
+		}
+	})
+	if err != nil {
+		return err
+	}
+	s.published(time.Since(begin))
+	return nil
+}
+
+// Totals implements TrapStore.
+func (s *HTTPStore) Totals() trace.StoreTotals { return s.totals() }
+
+// Close implements TrapStore.
+func (s *HTTPStore) Close() error {
+	s.client.CloseIdleConnections()
+	return nil
+}
+
+// bodyExcerpt renders the first line of an error response for messages.
+func bodyExcerpt(resp *http.Response) string {
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 200))
+	if i := bytes.IndexByte(data, '\n'); i >= 0 {
+		data = data[:i]
+	}
+	if len(data) == 0 {
+		return "empty body"
+	}
+	return string(data)
+}

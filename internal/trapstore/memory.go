@@ -1,0 +1,184 @@
+package trapstore
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/trace"
+	"repro/internal/trapfile"
+)
+
+// Memory is an in-process trap set with a generation counter — the
+// aggregation core of cmd/tsvd-trapd, and a zero-dependency shared store
+// for in-process fleet simulation (internal/harness.RunFleet).
+//
+// The generation counter increments exactly when the pair set grows, so it
+// doubles as an ETag: a shard that polls with the generation it last saw
+// gets a cheap "unchanged" answer instead of the full snapshot.
+type Memory struct {
+	mu   sync.Mutex
+	file trapfile.File
+	gen  uint64
+	instr
+}
+
+// NewMemory returns an empty store labeled with tool. tracer may be nil.
+func NewMemory(tool string, tracer *trace.Tracer) *Memory {
+	return &Memory{
+		file:  trapfile.File{Version: trapfile.FormatVersion, Tool: tool},
+		instr: newInstr(tracer, "mem:"+tool),
+	}
+}
+
+// Snapshot returns a copy of the current merged set and its generation.
+func (m *Memory) Snapshot() (trapfile.File, uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f := m.file
+	f.Pairs = append([]trapfile.Pair(nil), m.file.Pairs...)
+	return f, m.gen
+}
+
+// Seed replaces the set wholesale (daemon startup from a snapshot file).
+// It bumps the generation when the seeded set is non-empty so pre-seed
+// pollers refetch.
+func (m *Memory) Seed(f trapfile.File) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.file = trapfile.Merge(trapfile.File{}, f)
+	if len(m.file.Pairs) > 0 {
+		m.gen++
+	}
+}
+
+// merge folds f in and reports the new generation and how many pairs the
+// union gained. The generation moves only when the set actually grew.
+func (m *Memory) merge(f trapfile.File) (gen uint64, added int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	before := len(m.file.Pairs)
+	m.file = trapfile.Merge(m.file, f)
+	added = len(m.file.Pairs) - before
+	if added > 0 {
+		m.gen++
+	}
+	return m.gen, added
+}
+
+// Fetch implements TrapStore.
+func (m *Memory) Fetch() (trapfile.File, error) {
+	begin := time.Now()
+	f, _ := m.Snapshot()
+	m.fetched(time.Since(begin))
+	return f, nil
+}
+
+// Publish implements TrapStore.
+func (m *Memory) Publish(f trapfile.File) error {
+	begin := time.Now()
+	m.merge(f)
+	m.published(time.Since(begin))
+	return nil
+}
+
+// Totals implements TrapStore.
+func (m *Memory) Totals() trace.StoreTotals { return m.totals() }
+
+// Close implements TrapStore.
+func (m *Memory) Close() error { return nil }
+
+// --- HTTP wire schema (cmd/tsvd-trapd <-> HTTPStore) ---
+
+// TrapsPath is the daemon's single resource: the merged trap set.
+const TrapsPath = "/v1/traps"
+
+// wireSnapshot is the GET body and the POST payload. Version is
+// trapfile.FormatVersion — the daemon and its shards must agree on the pair
+// encoding exactly as two consecutive local runs must; a mismatch is
+// rejected, never coerced. Generation is server-assigned and ignored on
+// POST.
+type wireSnapshot struct {
+	Version    int             `json:"version"`
+	Tool       string          `json:"tool"`
+	Generation uint64          `json:"generation"`
+	Pairs      []trapfile.Pair `json:"pairs"`
+}
+
+// wireAck is the POST response: the post-merge generation and set size.
+type wireAck struct {
+	Generation uint64 `json:"generation"`
+	Pairs      int    `json:"pairs"`
+}
+
+// wireError carries a machine-readable rejection.
+type wireError struct {
+	Error string `json:"error"`
+}
+
+func etagOf(gen uint64) string { return `"g` + strconv.FormatUint(gen, 10) + `"` }
+
+// Handler serves m over HTTP:
+//
+//	GET  /v1/traps  → the merged snapshot; ETag is the generation, and a
+//	                  matching If-None-Match yields 304 with no body, so
+//	                  idle shards poll for the price of a header exchange.
+//	POST /v1/traps  → merge the payload's pairs; replies with the new
+//	                  generation. A foreign schema version is a 400.
+//	GET  /healthz   → "ok" (daemon liveness probe).
+//
+// onMerge, when non-nil, runs after every merge that grew the set (the
+// daemon persists its snapshot there). logf, when non-nil, receives one
+// line per state-changing request.
+func Handler(m *Memory, onMerge func(trapfile.File, uint64), logf func(format string, args ...any)) http.Handler {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("GET "+TrapsPath, func(w http.ResponseWriter, r *http.Request) {
+		f, gen := m.Snapshot()
+		tag := etagOf(gen)
+		w.Header().Set("ETag", tag)
+		if r.Header.Get("If-None-Match") == tag {
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(wireSnapshot{
+			Version: trapfile.FormatVersion, Tool: f.Tool, Generation: gen, Pairs: f.Pairs,
+		})
+	})
+	mux.HandleFunc("POST "+TrapsPath, func(w http.ResponseWriter, r *http.Request) {
+		var in wireSnapshot
+		if err := json.NewDecoder(r.Body).Decode(&in); err != nil {
+			reject(w, http.StatusBadRequest, fmt.Sprintf("invalid payload: %v", err))
+			return
+		}
+		if in.Version != trapfile.FormatVersion {
+			reject(w, http.StatusBadRequest, fmt.Sprintf(
+				"payload version %d, want %d", in.Version, trapfile.FormatVersion))
+			return
+		}
+		gen, added := m.merge(trapfile.File{Version: trapfile.FormatVersion, Tool: in.Tool, Pairs: in.Pairs})
+		f, _ := m.Snapshot()
+		if added > 0 && onMerge != nil {
+			onMerge(f, gen)
+		}
+		logf("merge from %s: +%d pairs (%d total, generation %d)", r.RemoteAddr, added, len(f.Pairs), gen)
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(wireAck{Generation: gen, Pairs: len(f.Pairs)})
+	})
+	return mux
+}
+
+func reject(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(wireError{Error: msg})
+}

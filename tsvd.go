@@ -2,34 +2,37 @@
 // detector, a Go reproduction of "Efficient Scalable Thread-Safety-Violation
 // Detection" (SOSP 2019).
 //
-// Typical use mirrors the paper's deployment: install a detector for the
+// Typical use mirrors the paper's deployment: install a Session for the
 // test process, run the existing tests against the instrumented collections,
 // and collect the violations afterwards.
 //
 //	func TestMain(m *testing.M) {
-//		tsvd.Install(tsvd.DefaultConfig())
+//		session, err := tsvd.Install(tsvd.DefaultConfig())
+//		if err != nil {
+//			log.Fatal(err)
+//		}
 //		code := m.Run()
-//		for _, bug := range tsvd.Bugs() {
+//		for _, bug := range session.Bugs() {
 //			fmt.Println(bug.First.String())
 //		}
+//		session.SaveTraps("tsvd-traps.json") // seed the next run (§3.4.6)
 //		os.Exit(code)
 //	}
 //
-// Containers created through this package report to the installed detector;
-// containers created before Install report to a no-op detector and cost
-// almost nothing.
+// Containers created through this package report to the installed session's
+// detector; containers created before Install report to a no-op detector and
+// cost almost nothing. Installing a second session supersedes (and closes)
+// the first: its collected bugs and traps stay readable on its own handle,
+// while new containers report to the new session. The package-level Bugs,
+// Stats and SaveTrapFile are thin wrappers over the installed session.
 package tsvd
 
 import (
-	"sync/atomic"
-
 	"repro/internal/collections"
 	"repro/internal/config"
 	"repro/internal/core"
-	"repro/internal/report"
 	"repro/internal/syncx"
 	"repro/internal/task"
-	"repro/internal/trapfile"
 )
 
 // Config is the complete detector parameter set; see DefaultConfig for the
@@ -65,55 +68,6 @@ func DefaultConfig() Config { return config.Defaults(config.AlgoTSVD) }
 func NewDetector(cfg Config, opts ...core.Option) (Detector, error) {
 	return core.New(cfg, opts...)
 }
-
-// global is the installed detector; a Nop detector until Install succeeds.
-var global atomic.Pointer[detectorBox]
-
-type detectorBox struct{ det Detector }
-
-func init() {
-	global.Store(&detectorBox{det: core.NewNop()})
-}
-
-// Install replaces the process-wide detector used by containers created
-// through this package from now on.
-func Install(cfg Config, opts ...core.Option) error {
-	det, err := core.New(cfg, opts...)
-	if err != nil {
-		return err
-	}
-	global.Store(&detectorBox{det: det})
-	return nil
-}
-
-// InstallWithTrapFile is Install seeded from a previous run's trap file
-// (§3.4.6); a missing file is not an error.
-func InstallWithTrapFile(cfg Config, path string, opts ...core.Option) error {
-	pairs, err := trapfile.Load(path)
-	if err != nil {
-		return err
-	}
-	if len(pairs) > 0 {
-		opts = append(opts, core.WithInitialTraps(pairs))
-	}
-	return Install(cfg, opts...)
-}
-
-// SaveTrapFile persists the installed detector's dangerous pairs for the
-// next run.
-func SaveTrapFile(path string) error {
-	return trapfile.Save(path, "TSVD", Default().ExportTraps())
-}
-
-// Default returns the installed detector (a no-op detector before Install).
-func Default() Detector { return global.Load().det }
-
-// Bugs returns the unique violations the installed detector has caught,
-// deduplicated by static location pair.
-func Bugs() []report.Bug { return Default().Reports().Bugs() }
-
-// Stats returns the installed detector's counters.
-func Stats() core.Stats { return Default().Stats() }
 
 // --- Instrumented containers bound to the installed detector ---
 

@@ -1,6 +1,7 @@
 package tsvd
 
 import (
+	"errors"
 	"path/filepath"
 	"testing"
 	"time"
@@ -9,18 +10,20 @@ import (
 // Note: the installed detector is process-global, so these tests install
 // fresh detectors per test and must not run in parallel with each other.
 
-func install(t *testing.T) {
+func install(t *testing.T) *Session {
 	t.Helper()
-	if err := Install(DefaultConfig().Scaled(0.1)); err != nil {
+	s, err := Install(DefaultConfig().Scaled(0.1))
+	if err != nil {
 		t.Fatal(err)
 	}
+	return s
 }
 
 func TestDefaultIsNopBeforeInstall(t *testing.T) {
 	// Reset to a Nop-equivalent state by installing a Nop config.
 	cfg := DefaultConfig()
 	cfg.Algorithm = Nop
-	if err := Install(cfg); err != nil {
+	if _, err := Install(cfg); err != nil {
 		t.Fatal(err)
 	}
 	d := NewDictionary[string, int]()
@@ -33,7 +36,7 @@ func TestDefaultIsNopBeforeInstall(t *testing.T) {
 func TestInstallRejectsBadConfig(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.ObjHistory = 0
-	if err := Install(cfg); err == nil {
+	if _, err := Install(cfg); err == nil {
 		t.Fatal("bad config accepted")
 	}
 }
@@ -104,11 +107,80 @@ func TestTrapFileRoundTripViaPublicAPI(t *testing.T) {
 	if err := SaveTrapFile(path); err != nil {
 		t.Fatal(err)
 	}
-	if err := InstallWithTrapFile(DefaultConfig().Scaled(0.1), path); err != nil {
+	if _, err := InstallWithTrapFile(DefaultConfig().Scaled(0.1), path); err != nil {
 		t.Fatal(err)
 	}
 	if Default().ExportTraps() == nil {
 		t.Fatal("trap file did not seed the new detector")
+	}
+}
+
+func TestInstallSupersedesAndClosesPrevious(t *testing.T) {
+	first := install(t)
+	// Catch a bug on the first session so it has state worth keeping.
+	dict := NewDictionary[string, int]()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			dict.Set("k", i)
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		dict.ContainsKey("k2")
+		time.Sleep(time.Millisecond)
+	}
+	<-done
+	firstBugs := len(first.Bugs())
+	if firstBugs == 0 {
+		t.Fatal("first session caught nothing; the supersede test needs state")
+	}
+
+	second := install(t)
+	if !first.Closed() {
+		t.Fatal("superseded session not closed")
+	}
+	if second.Closed() {
+		t.Fatal("fresh session already closed")
+	}
+	if Current() != second {
+		t.Fatal("Current is not the superseding session")
+	}
+	// The superseded session's discoveries are not orphaned: still readable
+	// and still persistable from its own handle.
+	if len(first.Bugs()) != firstBugs {
+		t.Fatal("superseded session lost its bugs")
+	}
+	if err := first.SaveTraps(filepath.Join(t.TempDir(), "traps.json")); err != nil {
+		t.Fatalf("superseded session cannot save traps: %v", err)
+	}
+	// The new session starts clean.
+	if len(second.Bugs()) != 0 {
+		t.Fatal("fresh session inherited bugs")
+	}
+}
+
+func TestCloseDetachesAndSaveTrapFileFailsNotInstalled(t *testing.T) {
+	s := install(t)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if Current() != nil {
+		t.Fatal("Close left the session installed")
+	}
+	err := SaveTrapFile(filepath.Join(t.TempDir(), "traps.json"))
+	if !errors.Is(err, ErrNotInstalled) {
+		t.Fatalf("SaveTrapFile with no session = %v, want ErrNotInstalled", err)
+	}
+	// Containers created now report to a no-op detector, not a dead session.
+	NewDictionary[string, int]().Set("a", 1)
+	if Stats().OnCalls != 0 {
+		t.Fatal("package Stats not zero with no session installed")
+	}
+	// Closing twice is fine, as is closing an already superseded session.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
 	}
 }
 
