@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench trace-smoke fleet-smoke
+.PHONY: check vet build test race bench trace-smoke fleet-smoke metrics-smoke
 
-check: vet build test race trace-smoke fleet-smoke
+check: vet build test race trace-smoke fleet-smoke metrics-smoke
 
 vet:
 	$(GO) vet ./...
@@ -29,6 +29,12 @@ trace-smoke:
 	$(GO) run ./cmd/tsvd-run -modules 5 -trace $$dir >/dev/null && \
 	$(GO) run ./cmd/tsvd-trace-check $$dir && \
 	rm -rf $$dir
+
+# End-to-end live-metrics gate: run a deterministic suite with every metrics
+# surface enabled and reconcile each exported counter exactly against the
+# detector stats and store wire acks (see docs/OBSERVABILITY.md).
+metrics-smoke:
+	$(GO) run ./cmd/tsvd-metrics-check
 
 # End-to-end fleet-mode gate: a tsvd-trapd daemon plus three concurrent
 # tsvd-run shards must converge on one merged trap set, and a shard whose

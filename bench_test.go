@@ -21,6 +21,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/harness"
 	"repro/internal/ids"
+	"repro/internal/metrics"
 	"repro/internal/scenarios"
 	"repro/internal/workload"
 )
@@ -335,11 +336,16 @@ func contentionParallelism(goroutines int) int {
 	return p
 }
 
-func benchContention(b *testing.B, algo config.Algorithm, goroutines int, shared, traced bool) {
+func benchContention(b *testing.B, algo config.Algorithm, goroutines int, shared, traced, metered bool) {
 	b.Helper()
 	cfg := config.Defaults(algo)
 	cfg.Trace = traced
-	det, err := core.New(cfg)
+	var copts []core.Option
+	if metered {
+		copts = append(copts,
+			core.WithDetectorMetrics(core.NewDetectorMetrics(metrics.NewRegistry())))
+	}
+	det, err := core.New(cfg, copts...)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -374,22 +380,35 @@ func BenchmarkOnCallContention(b *testing.B) {
 	for _, algo := range []config.Algorithm{config.AlgoTSVD, config.AlgoTSVDHB} {
 		for _, g := range []int{1, 2, 4, 8, 16} {
 			b.Run(fmt.Sprintf("%v/goroutines=%d", algo, g), func(b *testing.B) {
-				benchContention(b, algo, g, false, false)
+				benchContention(b, algo, g, false, false, false)
 			})
 		}
 		b.Run(fmt.Sprintf("%v/sharedObj/goroutines=8", algo), func(b *testing.B) {
-			benchContention(b, algo, 8, true, false)
+			benchContention(b, algo, 8, true, false, false)
 		})
 		// Tracing enabled on the same conflict-free workload: the fast path
 		// crosses no emission point, so this pins the observability layer's
 		// hot-path overhead (<5% is the budget docs/PERFORMANCE.md records).
 		for _, g := range []int{1, 8} {
 			b.Run(fmt.Sprintf("%v/trace/goroutines=%d", algo, g), func(b *testing.B) {
-				benchContention(b, algo, g, false, true)
+				benchContention(b, algo, g, false, true, false)
 			})
 		}
 		b.Run(fmt.Sprintf("%v/trace/sharedObj/goroutines=8", algo), func(b *testing.B) {
-			benchContention(b, algo, 8, true, true)
+			benchContention(b, algo, 8, true, true, false)
+		})
+		// Live metrics attached on the same conflict-free workload: the Stats
+		// series are function-backed and read only at scrape time, and the
+		// histogram hooks sit on action paths this workload never crosses, so
+		// the metered delta pins what attaching a registry costs the fast
+		// path (<5% is the budget docs/PERFORMANCE.md records).
+		for _, g := range []int{1, 8} {
+			b.Run(fmt.Sprintf("%v/metrics/goroutines=%d", algo, g), func(b *testing.B) {
+				benchContention(b, algo, g, false, false, true)
+			})
+		}
+		b.Run(fmt.Sprintf("%v/metrics/sharedObj/goroutines=8", algo), func(b *testing.B) {
+			benchContention(b, algo, 8, true, false, true)
 		})
 	}
 }

@@ -1,0 +1,293 @@
+// Command tsvd-metrics-check is the live-metrics reconciliation gate
+// (`make metrics-smoke`): it runs a deterministic suite with every metrics
+// surface enabled — detector metrics and a store client on one registry, an
+// in-process tsvd-trapd handler with its own registry — then reconciles
+// every exported counter exactly against the ground truth it has on hand:
+// the harness Outcome's summed detector stats, the store operations the
+// harness protocol implies, and the daemon's own wire acks. Off-by-one
+// anywhere fails the gate; the exposition layer is only trustworthy if it
+// is exact.
+//
+// Usage:
+//
+//	tsvd-metrics-check [-modules 5] [-runs 2] [-seed 2019] [-scale 0.02]
+//
+// Exit status: 0 when every counter reconciles, 1 otherwise, 2 on usage
+// errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+
+	tsvd "repro"
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/metrics"
+	"repro/internal/trapfile"
+	"repro/internal/trapstore"
+	"repro/internal/workload"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+// checker accumulates mismatches so one run reports every broken series,
+// not just the first.
+type checker struct{ failures int }
+
+func (c *checker) failf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "tsvd-metrics-check: "+format+"\n", args...)
+	c.failures++
+}
+
+// eq asserts a scraped series value exactly. The exposition format
+// round-trips float64 exactly and every counter is integral or summed from
+// the same int64s the ground truth is, so there is no tolerance: a
+// mismatch, however small, means a counting path diverged.
+func (c *checker) eq(where, series string, got map[string]float64, want float64) {
+	if got[series] != want {
+		c.failf("%s: %s = %v, want %v", where, series, got[series], want)
+	}
+}
+
+func run() int {
+	var (
+		modules = flag.Int("modules", 5, "generated modules in the check suite")
+		runs    = flag.Int("runs", 2, "consecutive runs")
+		seed    = flag.Int64("seed", 2019, "suite seed")
+		scale   = flag.Float64("scale", 0.02, "time scale")
+	)
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "tsvd-metrics-check: unexpected arguments %v\n", flag.Args())
+		return 2
+	}
+	c := &checker{}
+
+	// An in-process tsvd-trapd on a real TCP port, with its own registry —
+	// the daemon and the shard must count independently for the
+	// reconciliation to mean anything.
+	daemonReg := metrics.NewRegistry()
+	daemon := trapstore.NewMemory("TSVD", nil)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		c.failf("listen: %v", err)
+		return 1
+	}
+	srv := &http.Server{Handler: trapstore.NewHandler(daemon, trapstore.HandlerOptions{Metrics: daemonReg})}
+	go srv.Serve(ln)
+	defer srv.Close()
+	base := "http://" + ln.Addr().String()
+
+	// The shard side: detector metrics and the HTTP store client share one
+	// registry, as a real instrumented test process would wire them.
+	clientReg := metrics.NewRegistry()
+	store := trapstore.NewHTTPStore(base, trapstore.HTTPConfig{Metrics: clientReg})
+	defer store.Close()
+
+	suite := workload.GenerateSuite(*seed, *modules)
+	out := harness.Run(suite, harness.Options{
+		Config:      config.Defaults(config.AlgoTSVD).Scaled(*scale),
+		Runs:        *runs,
+		RunSeedBase: harness.Seed(1234),
+		Store:       store,
+		Metrics:     core.NewDetectorMetrics(clientReg),
+	})
+	if out.StoreErr != nil {
+		c.failf("suite store error: %v", out.StoreErr)
+		return 1
+	}
+	if out.Stats.OnCalls == 0 || out.Stats.PairsAdded == 0 {
+		c.failf("suite exercised nothing: %+v", out.Stats)
+		return 1
+	}
+
+	// A deterministic post-suite store epilogue: the sentinel publish is
+	// guaranteed to grow the daemon's set, so the next fetch must be a full
+	// 200 (stale ETag) and the one after it must be a 304 — exactly one
+	// not_modified, independent of what the suite's own merges did to the
+	// generation counter.
+	sentinel := trapfile.File{Version: trapfile.FormatVersion, Tool: "TSVD", Pairs: []trapfile.Pair{
+		{A: "tsvd-metrics-check/sentinel@1", B: "tsvd-metrics-check/sentinel@2"},
+	}}
+	if err := store.Publish(sentinel); err != nil {
+		c.failf("sentinel publish: %v", err)
+		return 1
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := store.Fetch(); err != nil {
+			c.failf("epilogue fetch %d: %v", i+1, err)
+			return 1
+		}
+	}
+	fetches := float64(*runs + 2)   // one per run + two epilogue fetches
+	publishes := float64(*runs + 1) // one per run + the sentinel
+
+	// --- Detector series vs the harness outcome, exactly ---
+	got := clientReg.Values()
+	st := out.Stats
+	det := map[string]float64{
+		"tsvd_detector_on_calls_total":                  float64(st.OnCalls),
+		"tsvd_detector_delays_injected_total":           float64(st.DelaysInjected),
+		"tsvd_detector_delay_seconds_total":             st.TotalDelay.Seconds(),
+		"tsvd_detector_near_misses_total":               float64(st.NearMisses),
+		"tsvd_detector_pairs_added_total":               float64(st.PairsAdded),
+		"tsvd_detector_pairs_pruned_hb_total":           float64(st.PairsPrunedHB),
+		"tsvd_detector_pairs_pruned_decay_total":        float64(st.PairsPrunedDecay),
+		"tsvd_detector_violations_total":                float64(st.Violations),
+		"tsvd_detector_locations_seen_total":            float64(st.LocationsSeen),
+		"tsvd_detector_locations_seen_concurrent_total": float64(st.LocationsSeenConcurrent),
+		"tsvd_detector_sequential_skips_total":          float64(st.SequentialSkips),
+		// Histogram counts are co-located with their counters by contract.
+		"tsvd_detector_near_miss_gap_seconds_count":    float64(st.NearMisses),
+		"tsvd_detector_granted_delay_seconds_count":    float64(st.DelaysInjected),
+		"tsvd_detector_trap_set_occupancy_pairs_count": float64(st.PairsAdded),
+		"tsvd_detector_instances":                      float64(*runs * len(suite.Modules)),
+		"tsvd_detector_parked_threads":                 0, // nothing runs anymore
+	}
+	for series, want := range det {
+		c.eq("detector", series, got, want)
+	}
+
+	// --- Store client series vs the harness protocol, exactly ---
+	cli := map[string]float64{
+		`tsvd_store_ops_total{op="fetch"}`:                   fetches,
+		`tsvd_store_ops_total{op="publish"}`:                 publishes,
+		`tsvd_store_ops_total{op="not_modified"}`:            1,
+		`tsvd_store_ops_total{op="retry"}`:                   0, // healthy daemon: a retry means phantom requests
+		`tsvd_store_op_duration_seconds_count{op="fetch"}`:   fetches,
+		`tsvd_store_op_duration_seconds_count{op="publish"}`: publishes,
+	}
+	for series, want := range cli {
+		c.eq("store client", series, got, want)
+	}
+
+	// --- Daemon series vs the wire, exactly ---
+	dm1, ctype, err := scrape(base + "/metrics")
+	if err != nil {
+		c.failf("daemon scrape: %v", err)
+		return 1
+	}
+	if want := "text/plain; version=0.0.4; charset=utf-8"; ctype != want {
+		c.failf("daemon /metrics Content-Type = %q, want %q", ctype, want)
+	}
+	var health struct {
+		Status        string  `json:"status"`
+		Generation    float64 `json:"generation"`
+		Pairs         float64 `json:"pairs"`
+		UptimeSeconds float64 `json:"uptime_seconds"`
+	}
+	if err := fetchJSON(base+"/healthz", &health); err != nil {
+		c.failf("healthz: %v", err)
+		return 1
+	}
+	dm2, _, err := scrape(base + "/metrics")
+	if err != nil {
+		c.failf("daemon rescrape: %v", err)
+		return 1
+	}
+
+	// The daemon aggregated exactly what one client published: merges are
+	// additive, so the gained-pairs counter must equal the final set size,
+	// which in turn must match the healthz body and the client's view.
+	finalPairs := float64(daemon.PairCount())
+	dmn := map[string]float64{
+		"tsvd_trapd_pairs":                                        finalPairs,
+		"tsvd_trapd_merged_pairs_total":                           finalPairs,
+		"tsvd_trapd_merges_total":                                 publishes,
+		`tsvd_trapd_requests_total{endpoint="traps_get"}`:         fetches,
+		`tsvd_trapd_requests_total{endpoint="traps_post"}`:        publishes,
+		`tsvd_trapd_requests_total{endpoint="healthz"}`:           0, // healthz hit after this scrape
+		`tsvd_trapd_requests_total{endpoint="metrics"}`:           1, // entry-increment: the scrape reports itself
+		`tsvd_trapd_request_seconds_count{endpoint="traps_get"}`:  fetches,
+		`tsvd_trapd_request_seconds_count{endpoint="traps_post"}`: publishes,
+	}
+	for series, want := range dmn {
+		c.eq("daemon", series, dm1, want)
+	}
+	c.eq("daemon (2nd scrape)", `tsvd_trapd_requests_total{endpoint="metrics"}`, dm2, 2)
+	c.eq("daemon (2nd scrape)", `tsvd_trapd_requests_total{endpoint="healthz"}`, dm2, 1)
+	if health.Status != "ok" {
+		c.failf("healthz status = %q, want ok", health.Status)
+	}
+	if health.Generation != dm1["tsvd_trapd_generation"] {
+		c.failf("healthz generation %v != gauge %v", health.Generation, dm1["tsvd_trapd_generation"])
+	}
+	if health.Pairs != finalPairs {
+		c.failf("healthz pairs %v != store %v", health.Pairs, finalPairs)
+	}
+
+	// --- Session.Snapshot on the public API, exactly ---
+	// A single-goroutine workload has fully deterministic counters: every
+	// container op is one OnCall, and nothing can near-miss or trap.
+	sessReg := tsvd.NewMetricsRegistry()
+	sess, err := tsvd.Install(tsvd.DefaultConfig().Scaled(*scale),
+		tsvd.WithDetectorMetrics(tsvd.NewDetectorMetrics(sessReg)))
+	if err != nil {
+		c.failf("install: %v", err)
+		return 1
+	}
+	dict := tsvd.NewDictionary[int, int]()
+	const sessOps = 100
+	for i := 0; i < sessOps; i++ {
+		dict.Set(i, i)
+	}
+	snap := sess.Snapshot()
+	if snap.Stats.OnCalls != sessOps || snap.Stats.NearMisses != 0 || snap.Bugs != 0 || snap.TrapSetPairs != 0 {
+		c.failf("session snapshot off: %+v (want OnCalls=%d, all else zero)", snap, sessOps)
+	}
+	sgot := sessReg.Values()
+	c.eq("session", "tsvd_detector_on_calls_total", sgot, sessOps)
+	c.eq("session", "tsvd_detector_near_misses_total", sgot, 0)
+	c.eq("session", "tsvd_detector_instances", sgot, 1)
+	sess.Close()
+
+	if c.failures > 0 {
+		fmt.Fprintf(os.Stderr, "tsvd-metrics-check: %d series failed to reconcile\n", c.failures)
+		return 1
+	}
+	fmt.Printf("tsvd-metrics-check: ok — %d detector, %d store and %d daemon series reconcile exactly "+
+		"(%d modules × %d runs, %d pairs aggregated)\n",
+		len(det), len(cli), len(dmn)+2, *modules, *runs, daemon.PairCount())
+	return 0
+}
+
+// scrape GETs a Prometheus exposition endpoint and parses it into a
+// series → value map, returning the Content-Type as received.
+func scrape(url string) (map[string]float64, string, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, "", err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, "", fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	vals, err := metrics.ParseValues(string(body))
+	return vals, resp.Header.Get("Content-Type"), err
+}
+
+// fetchJSON GETs url and decodes the JSON body into v.
+func fetchJSON(url string, v any) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}

@@ -33,6 +33,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 
 	"repro/internal/config"
 	"repro/internal/experiments"
@@ -55,7 +56,7 @@ func run() int {
 		runs       = flag.Int("runs", 2, "consecutive runs (trap set persists between runs)")
 		seed       = flag.Int64("seed", 2019, "suite seed")
 		scale      = flag.Float64("scale", 0.02, "time scale (1.0 = the paper's 100ms delays)")
-		verbose    = flag.Bool("v", false, "print each bug's two-sided report")
+		verbose    = flag.Bool("v", false, "print a live progress heartbeat and each bug's two-sided report")
 		jsonOut    = flag.Bool("json", false, "emit the bug report as JSON on stdout")
 		scenario   = flag.Bool("scenarios", false, "run the 9 open-source scenarios instead")
 		trapsFile  = flag.String("trapfile", "", "local trap file to seed each run from and publish to (§3.4.6)")
@@ -105,6 +106,17 @@ func run() int {
 	}
 	if *traceDir != "" {
 		opts.Config.Trace = true
+	}
+	if *verbose {
+		// Live heartbeat on stderr while the suite runs; the harness emits a
+		// final update on completion, so the last line always shows the full
+		// module count.
+		opts.Progress = func(u harness.ProgressUpdate) {
+			fmt.Fprintf(os.Stderr,
+				"tsvd-run: run %d/%d  modules %d/%d  bugs %d  delays %d  elapsed %s\n",
+				u.Run, u.Runs, u.ModulesDone, u.ModulesTotal,
+				u.BugsFound, u.DelaysInjected, u.Elapsed.Round(10*time.Millisecond))
+		}
 	}
 
 	var storeTracer *trace.Tracer

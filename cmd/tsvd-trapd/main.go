@@ -10,11 +10,15 @@
 //	tsvd-trapd -addr 127.0.0.1:0 -v     # ephemeral port, printed on stdout
 //
 // The daemon speaks the trapstore wire schema on /v1/traps (GET snapshot
-// with an ETag generation counter, POST merge) and answers liveness probes
-// on /healthz. With -snapshot it seeds its set from the file at startup and
-// persists after every merge that grows the set, so a restarted daemon
-// resumes where it stopped. SIGINT/SIGTERM shut it down gracefully, saving
-// a final snapshot.
+// with an ETag generation counter, POST merge), answers liveness probes on
+// /healthz (JSON: status, generation, pairs, uptime_seconds), and exposes
+// Prometheus metrics on /metrics (tsvd_trapd_* series; see
+// docs/OBSERVABILITY.md). With -pprof the standard net/http/pprof profiling
+// endpoints are additionally mounted under /debug/pprof/ — off by default,
+// since profiling handlers on a fleet-shared daemon are a footgun. With
+// -snapshot it seeds its set from the file at startup and persists after
+// every merge that grows the set, so a restarted daemon resumes where it
+// stopped. SIGINT/SIGTERM shut it down gracefully, saving a final snapshot.
 //
 // On startup it prints exactly one line, "tsvd-trapd: listening on
 // http://HOST:PORT", so wrappers that start it with -addr ...:0 can
@@ -30,11 +34,13 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/trapfile"
 	"repro/internal/trapstore"
 )
@@ -49,6 +55,7 @@ func run() int {
 		snapshot = flag.String("snapshot", "", "trap file to seed from at startup and persist after every merge")
 		tool     = flag.String("tool", "TSVD", "tool label for the aggregated trap set")
 		verbose  = flag.Bool("v", false, "log every merge")
+		pprofOn  = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -97,7 +104,28 @@ func run() int {
 	// address from it when they start the daemon on an ephemeral port.
 	fmt.Printf("tsvd-trapd: listening on http://%s\n", ln.Addr())
 
-	srv := &http.Server{Handler: trapstore.Handler(store, saveSnapshot, logf)}
+	reg := metrics.NewRegistry()
+	handler := trapstore.NewHandler(store, trapstore.HandlerOptions{
+		OnMerge: saveSnapshot,
+		Logf:    logf,
+		Metrics: reg,
+	})
+	var root http.Handler = handler
+	if *pprofOn {
+		// The profiling endpoints live in the binary, not the library: the
+		// trapstore handler stays free of net/http/pprof so embedding it
+		// never drags profiling routes into a production mux uninvited.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/", handler)
+		root = mux
+	}
+
+	srv := &http.Server{Handler: root}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
 

@@ -193,6 +193,7 @@ type Option func(*options)
 type options struct {
 	clk          clock.Clock
 	initialTraps []report.PairKey
+	metrics      *DetectorMetrics
 }
 
 // WithClock substitutes the time source (tests use scaled clocks).
@@ -205,6 +206,14 @@ func WithClock(c clock.Clock) Option {
 // (§3.4.6 "Multiple testing runs").
 func WithInitialTraps(pairs []report.PairKey) Option {
 	return func(o *options) { o.initialTraps = append([]report.PairKey(nil), pairs...) }
+}
+
+// WithDetectorMetrics attaches the detector to a live metrics view. One
+// DetectorMetrics may be shared by many detectors (the harness attaches
+// every module detector of a suite), in which case the exported series are
+// the live sum across all of them. m may be nil (no-op).
+func WithDetectorMetrics(m *DetectorMetrics) Option {
+	return func(o *options) { o.metrics = m }
 }
 
 // New builds the detector selected by cfg.Algorithm.
@@ -220,13 +229,21 @@ func New(cfg config.Config, opts ...Option) (Detector, error) {
 	case config.AlgoNop:
 		return NewNop(), nil
 	case config.AlgoTSVD:
-		return newTSVD(cfg, o), nil
+		d := newTSVD(cfg, o)
+		o.metrics.attach(&d.rt, d)
+		return d, nil
 	case config.AlgoTSVDHB:
-		return newTSVDHB(cfg, o), nil
+		d := newTSVDHB(cfg, o)
+		o.metrics.attach(&d.rt, d)
+		return d, nil
 	case config.AlgoDynamicRandom:
-		return newDynamicRandom(cfg, o), nil
+		d := newDynamicRandom(cfg, o)
+		o.metrics.attach(&d.rt, nil) // no trap set to gauge
+		return d, nil
 	case config.AlgoStaticRandom:
-		return newStaticRandom(cfg, o), nil
+		d := newStaticRandom(cfg, o)
+		o.metrics.attach(&d.rt, nil) // no trap set to gauge
+		return d, nil
 	default:
 		return nil, errUnknownAlgo
 	}

@@ -28,7 +28,7 @@ func TestTrapSetInvariants(t *testing.T) {
 		for step := 0; step < 400; step++ {
 			switch rng.Intn(4) {
 			case 0:
-				s.add(randKey(), &stats)
+				s.add(randKey(), &stats, nil)
 			case 1:
 				s.remove(randKey())
 			case 2:
@@ -244,7 +244,7 @@ func TestExportTrapsDeterministic(t *testing.T) {
 		for _, k := range []report.PairKey{
 			report.KeyOf(5, 9), report.KeyOf(1, 2), report.KeyOf(3, 3),
 		} {
-			d.set.add(k, &stats)
+			d.set.add(k, &stats, nil)
 		}
 		got := d.ExportTraps()
 		if len(got) != 3 {

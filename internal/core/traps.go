@@ -44,10 +44,11 @@ type shard struct {
 	hist map[ids.ObjectID]*objHistory
 	hb   map[ids.ObjectID]*hbHistory
 	// onCalls counts OnCalls whose near-miss section ran in this shard.
-	// Detectors that already hold mu each call count here instead of on a
-	// process-wide atomic, so the hottest counter lives on an exclusive
-	// cache line; Stats() sums across shards.
-	onCalls int64
+	// Detectors increment it while holding mu, so the hottest counter lives
+	// on an exclusive cache line instead of a process-wide one; it is
+	// atomic so Stats() and live metric views can sum across shards without
+	// taking any shard lock.
+	onCalls atomic.Int64
 	// pad keeps neighbouring shard locks off one cache line (false
 	// sharing would re-serialize the stripes through the coherence bus).
 	_ [64]byte
@@ -74,6 +75,13 @@ type runtime struct {
 
 	stats   atomicStats
 	reports *report.Collector
+
+	// met is the live metrics sink, nil unless WithDetectorMetrics was
+	// given. Like the tracer, every hook site is nil-safe and sits on
+	// detector action paths only — the conflict-free fast path crosses no
+	// metrics hook; the scrape-time counter views read the atomics above
+	// and add no hot-path work at all.
+	met *DetectorMetrics
 
 	// tr is the event tracer, nil unless cfg.Trace is set. Every emission
 	// site is nil-safe, sits off the conflict-free fast path (events fire
@@ -130,6 +138,7 @@ func (r *runtime) init(cfg config.Config, o options) {
 		r.shards[i].traps = map[ids.ObjectID][]*trap{}
 	}
 	r.reports = report.NewCollector()
+	r.met = o.metrics
 	r.rng = rand.New(rand.NewSource(cfg.Seed))
 	r.delayTime = cfg.EffectiveDelay()
 	r.nearMissWindow = cfg.EffectiveNearMissWindow()
@@ -261,6 +270,7 @@ func (r *runtime) injectDelay(a Access, d time.Duration) (*trap, time.Duration) 
 	sh.mu.Unlock()
 	r.parked.Add(1)
 	r.stats.delaysInjected.Add(1)
+	r.met.observeDelay(grant)
 	r.tr.Emit(trace.KindTrapSet, a.Thread, a.Obj, a.Op, 0, r.now(), grant)
 
 	slept, woken := r.clk.Sleep(grant, t.cancel)
@@ -311,14 +321,13 @@ func (r *runtime) markSeen(op ids.OpID, concurrent bool) {
 }
 
 // snapshotStats materializes the public counters from the atomics and the
-// per-shard tallies.
+// per-shard tallies. It takes no lock: the shard counters are atomics, so a
+// live metrics scrape can snapshot a running detector without stalling any
+// shard's OnCall traffic.
 func (r *runtime) snapshotStats() Stats {
 	st := r.stats.snapshot()
 	for i := range r.shards {
-		sh := &r.shards[i]
-		sh.mu.Lock()
-		st.OnCalls += sh.onCalls
-		sh.mu.Unlock()
+		st.OnCalls += r.shards[i].onCalls.Load()
 	}
 	return st
 }

@@ -51,13 +51,13 @@ func newTrapSet() trapSet {
 // add inserts a dangerous pair unless it is suppressed or already present.
 // Both endpoints' probabilities reset to 1 (§3.4.1: "TSVD sets P_loc = 1
 // when a dangerous pair containing loc is added").
-func (s *trapSet) add(key report.PairKey, stats *atomicStats) bool {
+func (s *trapSet) add(key report.PairKey, stats *atomicStats, met *DetectorMetrics) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.addLocked(key, stats)
+	return s.addLocked(key, stats, met)
 }
 
-func (s *trapSet) addLocked(key report.PairKey, stats *atomicStats) bool {
+func (s *trapSet) addLocked(key report.PairKey, stats *atomicStats, met *DetectorMetrics) bool {
 	if _, dead := s.suppressed[key]; dead {
 		return false
 	}
@@ -67,6 +67,7 @@ func (s *trapSet) addLocked(key report.PairKey, stats *atomicStats) bool {
 	s.pairs[key] = struct{}{}
 	s.live.Store(int64(len(s.pairs)))
 	stats.pairsAdded.Add(1)
+	met.observeOccupancy(len(s.pairs))
 	for _, loc := range []ids.OpID{key.A, key.B} {
 		s.locProb[loc] = 1
 		m := s.locPairs[loc]

@@ -127,7 +127,7 @@ func newTSVD(cfg config.Config, o options) *TSVD {
 		d.phase = newPhaseRing(cfg.PhaseBufferSize)
 	}
 	for _, key := range o.initialTraps {
-		if d.set.add(key, &d.rt.stats) {
+		if d.set.add(key, &d.rt.stats, d.rt.met) {
 			d.rt.tr.Emit(trace.KindPairAdded, 0, 0, key.A, key.B, 0, 0)
 		}
 	}
@@ -183,7 +183,7 @@ func (d *TSVD) OnCall(a Access) {
 	// own lock and nothing orders it with the shard.
 	var nearKeys []report.PairKey
 	sh.mu.Lock()
-	sh.onCalls++ // counted here, under a lock this path already holds
+	sh.onCalls.Add(1) // counted here, on a cache line this path already owns
 	h := sh.hist[a.Obj]
 	if h == nil {
 		if sh.hist == nil {
@@ -205,13 +205,14 @@ func (d *TSVD) OnCall(a Access) {
 		}
 		d.rt.stats.nearMisses.Add(1)
 		d.rt.stats.observeGap(t - e.at)
+		d.rt.met.observeGap(t - e.at)
 		d.rt.tr.Emit(trace.KindNearMiss, a.Thread, a.Obj, e.op, a.Op, t, t-e.at)
 		nearKeys = append(nearKeys, report.KeyOf(e.op, a.Op))
 	})
 	h.add(histEntry{thread: a.Thread, op: a.Op, kind: a.Kind, at: t})
 	sh.mu.Unlock()
 	for _, key := range nearKeys {
-		if d.set.add(key, &d.rt.stats) {
+		if d.set.add(key, &d.rt.stats, d.rt.met) {
 			d.rt.tr.Emit(trace.KindPairAdded, a.Thread, a.Obj, key.A, key.B, t, 0)
 		}
 	}

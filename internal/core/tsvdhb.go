@@ -152,7 +152,7 @@ func newTSVDHB(cfg config.Config, o options) *TSVDHB {
 	d := &TSVDHB{set: newTrapSet()}
 	d.rt.init(cfg, o)
 	for _, key := range o.initialTraps {
-		if d.set.add(key, &d.rt.stats) {
+		if d.set.add(key, &d.rt.stats, d.rt.met) {
 			d.rt.tr.Emit(trace.KindPairAdded, 0, 0, key.A, key.B, 0, 0)
 		}
 	}
@@ -238,7 +238,7 @@ func (d *TSVDHB) OnCall(a Access) {
 	// under the object's shard mutex.
 	var nearKeys []report.PairKey
 	sh.mu.Lock()
-	sh.onCalls++ // counted here, under a lock this path already holds
+	sh.onCalls.Add(1) // counted here, on a cache line this path already owns
 	h := sh.hb[a.Obj]
 	if h == nil {
 		if sh.hb == nil {
@@ -267,6 +267,7 @@ func (d *TSVDHB) OnCall(a Access) {
 			return
 		}
 		d.rt.stats.nearMisses.Add(1)
+		d.rt.met.observeGap(0) // no gap notion: clocks, not time windows
 		if d.rt.tr != nil {
 			// TSVDHB has no gap notion (concurrency is proven by clocks,
 			// not time windows); the near-miss event carries Dur 0.
@@ -277,7 +278,7 @@ func (d *TSVDHB) OnCall(a Access) {
 	h.add(hbEntry{thread: a.Thread, op: a.Op, kind: a.Kind, epoch: epoch})
 	sh.mu.Unlock()
 	for _, key := range nearKeys {
-		if d.set.add(key, &d.rt.stats) && d.rt.tr != nil {
+		if d.set.add(key, &d.rt.stats, d.rt.met) && d.rt.tr != nil {
 			d.rt.tr.Emit(trace.KindPairAdded, a.Thread, a.Obj, key.A, key.B, d.rt.now(), 0)
 		}
 	}

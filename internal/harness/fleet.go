@@ -4,6 +4,7 @@ import (
 	"errors"
 
 	"repro/internal/report"
+	"repro/internal/trace"
 	"repro/internal/trapstore"
 	"repro/internal/workload"
 )
@@ -33,6 +34,12 @@ type FleetOutcome struct {
 	ColdCatches int
 	// StoreErr joins every store error any shard accumulated.
 	StoreErr error
+	// StoreTotals sums the shards' trap-store operation accounting (one
+	// store's totals in shared mode, the per-shard stores' sum otherwise),
+	// so a degraded round is visible in the outcome: Fallbacks > 0 means at
+	// least one shard served or saved its pairs locally while the primary
+	// was unreachable.
+	StoreTotals trace.StoreTotals
 }
 
 // MeanFirstBugRound averages ShardFirstBug over the shards that caught
@@ -123,6 +130,16 @@ func RunFleet(suite *workload.Suite, shards, rounds int, base Options, shared tr
 	}
 	for _, c := range out.ShardCold {
 		out.ColdCatches += c
+	}
+	if shared != nil {
+		out.StoreTotals = shared.Totals()
+	} else {
+		for _, s := range stores {
+			t := s.Totals()
+			out.StoreTotals.Fetches += t.Fetches
+			out.StoreTotals.Publishes += t.Publishes
+			out.StoreTotals.Fallbacks += t.Fallbacks
+		}
 	}
 	return out
 }

@@ -1,9 +1,13 @@
 package harness
 
 import (
+	"fmt"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/config"
+	"repro/internal/trace"
+	"repro/internal/trapfile"
 	"repro/internal/trapstore"
 	"repro/internal/workload"
 )
@@ -70,5 +74,64 @@ func TestFleetOutcomeAccounting(t *testing.T) {
 	}
 	if never != zeros {
 		t.Fatalf("MeanFirstBugRound never=%d, zero entries=%d", never, zeros)
+	}
+}
+
+// outageStore is a primary-store double whose operations start failing with
+// ErrUnavailable after failAfter calls — a daemon that dies mid-fleet-round.
+type outageStore struct {
+	inner     trapstore.TrapStore
+	calls     atomic.Int64
+	failAfter int64
+}
+
+func (s *outageStore) outage() error {
+	if s.calls.Add(1) > s.failAfter {
+		return fmt.Errorf("fleet_test: daemon outage: %w", trapstore.ErrUnavailable)
+	}
+	return nil
+}
+
+func (s *outageStore) Fetch() (trapfile.File, error) {
+	if err := s.outage(); err != nil {
+		return trapfile.File{Version: trapfile.FormatVersion}, err
+	}
+	return s.inner.Fetch()
+}
+
+func (s *outageStore) Publish(f trapfile.File) error {
+	if err := s.outage(); err != nil {
+		return err
+	}
+	return s.inner.Publish(f)
+}
+
+func (s *outageStore) Totals() trace.StoreTotals { return s.inner.Totals() }
+func (s *outageStore) Close() error              { return s.inner.Close() }
+
+// TestFleetSurvivesStoreDegradingMidRound: the shared store's primary dies
+// partway through the fleet's rounds. The Fallback composite must absorb
+// every failed operation (no StoreErr), the fleet must keep finding bugs,
+// and the degradation must be visible in the outcome's StoreTotals.
+func TestFleetSurvivesStoreDegradingMidRound(t *testing.T) {
+	suite := workload.GenerateSuite(21, 20)
+
+	// 2 shards × 2 rounds × (1 fetch + 1 publish) = 8 store operations; the
+	// primary survives the first 3 and dies mid-way through round 1's wave.
+	primary := &outageStore{inner: trapstore.NewMemory("TSVD", nil), failAfter: 3}
+	shared := trapstore.NewFallback(primary, trapstore.NewMemory("TSVD", nil), nil)
+	out := RunFleet(suite, 2, 2, opts(config.AlgoTSVD, 1), shared)
+
+	if out.StoreErr != nil {
+		t.Fatalf("fallback leaked a store error: %v", out.StoreErr)
+	}
+	if out.StoreTotals.Fallbacks == 0 {
+		t.Fatal("primary outage invisible: StoreTotals.Fallbacks = 0")
+	}
+	if out.StoreTotals.Fetches == 0 || out.StoreTotals.Publishes == 0 {
+		t.Fatalf("store accounting empty: %+v", out.StoreTotals)
+	}
+	if len(out.Found) == 0 {
+		t.Fatal("fleet with degraded store found nothing")
 	}
 }

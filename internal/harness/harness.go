@@ -59,6 +59,18 @@ type Options struct {
 	// around an unreachable daemon, so errors here are data errors or an
 	// unreachable store with no local fallback).
 	Store trapstore.TrapStore
+	// Metrics, when non-nil, attaches every module detector of the suite to
+	// one live metrics view (core.NewDetectorMetrics), so a registry scrape
+	// mid-suite reports the suite-wide counters while modules are still
+	// running.
+	Metrics *core.DetectorMetrics
+	// Progress, when non-nil, receives a heartbeat every ProgressInterval
+	// while the suite runs, plus one final update after the last module
+	// completes. Updates are delivered sequentially, never concurrently;
+	// the callback must not call back into the harness.
+	Progress func(ProgressUpdate)
+	// ProgressInterval is the heartbeat period (default 1s).
+	ProgressInterval time.Duration
 }
 
 // Seed wraps an explicit run-seed base. harness.Seed(0) is a real,
@@ -74,6 +86,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.RunSeedBase == nil {
 		o.RunSeedBase = Seed(42)
+	}
+	if o.ProgressInterval <= 0 {
+		o.ProgressInterval = time.Second
 	}
 	return o
 }
@@ -175,7 +190,7 @@ func Baseline(suite *workload.Suite, opts Options) time.Duration {
 	opts = opts.withDefaults()
 	cfg := opts.Config
 	cfg.Algorithm = config.AlgoNop
-	o := runSuite(suite, opts, cfg, nil, 1)
+	o := runSuite(suite, opts, cfg, nil, 1, nil)
 	return o.WallTime
 }
 
@@ -190,6 +205,8 @@ func Run(suite *workload.Suite, opts Options) *Outcome {
 	}
 	planted := suite.PlantedPairs()
 	modulesWithFound := map[string]bool{}
+	prog := newProgressTracker(opts.Progress, opts.ProgressInterval, opts.Runs, len(suite.Modules))
+	defer prog.finish()
 
 	traps := make([][]report.PairKey, len(suite.Modules))
 	if len(opts.InitialTraps) > 0 {
@@ -198,6 +215,7 @@ func Run(suite *workload.Suite, opts Options) *Outcome {
 		}
 	}
 	for run := 1; run <= opts.Runs; run++ {
+		prog.startRun(run)
 		if opts.Store != nil {
 			// Seed this run from everything the fleet has found so far.
 			f, err := opts.Store.Fetch()
@@ -210,7 +228,7 @@ func Run(suite *workload.Suite, opts Options) *Outcome {
 				}
 			}
 		}
-		ro := runSuite(suite, opts, opts.Config, traps, run)
+		ro := runSuite(suite, opts, opts.Config, traps, run, prog)
 		out.WallTime += ro.WallTime
 		out.Stats = sumStats(out.Stats, ro.Stats)
 		out.Panics += ro.Panics
@@ -297,7 +315,7 @@ type runResult struct {
 // module trap persistence slot (read before, written after). run is the
 // 1-based run number.
 func runSuite(suite *workload.Suite, opts Options, cfg config.Config,
-	traps [][]report.PairKey, run int) *runResult {
+	traps [][]report.PairKey, run int, prog *progressTracker) *runResult {
 
 	res := &runResult{Reports: report.NewCollector(), modulesFound: map[string]bool{}}
 	tm := timingFor(cfg)
@@ -318,6 +336,9 @@ func runSuite(suite *workload.Suite, opts Options, cfg config.Config,
 			var detOpts []core.Option
 			if traps != nil && traps[mi] != nil {
 				detOpts = append(detOpts, core.WithInitialTraps(traps[mi]))
+			}
+			if opts.Metrics != nil {
+				detOpts = append(detOpts, core.WithDetectorMetrics(opts.Metrics))
 			}
 			det, err := core.New(mcfg, detOpts...)
 			if err != nil {
@@ -366,6 +387,14 @@ func runSuite(suite *workload.Suite, opts Options, cfg config.Config,
 				res.TraceTotals.Emitted += tot.Emitted
 				res.TraceTotals.Dropped += tot.Dropped
 				res.TraceTotals.Buffered += tot.Buffered
+			}
+			if prog != nil {
+				bugs := det.Reports().Bugs()
+				keys := make([]report.PairKey, len(bugs))
+				for i, b := range bugs {
+					keys[i] = b.Key
+				}
+				prog.moduleDone(det.Stats().DelaysInjected, keys)
 			}
 			mu.Unlock()
 		}(mi)

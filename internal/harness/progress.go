@@ -1,0 +1,122 @@
+package harness
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/report"
+)
+
+// ProgressUpdate is one harness heartbeat (Options.Progress): a live view of
+// suite progress for long runs, so `tsvd-run -v` can show that the run is
+// moving and roughly where it is.
+type ProgressUpdate struct {
+	// Run is the 1-based run currently executing; Runs the configured total.
+	Run, Runs int
+	// ModulesDone counts module runs completed so far across all runs;
+	// ModulesTotal is Runs × modules.
+	ModulesDone, ModulesTotal int
+	// BugsFound counts unique violation pairs reported so far (pre
+	// ground-truth classification: every reported pair was caught
+	// red-handed, so the count never shrinks on classification).
+	BugsFound int
+	// DelaysInjected sums the delay counter over completed module runs.
+	DelaysInjected int64
+	// Elapsed is wall time since the suite started.
+	Elapsed time.Duration
+}
+
+// progressTracker drives Options.Progress: module completions update the
+// counters under a lock, a ticker goroutine emits at the configured
+// interval, and finish emits one final synchronous update after the ticker
+// has stopped — so the callback only ever runs on one goroutine and the
+// last update it sees is complete.
+type progressTracker struct {
+	fn    func(ProgressUpdate)
+	start time.Time
+	stop  chan struct{}
+	done  chan struct{}
+
+	mu   sync.Mutex
+	cur  ProgressUpdate
+	bugs map[report.PairKey]bool
+}
+
+// newProgressTracker returns nil (a valid no-op receiver) when fn is nil.
+func newProgressTracker(fn func(ProgressUpdate), interval time.Duration, runs, modules int) *progressTracker {
+	if fn == nil {
+		return nil
+	}
+	t := &progressTracker{
+		fn:    fn,
+		start: time.Now(),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+		bugs:  map[report.PairKey]bool{},
+	}
+	t.cur.Runs = runs
+	t.cur.ModulesTotal = runs * modules
+	go t.loop(interval)
+	return t
+}
+
+func (t *progressTracker) loop(interval time.Duration) {
+	defer close(t.done)
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-t.stop:
+			return
+		case <-tick.C:
+			t.emit()
+		}
+	}
+}
+
+func (t *progressTracker) emit() {
+	t.mu.Lock()
+	u := t.cur
+	u.Elapsed = time.Since(t.start)
+	t.mu.Unlock()
+	t.fn(u)
+}
+
+// startRun marks the 1-based run as current. Nil-safe.
+func (t *progressTracker) startRun(run int) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.cur.Run = run
+	t.mu.Unlock()
+}
+
+// moduleDone folds one completed module run into the counters. Nil-safe;
+// called under the suite's completion path, not the hot path.
+func (t *progressTracker) moduleDone(delays int64, bugKeys []report.PairKey) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.cur.ModulesDone++
+	t.cur.DelaysInjected += delays
+	for _, k := range bugKeys {
+		if !t.bugs[k] {
+			t.bugs[k] = true
+			t.cur.BugsFound++
+		}
+	}
+	t.mu.Unlock()
+}
+
+// finish stops the ticker and delivers the final synchronous update.
+// Nil-safe.
+func (t *progressTracker) finish() {
+	if t == nil {
+		return
+	}
+	close(t.stop)
+	<-t.done
+	t.emit()
+}

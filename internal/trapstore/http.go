@@ -12,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/trace"
 	"repro/internal/trapfile"
 )
@@ -35,6 +36,10 @@ type HTTPConfig struct {
 	BackoffMax time.Duration
 	// Tracer receives store_fetch/store_publish events; nil disables.
 	Tracer *trace.Tracer
+	// Metrics, when non-nil, exports the client's operation counters and
+	// latency histograms (the tsvd_store_* families; docs/OBSERVABILITY.md).
+	// Register at most one store client per registry.
+	Metrics *metrics.Registry
 }
 
 func (c HTTPConfig) withDefaults() HTTPConfig {
@@ -89,7 +94,7 @@ type HTTPStore struct {
 func NewHTTPStore(baseURL string, cfg HTTPConfig) *HTTPStore {
 	cfg = cfg.withDefaults()
 	base := strings.TrimSuffix(baseURL, "/")
-	return &HTTPStore{
+	s := &HTTPStore{
 		url:    base + TrapsPath,
 		cfg:    cfg,
 		client: &http.Client{},
@@ -97,6 +102,8 @@ func NewHTTPStore(baseURL string, cfg HTTPConfig) *HTTPStore {
 		rng:    rand.New(rand.NewSource(time.Now().UnixNano())),
 		instr:  newInstr(cfg.Tracer, base),
 	}
+	s.register(cfg.Metrics)
+	return s
 }
 
 // URL returns the traps resource URL this store talks to.
@@ -125,6 +132,7 @@ func (s *HTTPStore) retry(name string, op func() (retryable bool, err error)) er
 	var last error
 	for attempt := 0; attempt < s.cfg.Attempts; attempt++ {
 		if attempt > 0 {
+			s.retried()
 			s.sleep(s.backoffDelay(attempt - 1))
 		}
 		retryable, err := op()
@@ -188,6 +196,7 @@ func (s *HTTPStore) Fetch() (trapfile.File, error) {
 		}
 		switch {
 		case resp.StatusCode == http.StatusNotModified:
+			s.sawNotModified()
 			s.mu.Lock()
 			out = s.cached
 			s.mu.Unlock()

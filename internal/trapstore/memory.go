@@ -2,12 +2,14 @@ package trapstore
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
 	"sync"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/trace"
 	"repro/internal/trapfile"
 )
@@ -43,6 +45,20 @@ func (m *Memory) Snapshot() (trapfile.File, uint64) {
 	return f, m.gen
 }
 
+// Generation returns the current generation without copying the set.
+func (m *Memory) Generation() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.gen
+}
+
+// PairCount returns the current merged set size without copying it.
+func (m *Memory) PairCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.file.Pairs)
+}
+
 // Seed replaces the set wholesale (daemon startup from a snapshot file).
 // It bumps the generation when the seeded set is non-empty so pre-seed
 // pollers refetch.
@@ -55,18 +71,20 @@ func (m *Memory) Seed(f trapfile.File) {
 	}
 }
 
-// merge folds f in and reports the new generation and how many pairs the
-// union gained. The generation moves only when the set actually grew.
-func (m *Memory) merge(f trapfile.File) (gen uint64, added int) {
+// merge folds f in and reports the new generation, how many pairs the union
+// gained, and the post-merge set size (so callers can ack without taking a
+// second snapshot). The generation moves only when the set actually grew.
+func (m *Memory) merge(f trapfile.File) (gen uint64, added, total int) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	before := len(m.file.Pairs)
 	m.file = trapfile.Merge(m.file, f)
-	added = len(m.file.Pairs) - before
+	total = len(m.file.Pairs)
+	added = total - before
 	if added > 0 {
 		m.gen++
 	}
-	return m.gen, added
+	return m.gen, added, total
 }
 
 // Fetch implements TrapStore.
@@ -84,6 +102,11 @@ func (m *Memory) Publish(f trapfile.File) error {
 	m.published(time.Since(begin))
 	return nil
 }
+
+// RegisterMetrics exports the in-process store's operation counters and
+// latency histograms on reg (nil-safe) — what HTTPConfig.Metrics does for
+// the HTTP client, for fleets simulated with a shared Memory.
+func (m *Memory) RegisterMetrics(reg *metrics.Registry) { m.register(reg) }
 
 // Totals implements TrapStore.
 func (m *Memory) Totals() trace.StoreTotals { return m.totals() }
@@ -119,29 +142,105 @@ type wireError struct {
 	Error string `json:"error"`
 }
 
+// wireHealth is the GET /healthz body (documented in docs/DEPLOYMENT.md).
+type wireHealth struct {
+	Status        string  `json:"status"`
+	Generation    uint64  `json:"generation"`
+	Pairs         int     `json:"pairs"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
 func etagOf(gen uint64) string { return `"g` + strconv.FormatUint(gen, 10) + `"` }
 
-// Handler serves m over HTTP:
+// maxTrapPayload bounds a POST /v1/traps body. The largest observed fleet
+// trap sets are a few thousand pairs (tens of KB); 8 MiB leaves three
+// orders of magnitude of headroom while keeping a misbehaving (or
+// malicious) client from ballooning the daemon's heap.
+const maxTrapPayload = 8 << 20
+
+// HandlerOptions configure NewHandler. The zero value serves the store with
+// no persistence hook, no logging and no metrics.
+type HandlerOptions struct {
+	// OnMerge, when non-nil, runs after every merge that grew the set (the
+	// daemon persists its snapshot there).
+	OnMerge func(trapfile.File, uint64)
+	// Logf, when non-nil, receives one line per state-changing request.
+	Logf func(format string, args ...any)
+	// Metrics, when non-nil, registers the daemon metric families
+	// (tsvd_trapd_*) and serves the whole registry at GET /metrics in the
+	// Prometheus text format.
+	Metrics *metrics.Registry
+}
+
+// NewHandler serves m over HTTP:
 //
 //	GET  /v1/traps  → the merged snapshot; ETag is the generation, and a
 //	                  matching If-None-Match yields 304 with no body, so
 //	                  idle shards poll for the price of a header exchange.
 //	POST /v1/traps  → merge the payload's pairs; replies with the new
-//	                  generation. A foreign schema version is a 400.
-//	GET  /healthz   → "ok" (daemon liveness probe).
-//
-// onMerge, when non-nil, runs after every merge that grew the set (the
-// daemon persists its snapshot there). logf, when non-nil, receives one
-// line per state-changing request.
-func Handler(m *Memory, onMerge func(trapfile.File, uint64), logf func(format string, args ...any)) http.Handler {
+//	                  generation. A foreign schema version is a 400; a body
+//	                  over maxTrapPayload is a 413.
+//	GET  /healthz   → liveness probe: JSON status, generation, pair count
+//	                  and uptime.
+//	GET  /metrics   → Prometheus exposition of opts.Metrics (absent when no
+//	                  registry is configured).
+func NewHandler(m *Memory, opts HandlerOptions) http.Handler {
+	logf := opts.Logf
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
+	reg := opts.Metrics
+	start := time.Now()
+	reg.GaugeFunc("tsvd_trapd_generation",
+		"Trap-set generation (increments when the merged set grows).",
+		func() float64 { return float64(m.Generation()) })
+	reg.GaugeFunc("tsvd_trapd_pairs",
+		"Pairs in the merged trap set.",
+		func() float64 { return float64(m.PairCount()) })
+	reg.GaugeFunc("tsvd_trapd_uptime_seconds",
+		"Seconds since the handler was created.",
+		func() float64 { return time.Since(start).Seconds() })
+	merges := reg.Counter("tsvd_trapd_merges_total",
+		"Accepted POST /v1/traps merges (including no-op merges).")
+	mergedPairs := reg.Counter("tsvd_trapd_merged_pairs_total",
+		"Pairs the merged set gained across all merges.")
+
+	// instrument wraps an endpoint handler with a request counter and a
+	// latency histogram. The counter increments at entry, so the scrape
+	// serving a /metrics request reports that request itself — the
+	// reconciliation contract counts requests received, not completed.
+	latBounds := metrics.ExpBounds(int64(100*time.Microsecond), 2, 13) // 100µs..~400ms
+	instrument := func(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+		lbl := metrics.Label{Name: "endpoint", Value: endpoint}
+		reqs := reg.Counter("tsvd_trapd_requests_total",
+			"HTTP requests received by endpoint.", lbl)
+		lat := reg.Histogram("tsvd_trapd_request_seconds",
+			"HTTP request handling latency by endpoint.", 1e-9, latBounds, lbl)
+		return func(w http.ResponseWriter, r *http.Request) {
+			reqs.Inc()
+			begin := time.Now()
+			h(w, r)
+			lat.Observe(int64(time.Since(begin)))
+		}
+	}
+
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Write([]byte("ok\n"))
-	})
-	mux.HandleFunc("GET "+TrapsPath, func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("GET /healthz", instrument("healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(wireHealth{
+			Status:        "ok",
+			Generation:    m.Generation(),
+			Pairs:         m.PairCount(),
+			UptimeSeconds: time.Since(start).Seconds(),
+		})
+	}))
+	if reg != nil {
+		mux.HandleFunc("GET /metrics", instrument("metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			reg.WritePrometheus(w)
+		}))
+	}
+	mux.HandleFunc("GET "+TrapsPath, instrument("traps_get", func(w http.ResponseWriter, r *http.Request) {
 		f, gen := m.Snapshot()
 		tag := etagOf(gen)
 		w.Header().Set("ETag", tag)
@@ -153,10 +252,16 @@ func Handler(m *Memory, onMerge func(trapfile.File, uint64), logf func(format st
 		json.NewEncoder(w).Encode(wireSnapshot{
 			Version: trapfile.FormatVersion, Tool: f.Tool, Generation: gen, Pairs: f.Pairs,
 		})
-	})
-	mux.HandleFunc("POST "+TrapsPath, func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("POST "+TrapsPath, instrument("traps_post", func(w http.ResponseWriter, r *http.Request) {
 		var in wireSnapshot
-		if err := json.NewDecoder(r.Body).Decode(&in); err != nil {
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxTrapPayload)).Decode(&in); err != nil {
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				reject(w, http.StatusRequestEntityTooLarge,
+					fmt.Sprintf("payload exceeds %d bytes", tooBig.Limit))
+				return
+			}
 			reject(w, http.StatusBadRequest, fmt.Sprintf("invalid payload: %v", err))
 			return
 		}
@@ -165,16 +270,25 @@ func Handler(m *Memory, onMerge func(trapfile.File, uint64), logf func(format st
 				"payload version %d, want %d", in.Version, trapfile.FormatVersion))
 			return
 		}
-		gen, added := m.merge(trapfile.File{Version: trapfile.FormatVersion, Tool: in.Tool, Pairs: in.Pairs})
-		f, _ := m.Snapshot()
-		if added > 0 && onMerge != nil {
-			onMerge(f, gen)
+		gen, added, total := m.merge(trapfile.File{Version: trapfile.FormatVersion, Tool: in.Tool, Pairs: in.Pairs})
+		merges.Inc()
+		mergedPairs.Add(int64(added))
+		if added > 0 && opts.OnMerge != nil {
+			// The only path that needs the full set — a no-op merge never
+			// pays for a snapshot copy.
+			f, _ := m.Snapshot()
+			opts.OnMerge(f, gen)
 		}
-		logf("merge from %s: +%d pairs (%d total, generation %d)", r.RemoteAddr, added, len(f.Pairs), gen)
+		logf("merge from %s: +%d pairs (%d total, generation %d)", r.RemoteAddr, added, total, gen)
 		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(wireAck{Generation: gen, Pairs: len(f.Pairs)})
-	})
+		json.NewEncoder(w).Encode(wireAck{Generation: gen, Pairs: total})
+	}))
 	return mux
+}
+
+// Handler is the pre-HandlerOptions constructor, kept for existing callers.
+func Handler(m *Memory, onMerge func(trapfile.File, uint64), logf func(format string, args ...any)) http.Handler {
+	return NewHandler(m, HandlerOptions{OnMerge: onMerge, Logf: logf})
 }
 
 func reject(w http.ResponseWriter, status int, msg string) {

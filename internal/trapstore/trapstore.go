@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"repro/internal/ids"
+	"repro/internal/metrics"
 	"repro/internal/trace"
 	"repro/internal/trapfile"
 )
@@ -67,10 +68,50 @@ type instr struct {
 	op                            ids.OpID
 	start                         time.Time
 	fetches, publishes, fallbacks atomic.Int64
+	// notModified counts fetches served from the conditional-GET cache (the
+	// daemon answered 304); retries counts extra attempts after a first
+	// failure. Both stay zero for stores without those notions.
+	notModified, retries atomic.Int64
+	// fetchDur/publishDur are set by register; nil (no-op) without a
+	// registry, so the accounting paths need no branches.
+	fetchDur, publishDur *metrics.Histogram
 }
 
 func newInstr(tracer *trace.Tracer, endpoint string) instr {
 	return instr{tracer: tracer, op: ids.InternKey("trapstore:" + endpoint), start: time.Now()}
+}
+
+// register exports the store's operation counters and per-op latency
+// histograms on reg (docs/OBSERVABILITY.md, "Live metrics"). The counters
+// are function-backed reads of the same atomics Totals snapshots, so the
+// exported series reconcile exactly against the wire accounting —
+// cmd/tsvd-metrics-check enforces this. reg may be nil (no-op). One registry
+// should carry at most one store client: the series are unlabeled by store.
+func (i *instr) register(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	const opsName = "tsvd_store_ops_total"
+	const opsHelp = "Trap-store client operations by kind."
+	load := func(c *atomic.Int64) func() float64 {
+		return func() float64 { return float64(c.Load()) }
+	}
+	for _, e := range []struct {
+		op string
+		c  *atomic.Int64
+	}{
+		{"fetch", &i.fetches},
+		{"publish", &i.publishes},
+		{"not_modified", &i.notModified},
+		{"retry", &i.retries},
+	} {
+		reg.CounterFunc(opsName, opsHelp, load(e.c), metrics.Label{Name: "op", Value: e.op})
+	}
+	const durName = "tsvd_store_op_duration_seconds"
+	const durHelp = "Trap-store operation latency (successful operations)."
+	bounds := metrics.ExpBounds(int64(500*time.Microsecond), 2, 13) // 500µs..~2s
+	i.fetchDur = reg.Histogram(durName, durHelp, 1e-9, bounds, metrics.Label{Name: "op", Value: "fetch"})
+	i.publishDur = reg.Histogram(durName, durHelp, 1e-9, bounds, metrics.Label{Name: "op", Value: "publish"})
 }
 
 func (i *instr) emit(kind trace.Kind, dur time.Duration) {
@@ -79,11 +120,13 @@ func (i *instr) emit(kind trace.Kind, dur time.Duration) {
 
 func (i *instr) fetched(dur time.Duration) {
 	i.fetches.Add(1)
+	i.fetchDur.Observe(int64(dur))
 	i.emit(trace.KindStoreFetch, dur)
 }
 
 func (i *instr) published(dur time.Duration) {
 	i.publishes.Add(1)
+	i.publishDur.Observe(int64(dur))
 	i.emit(trace.KindStorePublish, dur)
 }
 
@@ -91,6 +134,10 @@ func (i *instr) fellBack() {
 	i.fallbacks.Add(1)
 	i.emit(trace.KindStoreFallback, 0)
 }
+
+func (i *instr) sawNotModified() { i.notModified.Add(1) }
+
+func (i *instr) retried() { i.retries.Add(1) }
 
 func (i *instr) totals() trace.StoreTotals {
 	return trace.StoreTotals{
@@ -178,6 +225,18 @@ type Fallback struct {
 // covers the fallback transitions — the sub-stores carry their own tracers.
 func NewFallback(primary, local TrapStore, tracer *trace.Tracer) *Fallback {
 	return &Fallback{primary: primary, local: local, instr: newInstr(tracer, "fallback")}
+}
+
+// RegisterMetrics exports the composite's fallback counter on reg,
+// completing the tsvd_store_ops_total family a wrapped HTTPStore started
+// (fallback transitions live here, not on the client). reg may be nil.
+func (s *Fallback) RegisterMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.CounterFunc("tsvd_store_ops_total", "Trap-store client operations by kind.",
+		func() float64 { return float64(s.fallbacks.Load()) },
+		metrics.Label{Name: "op", Value: "fallback"})
 }
 
 // Fetch implements TrapStore.

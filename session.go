@@ -94,6 +94,35 @@ func (s *Session) Bugs() []report.Bug { return s.det.Reports().Bugs() }
 // Stats returns a snapshot of this session's detector counters.
 func (s *Session) Stats() core.Stats { return s.det.Stats() }
 
+// Snapshot is a point-in-time view of a session's live detection state,
+// safe to take mid-run: counters, the current trap-set occupancy, and the
+// number of unique violations caught so far.
+type Snapshot struct {
+	// Stats is the detector's counter snapshot.
+	Stats core.Stats
+	// TrapSetPairs is the number of dangerous pairs currently trapped
+	// (0 for detector variants without a trap set).
+	TrapSetPairs int
+	// Bugs is the number of unique violations caught so far, deduplicated
+	// by static location pair.
+	Bugs int
+}
+
+// Snapshot returns a live view of the session's detection state. It is safe
+// to call concurrently with detection — the counters are a consistent
+// lock-free snapshot — so a watchdog or progress reporter can poll it while
+// the instrumented tests are still running.
+func (s *Session) Snapshot() Snapshot {
+	snap := Snapshot{
+		Stats: s.det.Stats(),
+		Bugs:  len(s.det.Reports().Bugs()),
+	}
+	if ts, ok := s.det.(interface{ TrapSetSize() int }); ok {
+		snap.TrapSetPairs = ts.TrapSetSize()
+	}
+	return snap
+}
+
 // ExportTraps returns this session's current dangerous-pair set.
 func (s *Session) ExportTraps() []report.PairKey { return s.det.ExportTraps() }
 

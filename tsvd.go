@@ -31,6 +31,7 @@ import (
 	"repro/internal/collections"
 	"repro/internal/config"
 	"repro/internal/core"
+	"repro/internal/metrics"
 	"repro/internal/syncx"
 	"repro/internal/task"
 )
@@ -67,6 +68,35 @@ func DefaultConfig() Config { return config.Defaults(config.AlgoTSVD) }
 // Install instead.
 func NewDetector(cfg Config, opts ...core.Option) (Detector, error) {
 	return core.New(cfg, opts...)
+}
+
+// --- Live metrics (Prometheus exposition) ---
+
+// MetricsRegistry collects counters, gauges and histograms and writes them
+// in the Prometheus text exposition format; see internal/metrics.
+type MetricsRegistry = metrics.Registry
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
+
+// DetectorMetrics exports live tsvd_detector_* series for every detector it
+// is attached to; attach it via WithDetectorMetrics.
+type DetectorMetrics = core.DetectorMetrics
+
+// NewDetectorMetrics registers the detector metric families on reg and
+// returns the collector to pass to Install or NewDetector.
+func NewDetectorMetrics(reg *MetricsRegistry) *DetectorMetrics {
+	return core.NewDetectorMetrics(reg)
+}
+
+// WithDetectorMetrics attaches the detector being built to m, so its
+// counters appear in m's registry:
+//
+//	reg := tsvd.NewMetricsRegistry()
+//	session, _ := tsvd.Install(cfg, tsvd.WithDetectorMetrics(tsvd.NewDetectorMetrics(reg)))
+//	http.Handle("/metrics", ...reg.WritePrometheus...)
+func WithDetectorMetrics(m *DetectorMetrics) core.Option {
+	return core.WithDetectorMetrics(m)
 }
 
 // --- Instrumented containers bound to the installed detector ---

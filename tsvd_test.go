@@ -184,6 +184,58 @@ func TestCloseDetachesAndSaveTrapFileFailsNotInstalled(t *testing.T) {
 	}
 }
 
+func TestSessionSnapshotAndPublicMetrics(t *testing.T) {
+	reg := NewMetricsRegistry()
+	s, err := Install(DefaultConfig().Scaled(0.1),
+		WithDetectorMetrics(NewDetectorMetrics(reg)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dict := NewDictionary[string, int]()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			dict.Set("k", i)
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		dict.ContainsKey("k2")
+		time.Sleep(time.Millisecond)
+	}
+	<-done
+
+	snap := s.Snapshot()
+	if snap.Stats.OnCalls == 0 || snap.Stats.NearMisses == 0 {
+		t.Fatalf("snapshot saw no activity: %+v", snap.Stats)
+	}
+	if snap.Bugs != len(s.Bugs()) {
+		t.Fatalf("snapshot Bugs = %d, session has %d", snap.Bugs, len(s.Bugs()))
+	}
+	if ts, ok := s.Detector().(interface{ TrapSetSize() int }); ok {
+		if snap.TrapSetPairs != ts.TrapSetSize() {
+			t.Fatalf("snapshot TrapSetPairs = %d, detector has %d",
+				snap.TrapSetPairs, ts.TrapSetSize())
+		}
+	}
+	// The public metrics registry sees the same detector: the scraped
+	// counters reconcile exactly with the session's stats.
+	stats := s.Stats()
+	got := reg.Values()
+	for series, want := range map[string]int64{
+		"tsvd_detector_on_calls_total":        stats.OnCalls,
+		"tsvd_detector_near_misses_total":     stats.NearMisses,
+		"tsvd_detector_delays_injected_total": stats.DelaysInjected,
+		"tsvd_detector_pairs_added_total":     stats.PairsAdded,
+		"tsvd_detector_violations_total":      stats.Violations,
+	} {
+		if got[series] != float64(want) {
+			t.Errorf("%s = %v, want %d", series, got[series], want)
+		}
+	}
+}
+
 func TestAllPublicConstructors(t *testing.T) {
 	install(t)
 	NewDictionary[int, int]().Set(1, 1)
