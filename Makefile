@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench trace-smoke fleet-smoke metrics-smoke
+.PHONY: check vet build test race bench trace-smoke fleet-smoke metrics-smoke docs-check
 
-check: vet build test race trace-smoke fleet-smoke metrics-smoke
+check: vet build test race trace-smoke fleet-smoke metrics-smoke docs-check
 
 vet:
 	$(GO) vet ./...
@@ -42,6 +42,13 @@ metrics-smoke:
 # (see docs/DEPLOYMENT.md).
 fleet-smoke:
 	$(GO) run ./cmd/tsvd-fleet-smoke
+
+# Docs gate: intra-docs links must resolve, every Config field and tsvd.*
+# symbol the docs mention must exist in source, and every exported
+# identifier in the public package, internal/config, and internal/sampler
+# must carry a doc comment (see cmd/tsvd-docs-check).
+docs-check:
+	$(GO) run ./cmd/tsvd-docs-check
 
 # OnCall hot-path cost (see docs/PERFORMANCE.md for interpretation).
 bench:

@@ -336,10 +336,13 @@ func contentionParallelism(goroutines int) int {
 	return p
 }
 
-func benchContention(b *testing.B, algo config.Algorithm, goroutines int, shared, traced, metered bool) {
+func benchContention(b *testing.B, algo config.Algorithm, goroutines int, shared, traced, metered bool, mutate ...func(*config.Config)) {
 	b.Helper()
 	cfg := config.Defaults(algo)
 	cfg.Trace = traced
+	for _, m := range mutate {
+		m(&cfg)
+	}
 	var copts []core.Option
 	if metered {
 		copts = append(copts,
@@ -410,6 +413,48 @@ func BenchmarkOnCallContention(b *testing.B) {
 		b.Run(fmt.Sprintf("%v/metrics/sharedObj/goroutines=8", algo), func(b *testing.B) {
 			benchContention(b, algo, 8, true, false, true)
 		})
+	}
+}
+
+// BenchmarkOnCallContentionModes runs the same conflict-free contention
+// workload under each sampling mode (docs/SAMPLING.md). Expectations the
+// per-mode overhead table in docs/PERFORMANCE.md records:
+//
+//   - observe-only tracks full mode (it only suppresses sleeps, and this
+//     workload never reaches a sleep);
+//   - sampled at p=1 adds just the gate (a thread-local xorshift draw plus
+//     one lock-free threshold compare);
+//   - sampled at low p approaches the skip path's floor — two shard-local
+//     atomic adds;
+//   - the auto-throttled run converges toward its target, so its steady
+//     state looks like low p.
+func BenchmarkOnCallContentionModes(b *testing.B) {
+	modes := []struct {
+		name string
+		mut  func(*config.Config)
+	}{
+		{"full", func(*config.Config) {}},
+		{"observe-only", func(c *config.Config) { c.Mode = config.ModeObserveOnly }},
+		{"sampled-p1", func(c *config.Config) {
+			c.Mode = config.ModeSampled
+			c.SampleProbability = 1
+		}},
+		{"sampled-p0.01", func(c *config.Config) {
+			c.Mode = config.ModeSampled
+			c.SampleProbability = 0.01
+		}},
+		{"sampled-auto-1pct", func(c *config.Config) {
+			c.Mode = config.ModeSampled
+			c.SampleProbability = 1
+			c.OverheadTarget = 0.01
+		}},
+	}
+	for _, algo := range []config.Algorithm{config.AlgoTSVD, config.AlgoTSVDHB} {
+		for _, m := range modes {
+			b.Run(fmt.Sprintf("%v/%s/goroutines=8", algo, m.name), func(b *testing.B) {
+				benchContention(b, algo, 8, false, false, false, m.mut)
+			})
+		}
 	}
 }
 

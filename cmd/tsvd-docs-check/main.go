@@ -1,0 +1,465 @@
+// Command tsvd-docs-check keeps the operator docs suite honest. It walks
+// every markdown file at the repository root and under docs/ and verifies,
+// against the Go source of this repository, that:
+//
+//   - every intra-repository markdown link resolves: the target file exists,
+//     and when the link carries a #fragment, the target file has a heading
+//     whose GitHub-style anchor slug matches;
+//   - every `Config.X` field the docs mention exists on config.Config, so
+//     renamed or removed knobs cannot survive in prose;
+//   - every `tsvd.X` symbol the docs mention is an exported package-level
+//     declaration of the public tsvd package;
+//   - every exported identifier in the tsvd root package, internal/config,
+//     and internal/sampler carries a doc comment (the godoc audit), including
+//     methods on exported types, exported struct fields, and exported
+//     interface methods.
+//
+// Exit status: 0 when everything reconciles, 1 with one line per finding
+// otherwise, 2 on usage or I/O errors. `make docs-check` runs it from the
+// repository root; it is part of `make check`.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+func main() {
+	root := flag.String("root", ".", "repository root to check")
+	flag.Parse()
+
+	var findings []string
+	report := func(format string, args ...any) {
+		findings = append(findings, fmt.Sprintf(format, args...))
+	}
+
+	docs, err := docFiles(*root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tsvd-docs-check: %v\n", err)
+		os.Exit(2)
+	}
+
+	configFields, err := structFields(filepath.Join(*root, "internal", "config"), "Config")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tsvd-docs-check: internal/config: %v\n", err)
+		os.Exit(2)
+	}
+	publicSymbols, err := packageSymbols(*root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tsvd-docs-check: root package: %v\n", err)
+		os.Exit(2)
+	}
+
+	links, fields, symbols := 0, 0, 0
+	for _, doc := range docs {
+		data, err := os.ReadFile(doc)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tsvd-docs-check: %v\n", err)
+			os.Exit(2)
+		}
+		text := string(data)
+		rel := relTo(*root, doc)
+
+		for _, link := range markdownLinks(text) {
+			links++
+			checkLink(*root, doc, link, report)
+		}
+		for _, f := range referenced(text, configRef) {
+			fields++
+			if !configFields[f] {
+				report("%s: Config.%s is not a field of config.Config", rel, f)
+			}
+		}
+		for _, s := range referenced(text, tsvdRef) {
+			symbols++
+			if !publicSymbols[s] {
+				report("%s: tsvd.%s is not an exported symbol of the tsvd package", rel, s)
+			}
+		}
+	}
+
+	audited := 0
+	for _, dir := range []string{".", "internal/config", "internal/sampler"} {
+		n, missing, err := auditGodoc(filepath.Join(*root, dir))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tsvd-docs-check: %s: %v\n", dir, err)
+			os.Exit(2)
+		}
+		audited += n
+		for _, m := range missing {
+			report("%s: %s has no doc comment", dir, m)
+		}
+	}
+
+	if len(findings) > 0 {
+		for _, f := range findings {
+			fmt.Fprintf(os.Stderr, "tsvd-docs-check: %s\n", f)
+		}
+		fmt.Fprintf(os.Stderr, "tsvd-docs-check: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+	fmt.Printf("tsvd-docs-check: ok — %d files, %d links, %d Config fields, %d tsvd symbols, %d exported identifiers documented\n",
+		len(docs), links, fields, symbols, audited)
+}
+
+// docFiles returns every markdown file at the repository root and under
+// docs/, sorted for stable output.
+func docFiles(root string) ([]string, error) {
+	var files []string
+	for _, glob := range []string{"*.md", filepath.Join("docs", "*.md")} {
+		matches, err := filepath.Glob(filepath.Join(root, glob))
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, matches...)
+	}
+	sort.Strings(files)
+	return files, nil
+}
+
+func relTo(root, path string) string {
+	if rel, err := filepath.Rel(root, path); err == nil {
+		return rel
+	}
+	return path
+}
+
+// link is one markdown link occurrence: the raw target and the file it
+// appears in.
+type link struct {
+	target string
+}
+
+var linkRe = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// markdownLinks extracts inline link targets. Bare URLs and images share the
+// same ](...) shape, which is exactly what needs checking.
+func markdownLinks(text string) []link {
+	var out []link
+	for _, m := range linkRe.FindAllStringSubmatch(text, -1) {
+		out = append(out, link{target: m[1]})
+	}
+	return out
+}
+
+// checkLink verifies one link target from file `from`. External schemes are
+// skipped: this tool owns intra-repository consistency only.
+func checkLink(root, from string, l link, report func(string, ...any)) {
+	t := l.target
+	if strings.Contains(t, "://") || strings.HasPrefix(t, "mailto:") {
+		return
+	}
+	rel := relTo(root, from)
+	path, frag, _ := strings.Cut(t, "#")
+	target := from
+	if path != "" {
+		target = filepath.Join(filepath.Dir(from), path)
+		info, err := os.Stat(target)
+		if err != nil {
+			report("%s: link target %q does not exist", rel, t)
+			return
+		}
+		if info.IsDir() || frag == "" {
+			return
+		}
+	}
+	if frag == "" {
+		return
+	}
+	if !strings.HasSuffix(target, ".md") {
+		return // anchors into non-markdown files are browser-defined
+	}
+	data, err := os.ReadFile(target)
+	if err != nil {
+		report("%s: link target %q unreadable: %v", rel, t, err)
+		return
+	}
+	if !headingAnchors(string(data))[frag] {
+		report("%s: link %q: no heading in %s has anchor #%s",
+			rel, t, relTo(root, target), frag)
+	}
+}
+
+// headingAnchors returns the set of GitHub-style anchor slugs for every
+// heading in a markdown document, including -1/-2 suffixes for duplicates.
+func headingAnchors(text string) map[string]bool {
+	anchors := map[string]bool{}
+	counts := map[string]int{}
+	inFence := false
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence || !strings.HasPrefix(line, "#") {
+			continue
+		}
+		title := strings.TrimLeft(line, "#")
+		if title == line || !strings.HasPrefix(title, " ") && title != "" {
+			continue // shell comments etc. need "# " to be a heading
+		}
+		slug := slugify(strings.TrimSpace(title))
+		if n := counts[slug]; n > 0 {
+			anchors[fmt.Sprintf("%s-%d", slug, n)] = true
+		} else {
+			anchors[slug] = true
+		}
+		counts[slug]++
+	}
+	return anchors
+}
+
+// slugify mirrors GitHub's heading-to-anchor rule: lowercase, spaces become
+// hyphens, and everything that is not a letter, digit, hyphen, or underscore
+// is dropped (backticks and punctuation vanish).
+func slugify(title string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(title) {
+		switch {
+		case r == ' ':
+			b.WriteByte('-')
+		case r == '-' || r == '_' ||
+			(r >= 'a' && r <= 'z') || (r >= '0' && r <= '9') || r > 127:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// configRef and tsvdRef match symbol references in prose with a left
+// boundary, so HTTPConfig.Metrics does not read as Config.Metrics.
+var (
+	configRef = regexp.MustCompile(`(?:^|[^A-Za-z0-9_.])Config\.([A-Z][A-Za-z0-9_]*)`)
+	tsvdRef   = regexp.MustCompile(`(?:^|[^A-Za-z0-9_.])tsvd\.([A-Z][A-Za-z0-9_]*)`)
+)
+
+func referenced(text string, re *regexp.Regexp) []string {
+	var out []string
+	for _, m := range re.FindAllStringSubmatch(text, -1) {
+		out = append(out, m[1])
+	}
+	return out
+}
+
+// parseDir parses every non-test Go file of the package in dir.
+func parseDir(dir string) (*token.FileSet, []*ast.File, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, nil, err
+	}
+	var files []*ast.File
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			files = append(files, f)
+		}
+	}
+	return fset, files, nil
+}
+
+// structFields returns the exported field names of the named struct type.
+func structFields(dir, typeName string) (map[string]bool, error) {
+	_, files, err := parseDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	fields := map[string]bool{}
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok || ts.Name.Name != typeName {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				for _, name := range field.Names {
+					if name.IsExported() {
+						fields[name.Name] = true
+					}
+				}
+			}
+			return false
+		})
+	}
+	if len(fields) == 0 {
+		return nil, fmt.Errorf("struct %s not found in %s", typeName, dir)
+	}
+	return fields, nil
+}
+
+// packageSymbols returns every exported package-level name (types, funcs,
+// consts, vars) of the package in dir.
+func packageSymbols(dir string) (map[string]bool, error) {
+	_, files, err := parseDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	syms := map[string]bool{}
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Recv == nil && d.Name.IsExported() {
+					syms[d.Name.Name] = true
+				}
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					switch s := spec.(type) {
+					case *ast.TypeSpec:
+						if s.Name.IsExported() {
+							syms[s.Name.Name] = true
+						}
+					case *ast.ValueSpec:
+						for _, name := range s.Names {
+							if name.IsExported() {
+								syms[name.Name] = true
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return syms, nil
+}
+
+// auditGodoc returns the number of exported identifiers inspected in the
+// package at dir and the list of those with no doc comment. A group doc on a
+// const/var/type block covers its specs; a trailing line comment counts for
+// single-line specs and struct fields, matching godoc rendering.
+func auditGodoc(dir string) (int, []string, error) {
+	_, files, err := parseDir(dir)
+	if err != nil {
+		return 0, nil, err
+	}
+	n := 0
+	var missing []string
+	note := func(documented bool, name string) {
+		n++
+		if !documented {
+			missing = append(missing, name)
+		}
+	}
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if !d.Name.IsExported() || !receiverExported(d) {
+					continue
+				}
+				note(d.Doc != nil, funcName(d))
+			case *ast.GenDecl:
+				groupDoc := d.Doc != nil
+				for _, spec := range d.Specs {
+					switch s := spec.(type) {
+					case *ast.TypeSpec:
+						if !s.Name.IsExported() {
+							continue
+						}
+						note(groupDoc || s.Doc != nil || s.Comment != nil, "type "+s.Name.Name)
+						auditTypeMembers(s, note)
+					case *ast.ValueSpec:
+						for _, name := range s.Names {
+							if !name.IsExported() {
+								continue
+							}
+							note(groupDoc || s.Doc != nil || s.Comment != nil, name.Name)
+						}
+					}
+				}
+			}
+		}
+	}
+	sort.Strings(missing)
+	return n, missing, nil
+}
+
+// auditTypeMembers audits exported struct fields and interface methods of an
+// exported type.
+func auditTypeMembers(s *ast.TypeSpec, note func(bool, string)) {
+	var fields *ast.FieldList
+	kind := ""
+	switch t := s.Type.(type) {
+	case *ast.StructType:
+		fields, kind = t.Fields, "field"
+	case *ast.InterfaceType:
+		fields, kind = t.Methods, "method"
+	default:
+		return
+	}
+	for _, field := range fields.List {
+		documented := field.Doc != nil || field.Comment != nil
+		for _, name := range field.Names {
+			if name.IsExported() {
+				note(documented, fmt.Sprintf("%s %s.%s", kind, s.Name.Name, name.Name))
+			}
+		}
+	}
+}
+
+// receiverExported reports whether a method's receiver type is exported
+// (methods on unexported types are not part of the package's godoc surface).
+func receiverExported(d *ast.FuncDecl) bool {
+	if d.Recv == nil {
+		return true
+	}
+	for _, field := range d.Recv.List {
+		t := field.Type
+		for {
+			switch tt := t.(type) {
+			case *ast.StarExpr:
+				t = tt.X
+				continue
+			case *ast.IndexExpr: // generic receiver T[P]
+				t = tt.X
+				continue
+			case *ast.IndexListExpr:
+				t = tt.X
+				continue
+			case *ast.Ident:
+				return tt.IsExported()
+			default:
+				return true
+			}
+		}
+	}
+	return true
+}
+
+// funcName renders a function or method name for findings.
+func funcName(d *ast.FuncDecl) string {
+	if d.Recv == nil {
+		return "func " + d.Name.Name
+	}
+	t := d.Recv.List[0].Type
+	if st, ok := t.(*ast.StarExpr); ok {
+		t = st.X
+	}
+	recv := "?"
+	switch tt := t.(type) {
+	case *ast.Ident:
+		recv = tt.Name
+	case *ast.IndexExpr:
+		if id, ok := tt.X.(*ast.Ident); ok {
+			recv = id.Name
+		}
+	case *ast.IndexListExpr:
+		if id, ok := tt.X.(*ast.Ident); ok {
+			recv = id.Name
+		}
+	}
+	return fmt.Sprintf("method %s.%s", recv, d.Name.Name)
+}

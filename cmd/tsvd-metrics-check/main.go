@@ -146,6 +146,13 @@ func run() int {
 		"tsvd_detector_locations_seen_total":            float64(st.LocationsSeen),
 		"tsvd_detector_locations_seen_concurrent_total": float64(st.LocationsSeenConcurrent),
 		"tsvd_detector_sequential_skips_total":          float64(st.SequentialSkips),
+		// Sampler series: a full-mode suite must read all-zero (and the
+		// probability gauge 1) — any other value means sampling state leaked
+		// into a mode that should not have it.
+		"tsvd_sampler_calls_sampled_out_total": float64(st.CallsSampledOut),
+		"tsvd_sampler_delays_suppressed_total": float64(st.DelaysSuppressed),
+		"tsvd_sampler_throttles_total":         float64(st.SamplerThrottles),
+		"tsvd_sampler_probability":             1,
 		// Histogram counts are co-located with their counters by contract.
 		"tsvd_detector_near_miss_gap_seconds_count":    float64(st.NearMisses),
 		"tsvd_detector_granted_delay_seconds_count":    float64(st.DelaysInjected),
@@ -249,6 +256,30 @@ func run() int {
 	c.eq("session", "tsvd_detector_near_misses_total", sgot, 0)
 	c.eq("session", "tsvd_detector_instances", sgot, 1)
 	sess.Close()
+
+	// --- Sampled mode at p=0 on the public API, exactly ---
+	// Every call is deterministically sampled out: the skip counter equals
+	// the op count, OnCalls still counts the skips, and the probability
+	// gauge reads the configured 0.
+	sampReg := tsvd.NewMetricsRegistry()
+	scfg := tsvd.DefaultConfig().Scaled(*scale)
+	scfg.Mode = tsvd.ModeSampled
+	scfg.SampleProbability = 0
+	ssess, err := tsvd.Install(scfg, tsvd.WithDetectorMetrics(tsvd.NewDetectorMetrics(sampReg)))
+	if err != nil {
+		c.failf("install sampled: %v", err)
+		return 1
+	}
+	sdict := tsvd.NewDictionary[int, int]()
+	for i := 0; i < sessOps; i++ {
+		sdict.Set(i, i)
+	}
+	sv := sampReg.Values()
+	c.eq("sampled session", "tsvd_sampler_calls_sampled_out_total", sv, sessOps)
+	c.eq("sampled session", "tsvd_detector_on_calls_total", sv, sessOps)
+	c.eq("sampled session", "tsvd_sampler_probability", sv, 0)
+	c.eq("sampled session", "tsvd_detector_near_misses_total", sv, 0)
+	ssess.Close()
 
 	if c.failures > 0 {
 		fmt.Fprintf(os.Stderr, "tsvd-metrics-check: %d series failed to reconcile\n", c.failures)

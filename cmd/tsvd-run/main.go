@@ -10,6 +10,14 @@
 //	tsvd-run -modules 20 -algo tsvdhb -v
 //	tsvd-run -modules 5 -trace /tmp/trace-out
 //	tsvd-run -modules 30 -trapfile traps.json -trap-server http://127.0.0.1:8321
+//	tsvd-run -modules 50 -mode observe-only
+//	tsvd-run -modules 50 -mode sampled -overhead-target 0.01
+//
+// -mode selects the production sampling tier (docs/SAMPLING.md): full is
+// today's behavior, observe-only records near misses and logical trap
+// firings without sleeping any thread, and sampled gates analysis through a
+// per-site probability (-sample-probability, auto-throttled toward
+// -overhead-target when one is set).
 //
 // With -trapfile the run seeds from and persists to a local trap file
 // (§3.4.6); adding -trap-server joins a fleet: the run also fetches from and
@@ -62,6 +70,9 @@ func run() int {
 		trapsFile  = flag.String("trapfile", "", "local trap file to seed each run from and publish to (§3.4.6)")
 		trapServer = flag.String("trap-server", "", "tsvd-trapd base URL to share traps with across shards (fleet mode)")
 		traceDir   = flag.String("trace", "", "directory to write the detector event trace (events.jsonl, metrics.json, summary.json)")
+		modeName   = flag.String("mode", "full", "sampling mode: full, sampled, observe-only (docs/SAMPLING.md)")
+		sampleProb = flag.Float64("sample-probability", 1.0, "per-site admission probability in sampled mode")
+		overhead   = flag.Float64("overhead-target", 0, "overhead fraction the sampler auto-throttles toward (0 = fixed probability)")
 	)
 	flag.Parse()
 
@@ -99,10 +110,23 @@ func run() int {
 		return 2
 	}
 
+	mode, err := config.ParseMode(*modeName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tsvd-run: %v\n", err)
+		return 2
+	}
+
 	suite := workload.GenerateSuite(*seed, *modules)
 	opts := harness.Options{
 		Config: config.Defaults(algo).Scaled(*scale),
 		Runs:   *runs,
+	}
+	opts.Config.Mode = mode
+	opts.Config.SampleProbability = *sampleProb
+	opts.Config.OverheadTarget = *overhead
+	if err := opts.Config.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "tsvd-run: %v\n", err)
+		return 2
 	}
 	if *traceDir != "" {
 		opts.Config.Trace = true

@@ -54,8 +54,64 @@ func (a Algorithm) String() string {
 	}
 }
 
+// Mode selects the detector's production operating tier (docs/SAMPLING.md).
+// The algorithm is unchanged across modes; what varies is how much of the
+// OnCall pipeline runs per instrumented call, which is the overhead knob for
+// always-on production deployment.
+type Mode int
+
+const (
+	// ModeFull runs the complete analysis and delay-injection pipeline on
+	// every instrumented call — the paper's testing-time behavior and the
+	// zero value, so existing configurations are unchanged.
+	ModeFull Mode = iota
+	// ModeSampled gates the per-call analysis behind a per-site probability.
+	// With OverheadTarget set, a control loop measures the detection time
+	// actually spent and auto-throttles the probabilities toward the target;
+	// otherwise the probability stays fixed at SampleProbability. Trap
+	// checking (red-handed catching) is never sampled out.
+	ModeSampled
+	// ModeObserveOnly runs the full analysis — near-miss recording, trap-set
+	// bookkeeping, coverage — but suppresses every delay injection, so the
+	// detector never parks a thread. The would-be injections are counted and
+	// traced as logical trap firings, making it the zero-risk first step of
+	// a production rollout.
+	ModeObserveOnly
+)
+
+// String returns the wire name used by flags and docs: "full", "sampled" or
+// "observe-only".
+func (m Mode) String() string {
+	switch m {
+	case ModeFull:
+		return "full"
+	case ModeSampled:
+		return "sampled"
+	case ModeObserveOnly:
+		return "observe-only"
+	default:
+		return "unknown"
+	}
+}
+
+// ParseMode inverts Mode.String, for the -mode CLI flag.
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "full":
+		return ModeFull, nil
+	case "sampled":
+		return ModeSampled, nil
+	case "observe-only", "observe":
+		return ModeObserveOnly, nil
+	default:
+		return ModeFull, errValue("unknown mode " + s + " (want full, sampled or observe-only)")
+	}
+}
+
 // Config is the complete parameter set for one detector instance.
 type Config struct {
+	// Algorithm selects the detection technique (§3: TSVD, TSVDHB, the
+	// random baselines, or Nop).
 	Algorithm Algorithm
 
 	// --- Near-miss tracking (§3.4.2, Fig. 9b/9c) ---
@@ -122,6 +178,33 @@ type Config struct {
 	// value is rounded up to the next power of two.
 	ShardCount int
 
+	// --- Production sampling tier (docs/SAMPLING.md) ---
+
+	// Mode selects the operating tier: ModeFull (default, the paper's
+	// testing-time behavior), ModeSampled (per-site probabilistic sampling
+	// with an optional measured-overhead control loop) or ModeObserveOnly
+	// (full analysis, zero delay injection).
+	Mode Mode
+	// SampleProbability is ModeSampled's initial per-site probability of
+	// running the analysis pipeline for a call. With OverheadTarget unset it
+	// stays fixed; with a target it is only the starting point the control
+	// loop throttles from. Defaults to 1.0 so sampled mode starts at full
+	// recall and earns its cheapness from the throttle.
+	SampleProbability float64
+	// OverheadTarget, when positive, closes the loop in ModeSampled: every
+	// SamplerInterval the detector compares the detection time it measurably
+	// spent (analysis plus injected delays) against elapsed wall time and
+	// multiplicatively adjusts the per-site probabilities toward this
+	// fraction (0.01 = "~1% overhead" as a measured quantity). Zero keeps
+	// SampleProbability fixed. Ignored outside ModeSampled.
+	OverheadTarget float64
+	// SamplerInterval is the control-loop period of the adaptive sampler:
+	// per interval the spent-time budget is refreshed and the per-site
+	// probabilities are rebalanced (hot sites are throttled harder so cold
+	// sites keep their coverage). Scaled by TimeScale like every duration;
+	// 0 selects the 100ms default.
+	SamplerInterval time.Duration
+
 	// --- Observability (docs/OBSERVABILITY.md) ---
 
 	// Trace enables the per-shard ring-buffer event tracer: structured
@@ -172,6 +255,8 @@ func Defaults(algo Algorithm) Config {
 		DecayFactor:             0.5,
 		PruneProbability:        0.02,
 		MaxDelayPerThread:       5 * time.Second,
+		SampleProbability:       1.0,
+		SamplerInterval:         100 * time.Millisecond,
 		RandomDelayProbability:  0.05,
 		StaticSampleProbability: 0.25,
 		Seed:                    1,
@@ -227,6 +312,16 @@ func (c Config) EffectiveMaxDelayPerThread() time.Duration {
 	return scale(c.MaxDelayPerThread, c.TimeScale)
 }
 
+// EffectiveSamplerInterval returns SamplerInterval after TimeScale, with 0
+// resolved to the 100ms default first.
+func (c Config) EffectiveSamplerInterval() time.Duration {
+	iv := c.SamplerInterval
+	if iv == 0 {
+		iv = 100 * time.Millisecond
+	}
+	return scale(iv, c.TimeScale)
+}
+
 func scale(d time.Duration, f float64) time.Duration {
 	if f == 0 || f == 1.0 {
 		return d
@@ -257,6 +352,14 @@ func (c Config) Validate() error {
 		return errValue("DecayFactor must be in [0,1)")
 	case c.PruneProbability < 0 || c.PruneProbability >= 1:
 		return errValue("PruneProbability must be in [0,1)")
+	case c.Mode < ModeFull || c.Mode > ModeObserveOnly:
+		return errValue("Mode must be full, sampled or observe-only")
+	case c.SampleProbability < 0 || c.SampleProbability > 1:
+		return errValue("SampleProbability must be in [0,1]")
+	case c.OverheadTarget < 0 || c.OverheadTarget >= 1:
+		return errValue("OverheadTarget must be in [0,1)")
+	case c.SamplerInterval < 0:
+		return errValue("SamplerInterval must be >= 0 (0 selects the default)")
 	case c.RandomDelayProbability < 0 || c.RandomDelayProbability > 1:
 		return errValue("RandomDelayProbability must be in [0,1]")
 	case c.StaticSampleProbability < 0 || c.StaticSampleProbability > 1:

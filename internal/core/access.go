@@ -126,6 +126,17 @@ type Stats struct {
 	// SequentialSkips counts near-miss candidates discarded because the
 	// program was in a sequential phase (§3.4.3).
 	SequentialSkips int64
+	// CallsSampledOut counts instrumented calls the sampling gate skipped
+	// before analysis (config.ModeSampled; docs/SAMPLING.md). Skipped calls
+	// still count in OnCalls and are still checked against parked traps.
+	CallsSampledOut int64
+	// DelaysSuppressed counts delays observe-only mode vetoed — calls where
+	// the detector decided to inject and recorded the trap logically but
+	// did not sleep (config.ModeObserveOnly).
+	DelaysSuppressed int64
+	// SamplerThrottles counts adaptive-sampling controller runs that
+	// adjusted the global admission probability (config.Config.OverheadTarget).
+	SamplerThrottles int64
 	// NearMissGaps is a log₂ histogram of the time gap between the two
 	// sides of each near miss, in microseconds: bucket i counts gaps in
 	// [2^i, 2^(i+1)) µs. It quantifies the coarse-interleaving-hypothesis

@@ -102,6 +102,18 @@ func NewDetectorMetrics(reg *metrics.Registry) *DetectorMetrics {
 	counter("tsvd_detector_sequential_skips_total",
 		"Near-miss candidates discarded in sequential phases.",
 		func(s Stats) float64 { return float64(s.SequentialSkips) })
+	counter("tsvd_sampler_calls_sampled_out_total",
+		"Instrumented calls skipped by the sampling gate (ModeSampled).",
+		func(s Stats) float64 { return float64(s.CallsSampledOut) })
+	counter("tsvd_sampler_delays_suppressed_total",
+		"Delays vetoed by observe-only mode (logical trap firings).",
+		func(s Stats) float64 { return float64(s.DelaysSuppressed) })
+	counter("tsvd_sampler_throttles_total",
+		"Adaptive-sampling controller adjustments toward the overhead target.",
+		func(s Stats) float64 { return float64(s.SamplerThrottles) })
+	reg.GaugeFunc("tsvd_sampler_probability",
+		"Minimum current global admission probability across attached sampled-mode detectors (1 when none).",
+		func() float64 { return m.samplerProbability() })
 	reg.GaugeFunc("tsvd_detector_parked_threads",
 		"Threads currently parked in an injected delay.",
 		func() float64 { return float64(m.parked()) })
@@ -148,9 +160,28 @@ func (m *DetectorMetrics) sum() Stats {
 		out.LocationsSeen += s.LocationsSeen
 		out.LocationsSeenConcurrent += s.LocationsSeenConcurrent
 		out.SequentialSkips += s.SequentialSkips
+		out.CallsSampledOut += s.CallsSampledOut
+		out.DelaysSuppressed += s.DelaysSuppressed
+		out.SamplerThrottles += s.SamplerThrottles
 		out.NearMissGaps.Add(s.NearMissGaps)
 	}
 	return out
+}
+
+// samplerProbability reports the lowest current admission probability among
+// attached sampled-mode detectors — the most-throttled view, which is the
+// one an operator watching an overhead SLO cares about. 1 when no attached
+// detector samples.
+func (m *DetectorMetrics) samplerProbability() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p := 1.0
+	for _, r := range m.rts {
+		if r.samp != nil && r.samp.Probability() < p {
+			p = r.samp.Probability()
+		}
+	}
+	return p
 }
 
 func (m *DetectorMetrics) parked() int64 {

@@ -10,6 +10,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/ids"
 	"repro/internal/report"
+	"repro/internal/sampler"
 	"repro/internal/trace"
 )
 
@@ -49,6 +50,11 @@ type shard struct {
 	// atomic so Stats() and live metric views can sum across shards without
 	// taking any shard lock.
 	onCalls atomic.Int64
+	// sampledOut counts OnCalls the sampling gate skipped in this shard
+	// (config.ModeSampled). Kept per shard for the same reason as onCalls:
+	// the skip path must stay contention-free or sampling would cost more
+	// than the analysis it skips.
+	sampledOut atomic.Int64
 	// pad keeps neighbouring shard locks off one cache line (false
 	// sharing would re-serialize the stripes through the coherence bus).
 	_ [64]byte
@@ -112,6 +118,18 @@ type runtime struct {
 	rngMu sync.Mutex
 	rng   *rand.Rand
 
+	// mode is the production sampling tier (docs/SAMPLING.md). ModeFull is
+	// the zero value; ModeObserveOnly suppresses sleeps in injectDelay;
+	// ModeSampled gates analysis through samp.
+	mode config.Mode
+	// samp is the per-site admission gate and its adaptive overhead
+	// controller, non-nil only in ModeSampled. The gate sits after the
+	// parked-trap check — red-handed catching is never sampled out.
+	samp *sampler.Sampler
+	// samplerOp is the interned "sampler" pseudo-location carried by
+	// sampler_throttle trace events (the schema requires a nonzero op_a).
+	samplerOp ids.OpID
+
 	// Effective (time-scaled) durations, precomputed.
 	delayTime      time.Duration
 	nearMissWindow time.Duration
@@ -145,6 +163,15 @@ func (r *runtime) init(cfg config.Config, o options) {
 	r.maxDelay = cfg.EffectiveMaxDelayPerThread()
 	r.hbThreshold = time.Duration(cfg.HBBlockThreshold * float64(r.delayTime))
 	r.budgets = clock.BudgetTable{Max: r.maxDelay}
+	r.mode = cfg.Mode
+	if cfg.Mode == config.ModeSampled {
+		r.samp = sampler.New(sampler.Params{
+			BaseProbability: cfg.SampleProbability,
+			OverheadTarget:  cfg.OverheadTarget,
+			Interval:        cfg.EffectiveSamplerInterval(),
+		})
+		r.samplerOp = ids.InternKey("sampler")
+	}
 	if cfg.Trace {
 		r.tr = trace.New(cfg.TraceBufferSize)
 	}
@@ -176,6 +203,29 @@ func (r *runtime) randDurationUpTo(d time.Duration) time.Duration {
 	v := r.rng.Int63n(int64(d))
 	r.rngMu.Unlock()
 	return time.Duration(v) + 1
+}
+
+// randUint64 draws 64 random bits from the seeded source. Used only by the
+// random variants' sampling gate; TSVD/TSVDHB use per-thread xorshift states
+// instead to keep their hot path off rngMu.
+func (r *runtime) randUint64() uint64 {
+	r.rngMu.Lock()
+	v := r.rng.Uint64()
+	r.rngMu.Unlock()
+	return v
+}
+
+// sampleTick runs the adaptive-sampling controller if its interval has
+// elapsed, recording every adjustment in the stats and the trace. Nil-safe;
+// called from OnCall tails in ModeSampled.
+func (r *runtime) sampleTick(now time.Duration) {
+	if r.samp == nil {
+		return
+	}
+	if adj, ok := r.samp.Tick(now); ok {
+		r.stats.samplerThrottles.Add(1)
+		r.tr.Emit(trace.KindSamplerThrottle, 0, 0, r.samplerOp, 0, now, adj.Spent)
+	}
 }
 
 // checkForTraps implements check_for_trap (Figure 5 line 2): it scans the
@@ -258,6 +308,17 @@ func (r *runtime) anyTrapSet() bool { return r.parked.Load() > 0 }
 // had the same property: its atomicity only extended until the sleeping
 // thread dropped the lock.
 func (r *runtime) injectDelay(a Access, d time.Duration) (*trap, time.Duration) {
+	// Observe-only mode (docs/SAMPLING.md): the detector went through its
+	// whole decision — the pair is trapped, the coin flip passed — but no
+	// thread sleeps. Counting the veto here, at the single funnel every
+	// variant's delay goes through, is what makes the mode's "zero injected
+	// delays" claim checkable: DelaysInjected stays 0 while
+	// DelaysSuppressed counts the trap firings that would have happened.
+	if r.mode == config.ModeObserveOnly {
+		r.stats.delaysSuppressed.Add(1)
+		r.tr.Emit(trace.KindDelaySuppressed, a.Thread, a.Obj, a.Op, 0, r.now(), d)
+		return nil, 0
+	}
 	budget := r.budgets.For(int64(a.Thread))
 	grant := budget.Allow(d)
 	if grant <= 0 {
@@ -286,6 +347,9 @@ func (r *runtime) injectDelay(a Access, d time.Duration) (*trap, time.Duration) 
 		slept = grant
 	}
 	r.stats.totalDelay.Add(int64(slept))
+	if r.samp != nil {
+		r.samp.ObserveDelay(slept)
+	}
 	if r.tr != nil {
 		at := r.now()
 		r.tr.Emit(trace.KindDelayInjected, a.Thread, a.Obj, a.Op, 0, at, slept)
@@ -328,6 +392,7 @@ func (r *runtime) snapshotStats() Stats {
 	st := r.stats.snapshot()
 	for i := range r.shards {
 		st.OnCalls += r.shards[i].onCalls.Load()
+		st.CallsSampledOut += r.shards[i].sampledOut.Load()
 	}
 	return st
 }
@@ -349,7 +414,13 @@ type atomicStats struct {
 	locationsSeen           atomic.Int64
 	locationsSeenConcurrent atomic.Int64
 	sequentialSkips         atomic.Int64
-	nearMissGaps            [len(GapHistogram{})]atomic.Int64
+	// callsSampledOut is the global skip counter used by the random
+	// variants; TSVD/TSVDHB count skips per shard (shard.sampledOut) and
+	// snapshotStats sums both.
+	callsSampledOut  atomic.Int64
+	delaysSuppressed atomic.Int64
+	samplerThrottles atomic.Int64
+	nearMissGaps     [len(GapHistogram{})]atomic.Int64
 }
 
 // observeGap adds one near-miss gap to the histogram.
@@ -371,6 +442,9 @@ func (s *atomicStats) snapshot() Stats {
 		LocationsSeen:           s.locationsSeen.Load(),
 		LocationsSeenConcurrent: s.locationsSeenConcurrent.Load(),
 		SequentialSkips:         s.sequentialSkips.Load(),
+		CallsSampledOut:         s.callsSampledOut.Load(),
+		DelaysSuppressed:        s.delaysSuppressed.Load(),
+		SamplerThrottles:        s.samplerThrottles.Load(),
 	}
 	for i := range st.NearMissGaps {
 		st.NearMissGaps[i] = s.nearMissGaps[i].Load()

@@ -7,6 +7,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/ids"
 	"repro/internal/report"
+	"repro/internal/sampler"
 	"repro/internal/trace"
 )
 
@@ -94,6 +95,10 @@ func (h *objHistory) each(fn func(histEntry)) {
 type threadState struct {
 	lastAccess time.Duration
 	hasAccess  bool
+	// rng is the thread's private xorshift state for the sampling gate
+	// (docs/SAMPLING.md). Owner-thread-only like the rest of the struct, so
+	// admission draws cost a few register ops and no shared RNG lock.
+	rng uint64
 	// ownDelay accumulates delay injected into this thread since its last
 	// access, so a self-inflicted gap is not attributed to another
 	// thread's delay during HB inference.
@@ -137,7 +142,9 @@ func newTSVD(cfg config.Config, o options) *TSVD {
 // threadStateFor returns the calling thread's state, creating it on first
 // use. The returned pointer is only ever dereferenced by t's goroutine.
 func (d *TSVD) threadStateFor(t ids.ThreadID) *threadState {
-	st, _ := d.threads.getOrCreate(int64(t), func() *threadState { return &threadState{} })
+	st, _ := d.threads.getOrCreate(int64(t), func() *threadState {
+		return &threadState{rng: sampler.SeedRand(d.rt.cfg.Seed, int64(t))}
+	})
 	return st
 }
 
@@ -161,6 +168,25 @@ func (d *TSVD) OnCall(a Access) {
 		for _, key := range found {
 			d.set.suppress(key)
 		}
+	}
+
+	// Sampling gate (ModeSampled, docs/SAMPLING.md). Placed after the trap
+	// check on purpose: a sampled-out call still springs any parked trap it
+	// conflicts with, so red-handed catching keeps its soundness regardless
+	// of the admission probability — sampling only sheds the analysis and
+	// planning cost below. The draw is a thread-local xorshift plus one
+	// lock-free per-site threshold compare.
+	if d.rt.samp != nil && !d.rt.samp.Admit(int64(a.Op), sampler.Rand(&st.rng)) {
+		sh.onCalls.Add(1)
+		sh.sampledOut.Add(1)
+		// While the interval budget is exhausted, Admit refuses everything
+		// and the admitted-path tick hook below is unreachable — the skip
+		// path must offer the controller its tick or admission would stay
+		// suspended forever. One atomic load when not capped.
+		if d.rt.samp.Capped() {
+			d.rt.sampleTick(d.rt.now())
+		}
+		return
 	}
 
 	// Happens-before inference on this thread's inter-access gap, plus
@@ -221,6 +247,15 @@ func (d *TSVD) OnCall(a Access) {
 	st.lastAccess = t
 	st.hasAccess = true
 	st.ownDelay = 0
+
+	// Charge the analysis time of this admitted call to the overhead
+	// controller and give it a chance to tick. Sleep time is charged
+	// separately inside injectDelay, so nothing is counted twice.
+	if d.rt.samp != nil {
+		now := d.rt.now()
+		d.rt.samp.ObserveCost(now - t)
+		d.rt.sampleTick(now)
+	}
 
 	// should_delay: the location must participate in a live dangerous
 	// pair, and its decayed probability must pass a coin flip. An empty

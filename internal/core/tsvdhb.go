@@ -2,10 +2,12 @@ package core
 
 import (
 	"sync/atomic"
+	"time"
 
 	"repro/internal/config"
 	"repro/internal/ids"
 	"repro/internal/report"
+	"repro/internal/sampler"
 	"repro/internal/trace"
 	"repro/internal/vclock"
 )
@@ -62,6 +64,9 @@ type threadClock struct {
 	epoch atomic.Uint64
 	rest  vclock.Atomic
 	memo  atomic.Pointer[clockMemo]
+	// rng is the thread's private xorshift state for the sampling gate;
+	// owner-thread-only like the tick path (docs/SAMPLING.md).
+	rng uint64
 }
 
 type clockMemo struct {
@@ -161,7 +166,9 @@ func newTSVDHB(cfg config.Config, o options) *TSVDHB {
 
 // threadSlot returns t's clock slot, creating it on first use.
 func (d *TSVDHB) threadSlot(t ids.ThreadID) *threadClock {
-	slot, _ := d.threadVC.getOrCreate(int64(t), func() *threadClock { return &threadClock{} })
+	slot, _ := d.threadVC.getOrCreate(int64(t), func() *threadClock {
+		return &threadClock{rng: sampler.SeedRand(d.rt.cfg.Seed, int64(t))}
+	})
 	return slot
 }
 
@@ -215,6 +222,10 @@ func (d *TSVDHB) OnLockRelease(t ids.ThreadID, lock ids.ObjectID) {
 // OnCall implements Detector.
 func (d *TSVDHB) OnCall(a Access) {
 	sh := d.rt.shardFor(a.Obj)
+	var t0 time.Duration
+	if d.rt.samp != nil {
+		t0 = d.rt.now()
+	}
 
 	if d.rt.parked.Load() > 0 {
 		sh.mu.Lock()
@@ -225,11 +236,27 @@ func (d *TSVDHB) OnCall(a Access) {
 		}
 	}
 
+	slot := d.threadSlot(a.Thread)
+
+	// Sampling gate (ModeSampled, docs/SAMPLING.md) — after the trap check,
+	// so red-handed catching is never sampled out. Skipping the epoch tick
+	// for a sampled-out call is sound: history entries are only recorded for
+	// admitted calls, so HB comparisons stay conservative.
+	if d.rt.samp != nil && !d.rt.samp.Admit(int64(a.Op), sampler.Rand(&slot.rng)) {
+		sh.onCalls.Add(1)
+		sh.sampledOut.Add(1)
+		// Liveness: while capped, only the skip path runs — it must offer
+		// the controller its tick (see the TSVD gate for the full note).
+		if d.rt.samp.Capped() {
+			d.rt.sampleTick(d.rt.now())
+		}
+		return
+	}
+
 	// Local timestamp increments happen here, at the (relatively rare)
 	// TSVD points — not at synchronization operations. The tick is one
 	// atomic add on the thread's own epoch counter; no clock tree is
 	// built, so the hot path performs no allocation.
-	slot := d.threadSlot(a.Thread)
 	epoch := slot.tick()
 	known := slot.known()
 	d.rt.markSeen(a.Op, true)
@@ -281,6 +308,14 @@ func (d *TSVDHB) OnCall(a Access) {
 		if d.set.add(key, &d.rt.stats, d.rt.met) && d.rt.tr != nil {
 			d.rt.tr.Emit(trace.KindPairAdded, a.Thread, a.Obj, key.A, key.B, d.rt.now(), 0)
 		}
+	}
+
+	// Charge this admitted call's analysis time to the overhead controller
+	// (sleep time is charged separately inside injectDelay).
+	if d.rt.samp != nil {
+		now := d.rt.now()
+		d.rt.samp.ObserveCost(now - t0)
+		d.rt.sampleTick(now)
 	}
 
 	// Injection and decay are identical to TSVD (§3.5 "When to inject").

@@ -34,7 +34,22 @@ func (d *DynamicRandom) OnCall(a Access) {
 		d.rt.checkForTraps(sh, a, ids.Stack)
 		sh.mu.Unlock()
 	}
+	// Sampling gate (ModeSampled, docs/SAMPLING.md) — after the trap check.
+	// The random variants already pay a shared-RNG draw per call, so the
+	// gate reuses that source rather than per-thread state. The controller
+	// tick runs before the delay branch: delay time is charged separately
+	// inside injectDelay, so nothing is counted twice.
+	if d.rt.samp != nil && !d.rt.samp.Admit(int64(a.Op), d.rt.randUint64()) {
+		d.rt.stats.callsSampledOut.Add(1)
+		if d.rt.samp.Capped() {
+			d.rt.sampleTick(d.rt.now())
+		}
+		return
+	}
 	d.rt.markSeen(a.Op, false)
+	if d.rt.samp != nil {
+		d.rt.sampleTick(d.rt.now())
+	}
 	if d.rt.randFloat() < d.rt.cfg.RandomDelayProbability {
 		// "the thread sleeps for a random amount of time" — uniform in
 		// (0, DelayTime].
@@ -99,7 +114,18 @@ func (s *StaticRandom) OnCall(a Access) {
 		s.rt.checkForTraps(sh, a, ids.Stack)
 		sh.mu.Unlock()
 	}
+	// Sampling gate, mirroring DynamicRandom.
+	if s.rt.samp != nil && !s.rt.samp.Admit(int64(a.Op), s.rt.randUint64()) {
+		s.rt.stats.callsSampledOut.Add(1)
+		if s.rt.samp.Capped() {
+			s.rt.sampleTick(s.rt.now())
+		}
+		return
+	}
 	s.rt.markSeen(a.Op, false)
+	if s.rt.samp != nil {
+		s.rt.sampleTick(s.rt.now())
+	}
 
 	s.mu.Lock()
 	armed, known := s.armed[a.Op]

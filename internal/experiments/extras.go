@@ -138,3 +138,69 @@ func Fleet(p Params, w io.Writer) {
 	fmt.Fprintf(w, " shared vs isolated store. Cold bugs need a seeded trap, so isolated\n")
 	fmt.Fprintf(w, " shards catch none in round 1 by construction.)\n")
 }
+
+// Sampling measures the production sampling tier (docs/SAMPLING.md): the
+// overhead-vs-recall trade across the three Config.Mode settings plus fixed
+// and adaptive per-site probabilities. Overhead is wall time relative to an
+// uninstrumented (Nop) baseline of the same suite; recall is planted bugs
+// found. The interesting shape: fixed low probabilities shed overhead
+// roughly linearly while hot-path bugs keep surfacing (hot sites get many
+// chances even at 1% admission), and the adaptive controller lands near the
+// fixed point that matches its target without hand-tuning.
+func Sampling(p Params, w io.Writer) {
+	suite := workload.GenerateSuite(p.Seed, p.Fig8Modules)
+	planted := suite.PlantedPairs()
+
+	const runs = 2
+	base := harness.Baseline(suite, p.opts(config.AlgoTSVD, runs))
+
+	type variant struct {
+		name string
+		mut  func(*config.Config)
+	}
+	variants := []variant{
+		{"full", func(c *config.Config) {}},
+		{"sampled p=1.00", func(c *config.Config) {
+			c.Mode = config.ModeSampled
+			c.SampleProbability = 1.0
+		}},
+		{"sampled p=0.10", func(c *config.Config) {
+			c.Mode = config.ModeSampled
+			c.SampleProbability = 0.10
+		}},
+		{"sampled p=0.01", func(c *config.Config) {
+			c.Mode = config.ModeSampled
+			c.SampleProbability = 0.01
+		}},
+		{"sampled auto 1%", func(c *config.Config) {
+			c.Mode = config.ModeSampled
+			c.OverheadTarget = 0.01
+		}},
+		{"observe-only", func(c *config.Config) {
+			c.Mode = config.ModeObserveOnly
+		}},
+	}
+
+	fmt.Fprintf(w, "production sampling tier: overhead vs recall (modules: %d, planted: %d, runs: %d)\n",
+		len(suite.Modules), len(planted), runs)
+	fmt.Fprintf(w, "%-16s %6s %8s %11s %12s %10s\n",
+		"mode", "bugs", "#delay", "#suppress", "sampled-out", "overhead")
+	for _, v := range variants {
+		opts := p.opts(config.AlgoTSVD, runs)
+		v.mut(&opts.Config)
+		out := harness.Run(suite, opts)
+		sampledOut := 0.0
+		if out.Stats.OnCalls > 0 {
+			sampledOut = 100 * float64(out.Stats.CallsSampledOut) / float64(out.Stats.OnCalls)
+		}
+		overhead := 100 * (float64(out.WallTime)/float64(base.Nanoseconds()*runs) - 1)
+		fmt.Fprintf(w, "%-16s %6d %8d %11d %11.1f%% %9.1f%%\n",
+			v.name, out.TotalFound(), out.Stats.DelaysInjected,
+			out.Stats.DelaysSuppressed, sampledOut, overhead)
+	}
+	fmt.Fprintf(w, "(overhead: suite wall time vs an uninstrumented baseline, per run;\n")
+	fmt.Fprintf(w, " sampled-out: OnCalls rejected by the admission gate. Red-handed trap\n")
+	fmt.Fprintf(w, " checks run before the gate, so sampling trades delay budget — not\n")
+	fmt.Fprintf(w, " soundness — for overhead; observe-only reaches every trap decision but\n")
+	fmt.Fprintf(w, " never sleeps, bounding its recall to phase-free schedules.)\n")
+}

@@ -150,6 +150,8 @@ func (o *Outcome) TraceStatTotals() trace.StatTotals {
 		PairsPrunedHB:    o.Stats.PairsPrunedHB,
 		PairsPrunedDecay: o.Stats.PairsPrunedDecay,
 		Violations:       o.Stats.Violations,
+		DelaysSuppressed: o.Stats.DelaysSuppressed,
+		SamplerThrottles: o.Stats.SamplerThrottles,
 	}
 }
 
@@ -450,6 +452,9 @@ func sumStats(a, b core.Stats) core.Stats {
 	a.LocationsSeen += b.LocationsSeen
 	a.LocationsSeenConcurrent += b.LocationsSeenConcurrent
 	a.SequentialSkips += b.SequentialSkips
+	a.CallsSampledOut += b.CallsSampledOut
+	a.DelaysSuppressed += b.DelaysSuppressed
+	a.SamplerThrottles += b.SamplerThrottles
 	a.NearMissGaps.Add(b.NearMissGaps)
 	return a
 }

@@ -1,0 +1,388 @@
+// Package sampler implements the production sampling tier in front of the
+// detector (docs/SAMPLING.md): per-site probabilistic admission with an
+// adaptive overhead budget.
+//
+// The detector's OnCall path asks Admit once per access after the trap check
+// (red-handed catching is never sampled out). Admission is a lock-free
+// fixed-point threshold compare against a caller-supplied xorshift random —
+// no shared RNG, no mutex — so the gate costs a handful of nanoseconds and
+// stays branch-predictable when the probability is at either extreme.
+//
+// When an overhead target is configured the sampler is a measured closed
+// loop: the detector charges every nanosecond it spends (analysis via
+// ObserveCost, injected delay via ObserveDelay), and Tick periodically
+// compares the spend rate against the target, steering the global admission
+// probability with a multiplicative EWMA-smoothed controller. A per-interval
+// clock.Budget backs the controller with a hard cap — if a burst spends the
+// interval's entire allowance before the next tick, admission stops
+// outright until the controller runs again. Per-site fairness keeps one hot
+// call site from monopolizing the budget: sites whose per-interval hit count
+// exceeds the mean get proportionally lower thresholds, flattening coverage
+// across the program the way per-site sampling in the race-detection
+// literature preserves recall.
+//
+// All time is passed in by the caller, so the controller is fully
+// deterministic under test.
+package sampler
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/clock"
+)
+
+// thresholdBits is the fixed-point resolution of admission thresholds: a
+// probability p maps to p·2^53, compared against the top 53 bits of a
+// 64-bit random. 53 bits keeps the mapping exact for every float64 in [0,1].
+const thresholdBits = 53
+
+// minProbability is the floor the controller will not throttle below, so a
+// misconfigured target can never silence detection entirely.
+const minProbability = 1e-4
+
+// ewmaAlpha is the smoothing weight of the newest overhead observation.
+const ewmaAlpha = 0.5
+
+// maxStepRatio bounds how much one tick may scale the global probability in
+// either direction, keeping the control loop stable under bursty load.
+const maxStepRatio = 2.0
+
+// Params configures a Sampler.
+type Params struct {
+	// BaseProbability is the initial global admission probability in [0,1].
+	// With no OverheadTarget it is also the permanent probability.
+	BaseProbability float64
+	// OverheadTarget is the detection-time fraction the controller steers
+	// toward (e.g. 0.01 for ~1% overhead). Zero disables the controller:
+	// the probability stays fixed at BaseProbability and Tick is a no-op.
+	OverheadTarget float64
+	// Interval is the control-loop period: how much caller time must elapse
+	// between Tick adjustments, and the window the hard budget cap covers.
+	Interval time.Duration
+}
+
+// site is the per-call-site admission state: the current fixed-point
+// threshold and the hit count for the running interval.
+type site struct {
+	threshold atomic.Uint64
+	hits      atomic.Int64
+}
+
+// Sampler is the admission gate plus its adaptive controller. All methods
+// are safe for concurrent use; Admit, ObserveCost and ObserveDelay are
+// lock-free.
+type Sampler struct {
+	params Params
+
+	// globalP is the current global probability (float64 bits).
+	globalP atomic.Uint64
+	// sites maps int64 site ids (ids.OpID) to *site.
+	sites sync.Map
+	// capped is set when the interval's hard budget is exhausted; Admit
+	// refuses everything until the next Tick resets it.
+	capped atomic.Bool
+	// budget is the current interval's hard cap, swapped on every Tick.
+	budget atomic.Pointer[clock.Budget]
+	// spent and delayed accumulate charged detection nanoseconds (delayed is
+	// the injected-delay subset of spent).
+	spent   atomic.Int64
+	delayed atomic.Int64
+
+	// lastTick is the caller-time of the last controller run, loaded
+	// lock-free for the due check.
+	lastTick atomic.Int64
+
+	// tickMu serializes controller runs; the fields below it are only
+	// touched under the lock.
+	tickMu    sync.Mutex
+	lastSpent int64
+	ewma      float64
+	ticks     int64
+}
+
+// New returns a Sampler for p. BaseProbability is clamped to [0,1]; a zero
+// Interval disables the hard cap (the controller then relies on Tick alone).
+func New(p Params) *Sampler {
+	if p.BaseProbability < 0 {
+		p.BaseProbability = 0
+	}
+	if p.BaseProbability > 1 {
+		p.BaseProbability = 1
+	}
+	s := &Sampler{params: p}
+	s.globalP.Store(math.Float64bits(p.BaseProbability))
+	if p.OverheadTarget > 0 && p.Interval > 0 {
+		s.budget.Store(s.newBudget())
+	}
+	return s
+}
+
+// newBudget returns a fresh per-interval hard cap: the overhead target's
+// share of one interval of wall time.
+func (s *Sampler) newBudget() *clock.Budget {
+	return &clock.Budget{Max: time.Duration(s.params.OverheadTarget * float64(s.params.Interval))}
+}
+
+// thresholdFor converts a probability to its fixed-point admission threshold.
+func thresholdFor(p float64) uint64 {
+	if p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return 1 << thresholdBits
+	}
+	return uint64(p * (1 << thresholdBits))
+}
+
+// Admit decides whether this access enters the detector. siteID is the
+// access's static location (ids.OpID) and rnd a fresh 64-bit random from the
+// calling thread's Rand state. Hits are counted per site per interval so the
+// controller can flatten coverage across hot and cold sites; while the
+// interval's hard budget is exhausted Admit refuses everything without
+// touching the site table.
+func (s *Sampler) Admit(siteID int64, rnd uint64) bool {
+	if s.capped.Load() {
+		return false
+	}
+	st := s.siteFor(siteID)
+	st.hits.Add(1)
+	return rnd>>(64-thresholdBits) < st.threshold.Load()
+}
+
+// siteFor returns the site state, creating it at the current global
+// probability on first sight.
+func (s *Sampler) siteFor(siteID int64) *site {
+	if v, ok := s.sites.Load(siteID); ok {
+		return v.(*site)
+	}
+	st := &site{}
+	st.threshold.Store(thresholdFor(s.Probability()))
+	if v, loaded := s.sites.LoadOrStore(siteID, st); loaded {
+		return v.(*site)
+	}
+	return st
+}
+
+// ObserveCost charges d of detector analysis time against the overhead
+// budget. When the charge exhausts the interval's hard cap, admission stops
+// until the next Tick.
+func (s *Sampler) ObserveCost(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	s.spent.Add(int64(d))
+	s.charge(d)
+}
+
+// ObserveDelay charges d of injected delay time against the overhead budget.
+// Delay time is tracked separately in Snapshot but shares the same cap:
+// a sleeping production request is overhead whether the time went to
+// analysis or to a trap.
+func (s *Sampler) ObserveDelay(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	s.spent.Add(int64(d))
+	s.delayed.Add(int64(d))
+	s.charge(d)
+}
+
+// charge reserves d against the interval budget and trips the cap when it
+// no longer fits.
+func (s *Sampler) charge(d time.Duration) {
+	b := s.budget.Load()
+	if b == nil {
+		return
+	}
+	if b.Allow(d) < d {
+		s.capped.Store(true)
+	}
+}
+
+// Adjustment describes one controller run: the new global probability, the
+// overhead observed over the interval, and the detection time spent in it.
+type Adjustment struct {
+	// Probability is the global admission probability after the adjustment.
+	Probability float64
+	// Observed is the measured overhead fraction of the interval (detection
+	// time spent / caller time elapsed), before EWMA smoothing.
+	Observed float64
+	// Spent is the detection time charged during the interval.
+	Spent time.Duration
+	// Capped reports whether the interval's hard budget was exhausted
+	// before this tick ran.
+	Capped bool
+}
+
+// Tick runs the controller if an interval has elapsed since the last run.
+// now is the caller's monotonic time (e.g. duration since detector start);
+// all scheduling derives from it, so tests drive the loop deterministically.
+// It returns false when the controller did not run — target disabled, the
+// interval not yet elapsed, or another thread mid-tick.
+func (s *Sampler) Tick(now time.Duration) (Adjustment, bool) {
+	if s.params.OverheadTarget <= 0 || s.params.Interval <= 0 {
+		return Adjustment{}, false
+	}
+	last := time.Duration(s.lastTick.Load())
+	if now-last < s.params.Interval {
+		return Adjustment{}, false
+	}
+	if !s.tickMu.TryLock() {
+		return Adjustment{}, false
+	}
+	defer s.tickMu.Unlock()
+	// Re-check under the lock: another thread may have ticked between the
+	// due check and the acquire.
+	last = time.Duration(s.lastTick.Load())
+	elapsed := now - last
+	if elapsed < s.params.Interval {
+		return Adjustment{}, false
+	}
+
+	total := s.spent.Load()
+	spent := total - s.lastSpent
+	s.lastSpent = total
+	observed := float64(spent) / float64(elapsed)
+
+	if s.ticks == 0 {
+		s.ewma = observed
+	} else {
+		s.ewma = ewmaAlpha*observed + (1-ewmaAlpha)*s.ewma
+	}
+	s.ticks++
+
+	p := s.Probability()
+	ratio := maxStepRatio
+	if s.ewma > 0 {
+		ratio = s.params.OverheadTarget / s.ewma
+	}
+	if ratio > maxStepRatio {
+		ratio = maxStepRatio
+	}
+	if ratio < 1/maxStepRatio {
+		ratio = 1 / maxStepRatio
+	}
+	p *= ratio
+	if p < minProbability {
+		p = minProbability
+	}
+	if p > 1 {
+		p = 1
+	}
+	s.globalP.Store(math.Float64bits(p))
+	s.rebalanceSites(p)
+
+	wasCapped := s.capped.Load()
+	s.budget.Store(s.newBudget())
+	s.capped.Store(false)
+	s.lastTick.Store(int64(now))
+
+	return Adjustment{
+		Probability: p,
+		Observed:    observed,
+		Spent:       time.Duration(spent),
+		Capped:      wasCapped,
+	}, true
+}
+
+// rebalanceSites pushes the new global probability to every site, lowering
+// hot sites proportionally: a site with k times the mean hit count gets p/k,
+// so the budget spreads across the program instead of pooling on one hot
+// loop. Hit counts reset for the next interval.
+func (s *Sampler) rebalanceSites(p float64) {
+	var totalHits, n int64
+	s.sites.Range(func(_, v any) bool {
+		totalHits += v.(*site).hits.Load()
+		n++
+		return true
+	})
+	var mean float64
+	if n > 0 {
+		mean = float64(totalHits) / float64(n)
+	}
+	s.sites.Range(func(_, v any) bool {
+		st := v.(*site)
+		hits := float64(st.hits.Swap(0))
+		sp := p
+		if mean > 0 && hits > mean {
+			sp = p * mean / hits
+			if sp < minProbability {
+				sp = minProbability
+			}
+		}
+		st.threshold.Store(thresholdFor(sp))
+		return true
+	})
+}
+
+// Probability returns the current global admission probability.
+func (s *Sampler) Probability() float64 {
+	return math.Float64frombits(s.globalP.Load())
+}
+
+// Capped reports whether the current interval's hard budget is exhausted.
+// While capped, Admit refuses every call, so the caller's admitted-path tick
+// hook never runs — callers must give the controller a chance to tick from
+// their skip path whenever this is true, or admission would stay suspended
+// forever.
+func (s *Sampler) Capped() bool { return s.capped.Load() }
+
+// Snapshot is a point-in-time view of the sampler, safe to take while
+// detection runs.
+type Snapshot struct {
+	// Probability is the current global admission probability.
+	Probability float64
+	// Capped reports whether the current interval's hard budget is
+	// exhausted (admission suspended until the next tick).
+	Capped bool
+	// Sites is the number of distinct call sites seen so far.
+	Sites int
+	// Spent is the total detection time charged since construction.
+	Spent time.Duration
+	// DelayTime is the injected-delay subset of Spent.
+	DelayTime time.Duration
+	// Ticks is the number of controller runs so far.
+	Ticks int64
+}
+
+// Snapshot returns the sampler's current state.
+func (s *Sampler) Snapshot() Snapshot {
+	var n int
+	s.sites.Range(func(_, _ any) bool { n++; return true })
+	s.tickMu.Lock()
+	ticks := s.ticks
+	s.tickMu.Unlock()
+	return Snapshot{
+		Probability: s.Probability(),
+		Capped:      s.capped.Load(),
+		Sites:       n,
+		Spent:       time.Duration(s.spent.Load()),
+		DelayTime:   time.Duration(s.delayed.Load()),
+		Ticks:       ticks,
+	}
+}
+
+// Rand advances a per-thread xorshift64 state and returns the next random.
+// Callers keep one state per thread (plain field, owner-only) so admission
+// never touches a shared RNG.
+func Rand(state *uint64) uint64 {
+	x := *state
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	*state = x
+	return x
+}
+
+// SeedRand derives a nonzero xorshift64 seed from a configuration seed and a
+// thread id, so runs are reproducible per (Config.Seed, thread).
+func SeedRand(seed, thread int64) uint64 {
+	x := uint64(seed)*0x9E3779B97F4A7C15 ^ uint64(thread)*0xBF58476D1CE4E5B9
+	if x == 0 {
+		x = 0x2545F4914F6CDD1D
+	}
+	return x
+}

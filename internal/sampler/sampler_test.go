@@ -1,0 +1,204 @@
+package sampler
+
+import (
+	"testing"
+	"time"
+)
+
+// admitRate measures the empirical admission rate of one site over n trials.
+func admitRate(s *Sampler, siteID int64, n int) float64 {
+	state := SeedRand(1, 7)
+	admitted := 0
+	for i := 0; i < n; i++ {
+		if s.Admit(siteID, Rand(&state)) {
+			admitted++
+		}
+	}
+	return float64(admitted) / float64(n)
+}
+
+func TestAdmitExtremes(t *testing.T) {
+	always := New(Params{BaseProbability: 1})
+	if got := admitRate(always, 1, 1000); got != 1 {
+		t.Fatalf("p=1 admitted %.3f, want every call", got)
+	}
+	never := New(Params{BaseProbability: 0})
+	if got := admitRate(never, 1, 1000); got != 0 {
+		t.Fatalf("p=0 admitted %.3f, want none", got)
+	}
+}
+
+func TestAdmitRateTracksProbability(t *testing.T) {
+	s := New(Params{BaseProbability: 0.25})
+	got := admitRate(s, 1, 100000)
+	if got < 0.22 || got > 0.28 {
+		t.Fatalf("p=0.25 admitted %.4f, want ~0.25", got)
+	}
+}
+
+func TestTickDisabledWithoutTarget(t *testing.T) {
+	s := New(Params{BaseProbability: 0.5, Interval: time.Second})
+	s.ObserveCost(10 * time.Second)
+	if _, ok := s.Tick(time.Minute); ok {
+		t.Fatal("Tick ran with OverheadTarget=0; fixed-probability mode must not adjust")
+	}
+	if p := s.Probability(); p != 0.5 {
+		t.Fatalf("probability drifted to %v in fixed mode", p)
+	}
+}
+
+func TestThrottleDownOnHighOverhead(t *testing.T) {
+	s := New(Params{BaseProbability: 1, OverheadTarget: 0.01, Interval: time.Second})
+	// 50% observed overhead against a 1% target: each tick must halve the
+	// probability (the per-tick step clamp), monotonically toward the floor.
+	prev := s.Probability()
+	now := time.Duration(0)
+	for i := 0; i < 20; i++ {
+		now += time.Second
+		s.ObserveCost(500 * time.Millisecond)
+		adj, ok := s.Tick(now)
+		if !ok {
+			t.Fatalf("tick %d did not run", i)
+		}
+		if adj.Probability > prev {
+			t.Fatalf("tick %d raised probability %v -> %v under overload", i, prev, adj.Probability)
+		}
+		prev = adj.Probability
+	}
+	if prev > 0.01 {
+		t.Fatalf("after sustained overload probability is %v, want heavily throttled", prev)
+	}
+}
+
+func TestRecoveryOnLowOverhead(t *testing.T) {
+	s := New(Params{BaseProbability: 1, OverheadTarget: 0.01, Interval: time.Second})
+	// Drive it down first.
+	now := time.Duration(0)
+	for i := 0; i < 10; i++ {
+		now += time.Second
+		s.ObserveCost(500 * time.Millisecond)
+		s.Tick(now)
+	}
+	low := s.Probability()
+	// Then observe (almost) no overhead: the controller must recover, at
+	// most doubling per tick. The EWMA drains over the first few ticks, so
+	// only enforce monotonic recovery once it has (8 ticks at alpha=0.5
+	// shrink the smoothed estimate by 256×).
+	prev := low
+	for i := 0; i < 40; i++ {
+		now += time.Second
+		s.ObserveCost(time.Microsecond)
+		adj, ok := s.Tick(now)
+		if !ok {
+			t.Fatalf("recovery tick %d did not run", i)
+		}
+		if i >= 8 && adj.Probability < prev {
+			t.Fatalf("tick %d lowered probability %v -> %v while idle", i, prev, adj.Probability)
+		}
+		if adj.Probability > prev*maxStepRatio*1.0001 {
+			t.Fatalf("tick %d jumped %v -> %v, more than the step clamp allows", i, prev, adj.Probability)
+		}
+		prev = adj.Probability
+	}
+	if prev <= low {
+		t.Fatalf("probability never recovered from %v", low)
+	}
+}
+
+func TestTickRespectsInterval(t *testing.T) {
+	s := New(Params{BaseProbability: 1, OverheadTarget: 0.01, Interval: time.Second})
+	if _, ok := s.Tick(500 * time.Millisecond); ok {
+		t.Fatal("tick ran before the interval elapsed")
+	}
+	if _, ok := s.Tick(time.Second); !ok {
+		t.Fatal("tick refused to run after the interval elapsed")
+	}
+	if _, ok := s.Tick(1500 * time.Millisecond); ok {
+		t.Fatal("second tick ran only half an interval after the first")
+	}
+}
+
+func TestHardBudgetCapsAdmission(t *testing.T) {
+	s := New(Params{BaseProbability: 1, OverheadTarget: 0.01, Interval: time.Second})
+	state := SeedRand(1, 1)
+	if !s.Admit(1, Rand(&state)) {
+		t.Fatal("fresh sampler at p=1 refused admission")
+	}
+	// The interval budget is 1% of 1s = 10ms; one 20ms charge exhausts it.
+	s.ObserveCost(20 * time.Millisecond)
+	if s.Admit(1, Rand(&state)) {
+		t.Fatal("admission continued after the interval budget was exhausted")
+	}
+	adj, ok := s.Tick(time.Second)
+	if !ok {
+		t.Fatal("tick did not run")
+	}
+	if !adj.Capped {
+		t.Fatal("adjustment did not report the exhausted budget")
+	}
+	if !s.Admit(1, Rand(&state)) && s.Probability() > 0.9 {
+		t.Fatal("admission still suspended after the tick reset the budget")
+	}
+}
+
+func TestHotSiteFairness(t *testing.T) {
+	s := New(Params{BaseProbability: 1, OverheadTarget: 0.5, Interval: time.Second})
+	state := SeedRand(1, 1)
+	// Site 1 is 100× hotter than site 2 during the interval.
+	for i := 0; i < 1000; i++ {
+		s.Admit(1, Rand(&state))
+	}
+	for i := 0; i < 10; i++ {
+		s.Admit(2, Rand(&state))
+	}
+	// Observed ≈ target so the global probability holds steady.
+	s.ObserveCost(500 * time.Millisecond)
+	if _, ok := s.Tick(time.Second); !ok {
+		t.Fatal("tick did not run")
+	}
+	hot := admitRate(s, 1, 100000)
+	cold := admitRate(s, 2, 100000)
+	if hot >= cold {
+		t.Fatalf("hot site admitted %.4f >= cold site %.4f; fairness should lower hot sites", hot, cold)
+	}
+	if cold < 0.9 {
+		t.Fatalf("cold site admitted %.4f, want near the global probability", cold)
+	}
+}
+
+func TestSnapshotAccounting(t *testing.T) {
+	s := New(Params{BaseProbability: 0.5, OverheadTarget: 0.01, Interval: time.Second})
+	state := SeedRand(3, 3)
+	s.Admit(1, Rand(&state))
+	s.Admit(2, Rand(&state))
+	s.ObserveCost(3 * time.Millisecond)
+	s.ObserveDelay(2 * time.Millisecond)
+	s.Tick(time.Second)
+	snap := s.Snapshot()
+	if snap.Sites != 2 {
+		t.Fatalf("Sites = %d, want 2", snap.Sites)
+	}
+	if snap.Spent != 5*time.Millisecond {
+		t.Fatalf("Spent = %v, want 5ms", snap.Spent)
+	}
+	if snap.DelayTime != 2*time.Millisecond {
+		t.Fatalf("DelayTime = %v, want 2ms", snap.DelayTime)
+	}
+	if snap.Ticks != 1 {
+		t.Fatalf("Ticks = %d, want 1", snap.Ticks)
+	}
+}
+
+func TestSeedRandNonzeroAndDistinct(t *testing.T) {
+	if SeedRand(0, 0) == 0 {
+		t.Fatal("SeedRand(0,0) returned a zero xorshift state")
+	}
+	if SeedRand(1, 1) == SeedRand(1, 2) {
+		t.Fatal("distinct threads share a seed")
+	}
+	a, b := SeedRand(1, 1), SeedRand(1, 1)
+	x, y := Rand(&a), Rand(&b)
+	if x != y {
+		t.Fatal("identical seeds diverged")
+	}
+}

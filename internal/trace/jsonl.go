@@ -13,8 +13,9 @@ import (
 // carried on every JSONL line so files remain self-describing when
 // concatenated or split. Version 2 added the trap-store event kinds
 // (store_fetch, store_publish, store_fallback) and the summary's store
-// totals.
-const SchemaVersion = 2
+// totals. Version 3 added the sampling-tier kinds (delay_suppressed,
+// sampler_throttle) and their stat totals (docs/SAMPLING.md).
+const SchemaVersion = 3
 
 // JSONEvent is the wire form of one event: one JSON object per line
 // (docs/OBSERVABILITY.md documents the schema field by field). Locations are
@@ -136,6 +137,8 @@ type StatTotals struct {
 	PairsPrunedHB    int64 `json:"pairs_pruned_hb"`
 	PairsPrunedDecay int64 `json:"pairs_pruned_decay"`
 	Violations       int64 `json:"violations"`
+	DelaysSuppressed int64 `json:"delays_suppressed"`
+	SamplerThrottles int64 `json:"sampler_throttles"`
 }
 
 // StoreTotals are the trap-store operation counters with an exact
@@ -172,6 +175,8 @@ func Reconcile(counts map[string]int64, stats StatTotals, store StoreTotals, dro
 	check(KindStoreFetch, store.Fetches)
 	check(KindStorePublish, store.Publishes)
 	check(KindStoreFallback, store.Fallbacks)
+	check(KindDelaySuppressed, stats.DelaysSuppressed)
+	check(KindSamplerThrottle, stats.SamplerThrottles)
 	if len(errs) == 0 {
 		return nil
 	}

@@ -97,6 +97,18 @@ const (
 	// the operation degraded to the local store. OpA is the primary store's
 	// interned endpoint key. Count equals the store's Totals().Fallbacks.
 	KindStoreFallback
+	// KindDelaySuppressed: observe-only mode vetoed a delay the detector
+	// would otherwise have injected — a "logical trap firing"
+	// (docs/SAMPLING.md). OpA is the location, Dur the delay that was not
+	// slept. Count equals Stats.DelaysSuppressed.
+	KindDelaySuppressed
+	// KindSamplerThrottle: the sampling controller adjusted the global
+	// admission probability toward the overhead target. OpA is the interned
+	// "sampler" pseudo-location, Dur the detection time spent during the
+	// interval. Count equals Stats.SamplerThrottles. Per-call sampled-out
+	// skips are deliberately counter-only (Stats.CallsSampledOut) — emitting
+	// an event per skipped call would defeat the point of sampling.
+	KindSamplerThrottle
 
 	numKinds
 )
@@ -116,6 +128,8 @@ var kindNames = [numKinds]string{
 	KindStoreFetch:      "store_fetch",
 	KindStorePublish:    "store_publish",
 	KindStoreFallback:   "store_fallback",
+	KindDelaySuppressed: "delay_suppressed",
+	KindSamplerThrottle: "sampler_throttle",
 }
 
 // String returns the snake_case wire name used in the JSONL schema.

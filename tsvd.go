@@ -60,6 +60,30 @@ const (
 	Nop = config.AlgoNop
 )
 
+// Mode selects the production sampling tier in front of the detector
+// (docs/SAMPLING.md): how much of the analysis and delay-injection work the
+// installed session performs per instrumented call.
+type Mode = config.Mode
+
+// Sampling modes.
+const (
+	// ModeFull runs the complete detector on every call — the default and
+	// the zero value.
+	ModeFull = config.ModeFull
+	// ModeSampled gates analysis through a per-site admission probability
+	// (Config.SampleProbability), auto-throttled toward
+	// Config.OverheadTarget when one is set. Red-handed trap catching is
+	// never sampled out.
+	ModeSampled = config.ModeSampled
+	// ModeObserveOnly records near misses and trap decisions but never
+	// sleeps a thread — the zero-risk production rollout mode.
+	ModeObserveOnly = config.ModeObserveOnly
+)
+
+// ParseMode parses a mode name as written in flags and configuration files:
+// "full", "sampled" or "observe-only".
+func ParseMode(s string) (Mode, error) { return config.ParseMode(s) }
+
 // DefaultConfig returns the paper's default TSVD configuration
 // (§5.4: N_nm=5, T_nm=100ms, δ_hb=0.5, k_hb=5, buffer=16, delay=100ms).
 func DefaultConfig() Config { return config.Defaults(config.AlgoTSVD) }

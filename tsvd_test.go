@@ -161,6 +161,71 @@ func TestInstallSupersedesAndClosesPrevious(t *testing.T) {
 	}
 }
 
+// TestModeSwitchViaReinstall is the rollout story of docs/SAMPLING.md: start
+// a session in observe-only (no thread ever sleeps), then supersede it with
+// a full-mode session. Detection semantics must follow the installed mode,
+// and the observe-only session's findings stay readable after supersession.
+func TestModeSwitchViaReinstall(t *testing.T) {
+	cfg := DefaultConfig() // TimeScale 1: a suppressed 100ms delay is unmissable
+	cfg.Mode = ModeObserveOnly
+	observe, err := Install(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dict := NewDictionary[string, int]()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			dict.Set("k", i)
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		dict.ContainsKey("k2")
+		time.Sleep(time.Millisecond)
+	}
+	<-done
+
+	ost := observe.Stats()
+	if ost.DelaysInjected != 0 || ost.TotalDelay != 0 {
+		t.Fatalf("observe-only slept: %d delays, %v", ost.DelaysInjected, ost.TotalDelay)
+	}
+	if ost.DelaysSuppressed == 0 {
+		t.Fatal("observe-only reached no trap decision on a racy workload")
+	}
+	if ost.NearMisses == 0 {
+		t.Fatal("observe-only recorded no near misses")
+	}
+
+	// Supersede with full mode at a small time scale: injection resumes.
+	full := install(t)
+	if !observe.Closed() {
+		t.Fatal("observe-only session not superseded")
+	}
+	dict2 := NewDictionary[string, int]()
+	done2 := make(chan struct{})
+	go func() {
+		defer close(done2)
+		for i := 0; i < 200; i++ {
+			dict2.Set("k", i)
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		dict2.ContainsKey("k2")
+		time.Sleep(time.Millisecond)
+	}
+	<-done2
+	if full.Stats().DelaysInjected == 0 {
+		t.Fatal("full mode injected nothing after the switch")
+	}
+	// The superseded observe-only session still answers from its final state.
+	if got := observe.Stats().DelaysInjected; got != 0 {
+		t.Fatalf("superseded observe-only session mutated: %d delays", got)
+	}
+}
+
 func TestCloseDetachesAndSaveTrapFileFailsNotInstalled(t *testing.T) {
 	s := install(t)
 	if err := s.Close(); err != nil {
