@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench trace-smoke fleet-smoke metrics-smoke docs-check
+.PHONY: check vet build test race bench trace-smoke fleet-smoke metrics-smoke chaos-smoke docs-check
 
-check: vet build test race trace-smoke fleet-smoke metrics-smoke docs-check
+check: vet build test race trace-smoke fleet-smoke metrics-smoke chaos-smoke docs-check
 
 vet:
 	$(GO) vet ./...
@@ -16,10 +16,11 @@ build:
 test:
 	$(GO) test ./...
 
-# The detector core and the tracer are the concurrency-critical surfaces;
-# they must stay clean under the race detector.
+# The detector core, the tracer, and the trap-store clients are the
+# concurrency-critical surfaces; they must stay clean under the race
+# detector.
 race:
-	$(GO) test -race ./internal/core/... ./internal/trace/...
+	$(GO) test -race ./internal/core/... ./internal/trace/... ./internal/trapstore/...
 
 # End-to-end observability gate: run a small traced suite, then validate the
 # emitted JSONL against the schema and reconcile it with the detector
@@ -42,6 +43,14 @@ metrics-smoke:
 # (see docs/DEPLOYMENT.md).
 fleet-smoke:
 	$(GO) run ./cmd/tsvd-fleet-smoke
+
+# Fleet chaos gate: one short race-enabled chaos run (randomized fleet
+# actions with invariant checks after each, see docs/TESTING.md), then a
+# full replay of the committed regression-seed database — every seed that
+# ever caught a bug, plus a planted-fault seed proving the oracles fire.
+chaos-smoke:
+	$(GO) run -race ./cmd/tsvd-chaos -seed 11 -actions 20 -shards 2
+	$(GO) run -race ./cmd/tsvd-chaos -replay internal/chaos/regression_seeds.json
 
 # Docs gate: intra-docs links must resolve, every Config field and tsvd.*
 # symbol the docs mention must exist in source, and every exported

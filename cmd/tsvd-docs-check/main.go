@@ -10,9 +10,9 @@
 //   - every `tsvd.X` symbol the docs mention is an exported package-level
 //     declaration of the public tsvd package;
 //   - every exported identifier in the tsvd root package, internal/config,
-//     and internal/sampler carries a doc comment (the godoc audit), including
-//     methods on exported types, exported struct fields, and exported
-//     interface methods.
+//     internal/sampler, and internal/chaos carries a doc comment (the godoc
+//     audit), including methods on exported types, exported struct fields,
+//     and exported interface methods.
 //
 // Exit status: 0 when everything reconciles, 1 with one line per finding
 // otherwise, 2 on usage or I/O errors. `make docs-check` runs it from the
@@ -87,7 +87,7 @@ func main() {
 	}
 
 	audited := 0
-	for _, dir := range []string{".", "internal/config", "internal/sampler"} {
+	for _, dir := range []string{".", "internal/config", "internal/sampler", "internal/chaos"} {
 		n, missing, err := auditGodoc(filepath.Join(*root, dir))
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "tsvd-docs-check: %s: %v\n", dir, err)

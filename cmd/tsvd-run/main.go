@@ -36,7 +36,6 @@
 package main
 
 import (
-	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -48,7 +47,6 @@ import (
 	"repro/internal/harness"
 	"repro/internal/report"
 	"repro/internal/trace"
-	"repro/internal/trapfile"
 	"repro/internal/trapstore"
 	"repro/internal/workload"
 )
@@ -187,7 +185,7 @@ func run() int {
 		// The suite itself ran to completion; classify the store failure by
 		// sentinel so CI can tell a corrupt file from a dead daemon.
 		fmt.Fprintf(os.Stderr, "tsvd-run: trap store: %v\n", out.StoreErr)
-		return exitCodeFor(out.StoreErr)
+		return harness.StoreExitCode(out.StoreErr)
 	}
 	if storeTotals.Fallbacks > 0 {
 		// Degraded but healthy: the daemon was unreachable and the local
@@ -262,21 +260,6 @@ func buildStore(serverURL, filePath string, tracer *trace.Tracer) trapstore.Trap
 		return trapstore.NewFileStore(filePath, tracer)
 	default:
 		return nil
-	}
-}
-
-// exitCodeFor maps a trap-store failure to the documented exit codes by
-// sentinel, not by message text.
-func exitCodeFor(err error) int {
-	switch {
-	case err == nil:
-		return 0
-	case errors.Is(err, trapfile.ErrCorrupt):
-		return 3
-	case errors.Is(err, trapstore.ErrUnavailable):
-		return 4
-	default:
-		return 1
 	}
 }
 

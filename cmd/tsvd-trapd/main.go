@@ -66,8 +66,10 @@ func run() int {
 	logger := log.New(os.Stderr, "tsvd-trapd: ", log.LstdFlags)
 
 	store := trapstore.NewMemory(*tool, nil)
+	var persister *trapstore.SnapshotPersister
 	if *snapshot != "" {
-		f, err := trapfile.LoadFile(*snapshot)
+		persister = trapstore.NewSnapshotPersister(*snapshot)
+		f, err := persister.Load()
 		if err != nil {
 			// A corrupt snapshot must not be silently replaced by an empty
 			// set: shards would lose every previously aggregated pair.
@@ -80,11 +82,15 @@ func run() int {
 		}
 	}
 
+	// The persister serializes concurrent merge handlers' saves and drops
+	// stale generations, so the snapshot on disk can never regress below a
+	// state a client's publish was already acknowledged against; the save
+	// itself is the same temp+fsync+atomic-rename dance as trapfile.Save.
 	saveSnapshot := func(f trapfile.File, gen uint64) {
-		if *snapshot == "" {
+		if persister == nil {
 			return
 		}
-		if err := trapfile.Save(*snapshot, f); err != nil {
+		if err := persister.Save(f, gen); err != nil {
 			logger.Printf("snapshot save failed (set kept in memory): %v", err)
 		} else if *verbose {
 			logger.Printf("snapshot saved: %d pairs, generation %d", len(f.Pairs), gen)

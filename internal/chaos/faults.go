@@ -1,0 +1,109 @@
+package chaos
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// faultKind enumerates the network faults injectable between a shard's
+// HTTPStore and the daemon, via HTTPConfig.Transport.
+type faultKind int
+
+const (
+	// faultHealthy forwards everything untouched.
+	faultHealthy faultKind = iota
+	// faultSlow adds a fixed delay to every request (well inside the client
+	// timeout: slowness the client must absorb, not an outage).
+	faultSlow
+	// faultFlaky fails the first n requests with a transport error; the
+	// client's retry loop must recover.
+	faultFlaky
+	// fault5xx answers the first n requests with a synthesized 503; the
+	// client must classify it as retryable.
+	fault5xx
+	// faultKillMid kills the daemon after n forwarded requests — mid-run,
+	// typically between a shard's fetch and its publish — forcing the
+	// Fallback onto the local file halfway through.
+	faultKillMid
+)
+
+// faultSpec is one fault with its deterministic counter parameter. No
+// randomness: the k-th request through a faultRT always sees the same fate,
+// so replays are exact.
+type faultSpec struct {
+	kind faultKind
+	n    int
+}
+
+func (f faultSpec) String() string {
+	switch f.kind {
+	case faultHealthy:
+		return "none"
+	case faultSlow:
+		return "slow"
+	case faultFlaky:
+		return fmt.Sprintf("flaky(%d)", f.n)
+	case fault5xx:
+		return fmt.Sprintf("5xx(%d)", f.n)
+	case faultKillMid:
+		return fmt.Sprintf("kill-mid(%d)", f.n)
+	default:
+		return fmt.Sprintf("fault(%d)", f.kind)
+	}
+}
+
+// faultRT is the fault-injecting http.RoundTripper. It counts requests with
+// an atomic, keyed decisions off the count — deterministic given the
+// client's (sequential) request order.
+type faultRT struct {
+	spec   faultSpec
+	count  atomic.Int64
+	posts  atomic.Int64 // POSTs whose forwarding was attempted (maybe delivered)
+	onKill func()
+	base   http.RoundTripper
+}
+
+func newFaultRT(spec faultSpec, onKill func()) *faultRT {
+	return &faultRT{spec: spec, onKill: onKill, base: http.DefaultTransport}
+}
+
+// maybeDeliveredPosts reports how many POSTs at least reached the wire —
+// the publishes whose delivery is ambiguous when the client saw an error.
+func (rt *faultRT) maybeDeliveredPosts() int64 { return rt.posts.Load() }
+
+// RoundTrip implements http.RoundTripper.
+func (rt *faultRT) RoundTrip(req *http.Request) (*http.Response, error) {
+	c := rt.count.Add(1)
+	switch rt.spec.kind {
+	case faultSlow:
+		time.Sleep(2 * time.Millisecond)
+	case faultFlaky:
+		if c <= int64(rt.spec.n) {
+			return nil, fmt.Errorf("chaos: injected transport fault (request %d)", c)
+		}
+	case fault5xx:
+		if c <= int64(rt.spec.n) {
+			return &http.Response{
+				StatusCode: http.StatusServiceUnavailable,
+				Status:     "503 Service Unavailable (chaos)",
+				Proto:      "HTTP/1.1", ProtoMajor: 1, ProtoMinor: 1,
+				Header:  http.Header{},
+				Body:    io.NopCloser(strings.NewReader("chaos: injected 503")),
+				Request: req,
+			}, nil
+		}
+	case faultKillMid:
+		if c == int64(rt.spec.n)+1 && rt.onKill != nil {
+			rt.onKill()
+			rt.onKill = nil
+		}
+	}
+	if req.Method == http.MethodPost {
+		rt.posts.Add(1)
+	}
+	return rt.base.RoundTrip(req)
+}

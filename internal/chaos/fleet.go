@@ -1,0 +1,475 @@
+package chaos
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/metrics"
+	"repro/internal/trace"
+	"repro/internal/trapfile"
+	"repro/internal/trapstore"
+	"repro/internal/workload"
+)
+
+// chaosTool labels every trap set the harness produces.
+const chaosTool = "TSVD"
+
+// fleet is the simulated deployment: one in-process tsvd-trapd (the real
+// trapstore handler behind a real HTTP server, persisting through the real
+// SnapshotPersister) plus per-shard local trap files.
+type fleet struct {
+	cfg      Config
+	dir      string
+	snapPath string
+	locals   []string
+
+	mem     *trapstore.Memory
+	srv     *httptest.Server
+	checker *trapstore.HTTPStore // pristine client the invariant checks read through
+	up      bool
+}
+
+func newFleet(cfg Config, dir string) (*fleet, error) {
+	f := &fleet{
+		cfg:      cfg,
+		dir:      dir,
+		snapPath: filepath.Join(dir, "daemon-snapshot.json"),
+		locals:   make([]string, cfg.Shards),
+	}
+	for i := range f.locals {
+		f.locals[i] = filepath.Join(dir, fmt.Sprintf("shard%d-traps.json", i))
+	}
+	if err := f.startDaemon(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// startDaemon boots a fresh daemon: a new Memory seeded from the snapshot
+// file, served over a real HTTP listener, persisting every growing merge
+// through a fresh SnapshotPersister (fresh because generations restart with
+// the daemon, exactly as in cmd/tsvd-trapd's one-persister-per-process).
+func (f *fleet) startDaemon() error {
+	persister := trapstore.NewSnapshotPersister(f.snapPath)
+	seed, err := persister.Load()
+	if err != nil {
+		// The snapshot is written atomically; an unreadable one is a bug,
+		// not an environment problem — but it is detected by the invariant
+		// checks, not here. Refuse like the real daemon does.
+		return fmt.Errorf("chaos: daemon refused to start: %w", err)
+	}
+	f.mem = trapstore.NewMemory(chaosTool, nil)
+	f.mem.Seed(seed)
+	h := trapstore.NewHandler(f.mem, trapstore.HandlerOptions{
+		OnMerge: func(file trapfile.File, gen uint64) { _ = persister.Save(file, gen) },
+	})
+	f.srv = httptest.NewServer(h)
+	f.checker = trapstore.NewHTTPStore(f.srv.URL, fastRetries(trapstore.HTTPConfig{}))
+	f.up = true
+	return nil
+}
+
+// killDaemon drops the daemon hard: connections die, the in-memory set is
+// gone. The server URL keeps refusing connections, like a dead host.
+func (f *fleet) killDaemon() {
+	if !f.up {
+		return
+	}
+	f.checker.Close()
+	f.srv.CloseClientConnections()
+	f.srv.Close()
+	f.mem = nil
+	f.up = false
+}
+
+func (f *fleet) shutdown() {
+	if f.up {
+		f.checker.Close()
+		f.srv.Close()
+		f.up = false
+	}
+}
+
+// daemonURL returns the current (or, when down, the last) daemon base URL;
+// a downed daemon's URL refuses connections.
+func (f *fleet) daemonURL() string { return f.srv.URL }
+
+// fastRetries tightens a client config to chaos pace: two attempts,
+// millisecond backoffs. Callers' Tracer/Metrics/Transport fields pass
+// through.
+func fastRetries(cfg trapstore.HTTPConfig) trapstore.HTTPConfig {
+	cfg.Timeout = 2 * time.Second
+	cfg.Attempts = 2
+	cfg.BackoffBase = time.Millisecond
+	cfg.BackoffMax = 4 * time.Millisecond
+	return cfg
+}
+
+// violation builds a Violation anchored at action act, naming the offending
+// pairs for the explanation slice.
+func violation(act int, invariant, detail string, pairs []trapfile.Pair) *Violation {
+	return &Violation{Action: act, Invariant: invariant, Detail: detail, pairs: pairs}
+}
+
+// apply executes one action, updating the model. A non-nil return is an
+// invariant breach observed during the action itself (oracle failures);
+// post-action state checks live in checkInvariants.
+func (f *fleet) apply(act int, a action, m *model) *Violation {
+	switch a.kind {
+	case actRunShard:
+		return f.runShard(act, a, m)
+	case actKillDaemon:
+		m.event("act#%02d daemon killed (in-memory set discarded)", act)
+		f.killDaemon()
+		return nil
+	case actRestartDaemon:
+		f.killDaemon()
+		if err := f.startDaemon(); err != nil {
+			return violation(act, "daemon-restart",
+				fmt.Sprintf("daemon failed to restart from its own snapshot: %v", err), nil)
+		}
+		m.event("act#%02d daemon restarted, seeded from snapshot", act)
+		return nil
+	case actCorruptFile:
+		if err := os.WriteFile(f.locals[a.shard], []byte("{ this is not a trap file"), 0o644); err != nil {
+			return violation(act, "environment", fmt.Sprintf("corrupting shard file: %v", err), nil)
+		}
+		m.corrupt[a.shard] = true
+		m.event("act#%02d shard %d trap file overwritten with garbage", act, a.shard)
+		return nil
+	case actTruncateFile:
+		if err := trapfile.Save(f.locals[a.shard], trapfile.File{Tool: chaosTool}); err != nil {
+			return violation(act, "environment", fmt.Sprintf("truncating shard file: %v", err), nil)
+		}
+		m.clearLocal(a.shard, act, "file truncated to an empty valid trap file")
+		m.corrupt[a.shard] = false
+		m.event("act#%02d shard %d trap file truncated to empty", act, a.shard)
+		return nil
+	case actConcurrentPublish:
+		return f.concurrentPublish(act, a, m)
+	case actSupersedeInstall:
+		return f.supersedeInstall(act, a)
+	case actConverge:
+		return f.converge(act, m)
+	default:
+		return violation(act, "plan", fmt.Sprintf("unknown action kind %d", a.kind), nil)
+	}
+}
+
+// runShard executes one CI shard run through the full production stack —
+// harness, Fallback(HTTPStore, FileStore), tracer, metrics — then applies
+// the in-process oracles: store-error classification, ground-truth
+// containment, exact trace reconciliation (the tsvd-trace-check rule) and
+// exact metrics reconciliation (the tsvd-metrics-check rule) — and folds the
+// observed outcome into the model.
+func (f *fleet) runShard(act int, a action, m *model) *Violation {
+	cfg := config.Defaults(a.algo).Scaled(chaosScale)
+	cfg.Trace = true
+	cfg.Seed = a.detSeed
+	cfg.Mode = a.mode
+	if a.mode == config.ModeSampled {
+		cfg.SampleProbability = a.sampleP
+	}
+	if err := cfg.Validate(); err != nil {
+		return violation(act, "plan", fmt.Sprintf("invalid shard config: %v", err), nil)
+	}
+
+	storeTracer := trace.New(1 << 14)
+	detReg := metrics.NewRegistry()
+	detMet := core.NewDetectorMetrics(detReg)
+	storeReg := metrics.NewRegistry()
+
+	rt := newFaultRT(a.fault, func() {
+		m.event("act#%02d daemon killed mid-run by injected fault", act)
+		f.killDaemon()
+	})
+	httpCfg := fastRetries(trapstore.HTTPConfig{Tracer: storeTracer, Metrics: storeReg, Transport: rt})
+	remote := trapstore.NewHTTPStore(f.daemonURL(), httpCfg)
+	local := trapstore.NewFileStore(f.locals[a.shard], storeTracer)
+	store := trapstore.NewFallback(remote, local, storeTracer)
+	store.RegisterMetrics(storeReg)
+	defer store.Close()
+
+	suite := workload.GenerateSuite(a.suite, a.modules)
+	out := harness.Run(suite, harness.Options{
+		Config:      cfg,
+		Runs:        1,
+		Parallelism: 4,
+		RunSeedBase: harness.Seed(a.runSeed),
+		Store:       store,
+		Metrics:     detMet,
+	})
+
+	remTotals, localTotals, fbTotals := remote.Totals(), local.Totals(), store.Totals()
+
+	// Oracle 1: the detector never fabricates pairs.
+	if len(out.UnknownPairs) > 0 {
+		return violation(act, "ground-truth",
+			fmt.Sprintf("shard %d reported %d pairs outside the suite's planted ground truth",
+				a.shard, len(out.UnknownPairs)), nil)
+	}
+
+	// Oracle 2: exact trace reconciliation — serialize every drained event
+	// (detector modules plus the store pseudo-module) to JSONL, validate the
+	// schema, and reconcile counts against Stats and store totals, exactly
+	// as tsvd-trace-check does for tsvd-run output.
+	stTot := storeTracer.Totals()
+	traces := append(append([]trace.ModuleTrace{}, out.Traces...), trace.ModuleTrace{
+		Module: "trapstore", Events: storeTracer.Drain(),
+		Emitted: stTot.Emitted, Dropped: stTot.Dropped,
+	})
+	var buf bytes.Buffer
+	for _, mt := range traces {
+		if err := trace.WriteJSONL(&buf, mt); err != nil {
+			return violation(act, "trace-schema", fmt.Sprintf("serializing trace: %v", err), nil)
+		}
+	}
+	m.storeTail = storeTraceTail(&buf)
+	counts, err := trace.ValidateJSONL(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		return violation(act, "trace-schema", err.Error(), nil)
+	}
+	dropped := out.TraceTotals.Dropped + stTot.Dropped
+	if err := trace.Reconcile(counts, out.TraceStatTotals(), fbTotals, dropped); err != nil {
+		return violation(act, "trace-reconcile", err.Error(), nil)
+	}
+
+	// Oracle 3: exact metrics reconciliation — the exported series must
+	// equal the same counters the trace just reconciled.
+	if v := reconcileMetrics(act, a.shard, detReg, storeReg, out, remTotals,
+		fbTotals.Fallbacks-remTotals.Fallbacks-localTotals.Fallbacks); v != nil {
+		return v
+	}
+
+	// Oracle 4: store-error classification. A corrupt local file is the one
+	// legitimate store failure, and it must classify as exit code 3; the
+	// shard then heals by deleting the file, as an operator would.
+	if m.corrupt[a.shard] {
+		if code := harness.StoreExitCode(out.StoreErr); code != 3 {
+			return violation(act, "corrupt-classification",
+				fmt.Sprintf("shard %d ran over a corrupted trap file; StoreExitCode = %d (err %v), want 3",
+					a.shard, code, out.StoreErr), nil)
+		}
+		if err := os.Remove(f.locals[a.shard]); err != nil {
+			return violation(act, "environment", fmt.Sprintf("healing corrupt file: %v", err), nil)
+		}
+		m.corrupt[a.shard] = false
+		m.clearLocal(a.shard, act, "corrupt file detected (exit 3) and deleted")
+		m.event("act#%02d shard %d detected corruption, healed by deleting the file", act, a.shard)
+		return nil
+	}
+	if out.StoreErr != nil {
+		return violation(act, "store-error",
+			fmt.Sprintf("shard %d store error with a healthy file (the Fallback should have degraded): %v",
+				a.shard, out.StoreErr), nil)
+	}
+
+	// Fold the observed outcome into the model, by contract: publish
+	// success ⇒ pairs durable in the local file; a daemon publish ack ⇒
+	// pairs durable in the snapshot.
+	pairs := trapfile.FromKeys(out.FinalTraps)
+	m.localAdd(a.shard, pairs, act, fmt.Sprintf("published by %s run", a.algo))
+	switch {
+	case remTotals.Publishes >= 1:
+		m.ack(pairs, act, fmt.Sprintf("shard %d publish acknowledged", a.shard))
+	case rt.maybeDeliveredPosts() > 0:
+		m.limboAdd(pairs, act, fmt.Sprintf("shard %d publish reached the wire but failed", a.shard))
+	}
+	return nil
+}
+
+// storeTraceTail extracts the trailing trapstore-module lines of a JSONL
+// buffer for the explanation slice.
+func storeTraceTail(buf *bytes.Buffer) []string {
+	var tail []string
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if strings.Contains(line, `"module":"trapstore"`) || strings.Contains(line, `"trapstore"`) {
+			tail = append(tail, "store event: "+line)
+		}
+	}
+	const max = 10
+	if len(tail) > max {
+		tail = tail[len(tail)-max:]
+	}
+	return tail
+}
+
+// reconcileMetrics applies the tsvd-metrics-check rule in-process: detector
+// series equal Outcome.Stats, store series equal the wire totals.
+func reconcileMetrics(act, shard int, detReg, storeReg *metrics.Registry, out *harness.Outcome,
+	rem trace.StoreTotals, fbOwnFallbacks int64) *Violation {
+
+	detVals := detReg.Values()
+	for _, c := range []struct {
+		series string
+		want   int64
+	}{
+		{"tsvd_detector_on_calls_total", out.Stats.OnCalls},
+		{"tsvd_detector_delays_injected_total", out.Stats.DelaysInjected},
+		{"tsvd_detector_near_misses_total", out.Stats.NearMisses},
+		{"tsvd_detector_pairs_added_total", out.Stats.PairsAdded},
+		{"tsvd_detector_violations_total", out.Stats.Violations},
+	} {
+		if got := detVals[c.series]; got != float64(c.want) {
+			return violation(act, "metrics-reconcile",
+				fmt.Sprintf("shard %d: %s = %v, Stats say %d", shard, c.series, got, c.want), nil)
+		}
+	}
+	storeVals := storeReg.Values()
+	for _, c := range []struct {
+		series string
+		want   int64
+	}{
+		{`tsvd_store_ops_total{op="fetch"}`, rem.Fetches},
+		{`tsvd_store_ops_total{op="publish"}`, rem.Publishes},
+		{`tsvd_store_ops_total{op="fallback"}`, fbOwnFallbacks},
+	} {
+		if got := storeVals[c.series]; got != float64(c.want) {
+			return violation(act, "metrics-reconcile",
+				fmt.Sprintf("shard %d: %s = %v, wire totals say %d", shard, c.series, got, c.want), nil)
+		}
+	}
+	return nil
+}
+
+// concurrentPublish hits the daemon with three simultaneous direct
+// publishers carrying disjoint synthetic pair sets — the merge path under
+// real request concurrency. Skipped (a visible no-op) when the daemon is
+// down: there is nothing to publish at.
+func (f *fleet) concurrentPublish(act int, a action, m *model) *Violation {
+	if !f.up {
+		m.event("act#%02d concurrent-publish skipped: daemon down", act)
+		return nil
+	}
+	const writers = 3
+	files := make([]trapfile.File, writers)
+	for w := range files {
+		ns := a.base + w
+		files[w] = trapfile.File{Tool: chaosTool, Pairs: []trapfile.Pair{
+			{A: fmt.Sprintf("chaos/pub%d.go:1", ns), B: fmt.Sprintf("chaos/pub%d.go:2", ns)},
+			{A: fmt.Sprintf("chaos/pub%d.go:3", ns), B: fmt.Sprintf("chaos/pub%d.go:4", ns)},
+		}}
+	}
+	errs := make([]error, writers)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s := trapstore.NewHTTPStore(f.daemonURL(), fastRetries(trapstore.HTTPConfig{}))
+			defer s.Close()
+			errs[w] = s.Publish(files[w])
+		}(w)
+	}
+	wg.Wait()
+	for w, err := range errs {
+		if err == nil {
+			m.ack(files[w].Pairs, act, fmt.Sprintf("concurrent publisher %d acknowledged", w))
+		} else {
+			// The pairs reached the wire against a live daemon; treat the
+			// failed writer's delivery as ambiguous rather than guessing.
+			m.limboAdd(files[w].Pairs, act, fmt.Sprintf("concurrent publisher %d failed: %v", w, err))
+		}
+	}
+	m.event("act#%02d concurrent-publish: 3 writers, %d pairs", act, 2*writers)
+	return nil
+}
+
+// converge is one anti-entropy round: heal any corrupt file, push every
+// shard file to the daemon (restarting it first if down), pull the snapshot
+// back into every shard file, and require exact set equality everywhere —
+// the G-Set CRDT's single converged value.
+func (f *fleet) converge(act int, m *model) *Violation {
+	if !f.up {
+		if err := f.startDaemon(); err != nil {
+			return violation(act, "daemon-restart",
+				fmt.Sprintf("converge could not restart the daemon: %v", err), nil)
+		}
+		m.event("act#%02d converge restarted the daemon from its snapshot", act)
+	}
+
+	// Phase 0: heal corrupt files the way a shard run would (detect, delete).
+	for i := range f.locals {
+		if !m.corrupt[i] {
+			continue
+		}
+		if _, err := trapfile.LoadFile(f.locals[i]); !errors.Is(err, trapfile.ErrCorrupt) {
+			return violation(act, "corrupt-classification",
+				fmt.Sprintf("shard %d file was corrupted but loads as %v, want ErrCorrupt", i, err), nil)
+		}
+		if err := os.Remove(f.locals[i]); err != nil {
+			return violation(act, "environment", fmt.Sprintf("healing corrupt file: %v", err), nil)
+		}
+		m.corrupt[i] = false
+		m.clearLocal(i, act, "corrupt file healed during converge")
+	}
+
+	// Phase 1: push. Every shard file's pairs end up acked.
+	for i, path := range f.locals {
+		file, err := trapfile.LoadFile(path)
+		if err != nil {
+			return violation(act, "shard-file-load",
+				fmt.Sprintf("shard %d file unreadable during converge: %v", i, err), nil)
+		}
+		if len(file.Pairs) == 0 {
+			continue
+		}
+		if err := f.checker.Publish(file); err != nil {
+			return violation(act, "converge-push",
+				fmt.Sprintf("pushing shard %d file to a live daemon failed: %v", i, err), nil)
+		}
+		m.ack(file.Pairs, act, fmt.Sprintf("shard %d file pushed during converge", i))
+	}
+
+	// Phase 2: pull. Every shard file absorbs the snapshot.
+	snap, err := f.checker.Fetch()
+	if err != nil {
+		return violation(act, "converge-pull",
+			fmt.Sprintf("fetching the snapshot from a live daemon failed: %v", err), nil)
+	}
+	for i, path := range f.locals {
+		file, err := trapfile.LoadFile(path)
+		if err != nil {
+			return violation(act, "shard-file-load",
+				fmt.Sprintf("shard %d file unreadable during converge pull: %v", i, err), nil)
+		}
+		merged := trapfile.Merge(file, snap)
+		if err := trapfile.Save(path, merged); err != nil {
+			return violation(act, "environment", fmt.Sprintf("saving shard %d file: %v", i, err), nil)
+		}
+		m.local[i] = setOf(merged.Pairs)
+		m.localAdd(i, merged.Pairs, act, "converge pulled the snapshot")
+	}
+
+	// The converged fleet must agree exactly: every shard file == snapshot.
+	want := setOf(snap.Pairs)
+	for i, path := range f.locals {
+		file, err := trapfile.LoadFile(path)
+		if err != nil {
+			return violation(act, "shard-file-load", fmt.Sprintf("shard %d: %v", i, err), nil)
+		}
+		got := setOf(file.Pairs)
+		if missing := want.minus(got); len(missing) > 0 {
+			return violation(act, "converge-equality",
+				fmt.Sprintf("after converge, shard %d file is missing %d snapshot pairs: %v",
+					i, len(missing), missing), missing)
+		}
+		if extra := got.minus(want); len(extra) > 0 {
+			return violation(act, "converge-equality",
+				fmt.Sprintf("after converge, shard %d file holds %d pairs the snapshot lacks: %v",
+					i, len(extra), extra), extra)
+		}
+	}
+	m.event("act#%02d converge complete: fleet agrees on %d pairs", act, len(snap.Pairs))
+	return nil
+}

@@ -1,0 +1,91 @@
+package chaos
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/trapfile"
+)
+
+// checkInvariants verifies every fleet-state invariant against the model
+// after action act. It reads only durable state (files) and the daemon's
+// public API — never the implementation's internals — so a passing check
+// means the *contracts* held, whatever the code did.
+func (f *fleet) checkInvariants(act int, m *model) *Violation {
+	// Invariant: daemon durability. Every acked pair is in the snapshot
+	// file (NewHandler saves through OnMerge before writing the ack), and
+	// the snapshot never holds pairs nobody published (acked ∪ limbo bounds
+	// it above).
+	snapFile, err := trapfile.LoadFile(f.snapPath)
+	if err != nil {
+		return violation(act, "snapshot-file-corrupt",
+			fmt.Sprintf("daemon snapshot file is unreadable: %v", err), nil)
+	}
+	snapSet := setOf(snapFile.Pairs)
+	if missing := m.acked.minus(snapSet); len(missing) > 0 {
+		return violation(act, "daemon-durability",
+			fmt.Sprintf("%d acked pairs are missing from the daemon snapshot file: %v",
+				len(missing), missing), missing)
+	}
+	published := m.acked.union(m.limbo)
+	if phantom := snapSet.minus(published); len(phantom) > 0 {
+		return violation(act, "phantom-pair",
+			fmt.Sprintf("the snapshot file holds %d pairs no publish ever carried: %v",
+				len(phantom), phantom), phantom)
+	}
+
+	// Invariant: the live daemon agrees with its own durability contract.
+	if f.up {
+		live, err := f.checker.Fetch()
+		if err != nil {
+			return violation(act, "daemon-unreachable",
+				fmt.Sprintf("the daemon is up but a pristine client cannot fetch: %v", err), nil)
+		}
+		liveSet := setOf(live.Pairs)
+		if missing := m.acked.minus(liveSet); len(missing) > 0 {
+			return violation(act, "daemon-durability",
+				fmt.Sprintf("%d acked pairs are missing from the live daemon set: %v",
+					len(missing), missing), missing)
+		}
+		if phantom := liveSet.minus(published); len(phantom) > 0 {
+			return violation(act, "phantom-pair",
+				fmt.Sprintf("the live daemon set holds %d pairs no publish ever carried: %v",
+					len(phantom), phantom), phantom)
+		}
+	}
+
+	// Invariant: the Fallback contract, per shard. A corrupted file must
+	// stay detectably corrupt until healed; a healthy file holds exactly
+	// the modeled set — every published pair durable, nothing extra.
+	for i, path := range f.locals {
+		if m.corrupt[i] {
+			if _, err := trapfile.LoadFile(path); !errors.Is(err, trapfile.ErrCorrupt) {
+				return violation(act, "corruption-undetected",
+					fmt.Sprintf("shard %d file was overwritten with garbage but loads as %v, want ErrCorrupt",
+						i, err), nil)
+			}
+			continue
+		}
+		file, err := trapfile.LoadFile(path)
+		if err != nil {
+			return violation(act, "shard-file-load",
+				fmt.Sprintf("shard %d file unreadable: %v", i, err), nil)
+		}
+		got := setOf(file.Pairs)
+		want := m.local[i]
+		if want == nil {
+			want = pairSet{}
+		}
+		if missing := want.minus(got); len(missing) > 0 {
+			return violation(act, "shard-file-pairs",
+				fmt.Sprintf("shard %d local file lost %d pairs its publishes were confirmed for: %v",
+					i, len(missing), missing), missing)
+		}
+		if extra := got.minus(want); len(extra) > 0 {
+			return violation(act, "shard-file-pairs",
+				fmt.Sprintf("shard %d local file holds %d pairs no publish or pull put there: %v",
+					i, len(extra), extra), extra)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,47 @@
+package chaos
+
+// minimize shrinks a failing plan to a smaller action list that still trips
+// the same invariant, ddmin-style: chunked backward elimination with halving
+// chunk sizes, bounded by cfg.MaxReplays full re-executions. The final
+// action — the one the violation fired after — is never dropped; every
+// earlier action is a removal candidate. Re-execution is deterministic
+// (actions carry all their randomness), so a trial is exactly "the same run
+// minus those actions".
+func minimize(cfg Config, plan []action, v *Violation) []action {
+	cfg = cfg.quiet()
+	cur := append([]action{}, plan[:v.Action+1]...)
+	replays := 0
+
+	// fails reports whether trial still breaches the same invariant.
+	fails := func(trial []action) bool {
+		if replays >= cfg.MaxReplays {
+			return false
+		}
+		replays++
+		tv, _, err := execute(cfg, trial)
+		return err == nil && tv != nil && tv.Invariant == v.Invariant
+	}
+
+	for chunk := len(cur) / 2; chunk >= 1; chunk /= 2 {
+		for start := len(cur) - 1 - chunk; start >= 0; start -= chunk {
+			if start < 0 {
+				break
+			}
+			end := start + chunk
+			if end >= len(cur) {
+				end = len(cur) - 1 // keep the final failing action
+			}
+			if end <= start {
+				continue
+			}
+			trial := append(append([]action{}, cur[:start]...), cur[end:]...)
+			if fails(trial) {
+				cur = trial
+			}
+			if replays >= cfg.MaxReplays {
+				return cur
+			}
+		}
+	}
+	return cur
+}

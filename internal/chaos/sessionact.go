@@ -1,0 +1,79 @@
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+
+	"repro"
+	"repro/internal/config"
+)
+
+// supersedeInstall exercises the public Session API's documented lifecycle
+// under the chaos plan: Install a session, drive instrumented traffic,
+// supersede it with a second Install mid-flight, drive concurrent traffic on
+// the successor, Close it, and check every guarantee the API documents —
+// the superseded session is Closed, Current tracks the newest Install, and
+// post-Close operations fail with ErrNotInstalled.
+func (f *fleet) supersedeInstall(act int, a action) *Violation {
+	cfg := config.Defaults(config.AlgoTSVD).Scaled(chaosScale)
+	cfg.Seed = a.detSeed
+
+	s1, err := tsvd.Install(cfg)
+	if err != nil {
+		return violation(act, "session-supersede", fmt.Sprintf("first Install failed: %v", err), nil)
+	}
+	d1 := tsvd.NewDictionary[string, int]()
+	for i := 0; i < 40; i++ {
+		d1.Set(fmt.Sprintf("k%d", i%4), i)
+		d1.TryGetValue(fmt.Sprintf("k%d", (i+1)%4))
+	}
+	if s1.Stats().OnCalls == 0 {
+		return violation(act, "session-supersede",
+			"installed session observed no instrumented calls from container traffic", nil)
+	}
+
+	s2, err := tsvd.Install(cfg)
+	if err != nil {
+		s1.Close()
+		return violation(act, "session-supersede", fmt.Sprintf("superseding Install failed: %v", err), nil)
+	}
+	if !s1.Closed() {
+		s2.Close()
+		return violation(act, "session-supersede",
+			"superseded session still reports Closed() == false", nil)
+	}
+	if tsvd.Current() != s2 {
+		s2.Close()
+		return violation(act, "session-supersede",
+			"Current() does not track the superseding Install", nil)
+	}
+
+	d2 := tsvd.NewDictionary[string, int]()
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				d2.Set(fmt.Sprintf("g%d", g%2), i)
+				d2.TryGetValue(fmt.Sprintf("g%d", (g+1)%2))
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	if err := s2.Close(); err != nil {
+		return violation(act, "session-supersede", fmt.Sprintf("Close failed: %v", err), nil)
+	}
+	if tsvd.Current() != nil {
+		return violation(act, "session-supersede",
+			"Current() still returns a session after Close", nil)
+	}
+	if err := tsvd.SaveTrapFile(filepath.Join(f.dir, "never-written.json")); !errors.Is(err, tsvd.ErrNotInstalled) {
+		return violation(act, "session-supersede",
+			fmt.Sprintf("SaveTrapFile after Close = %v, want ErrNotInstalled", err), nil)
+	}
+	return nil
+}

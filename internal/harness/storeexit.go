@@ -1,0 +1,37 @@
+package harness
+
+import (
+	"errors"
+
+	"repro/internal/trapfile"
+	"repro/internal/trapstore"
+)
+
+// StoreExitCode maps the trap-store error a suite accumulated in
+// Outcome.StoreErr to the sentinel process exit codes cmd/tsvd-run
+// documents. Classification is by errors.Is on the sentinels, never by
+// message text:
+//
+//	0 — nil: every store operation succeeded (graceful degradation to a
+//	    local trap file is success — a Fallback already absorbed it).
+//	3 — trapfile.ErrCorrupt: a trap file or trap-server payload exists but
+//	    cannot be trusted.
+//	4 — trapstore.ErrUnavailable: the store could not be reached and no
+//	    local fallback absorbed the operation.
+//	1 — anything else.
+//
+// When a joined error carries both sentinels, corruption wins: an
+// unreachable daemon is an operational condition, a corrupt trap set is a
+// bug, and the exit code should name the bug.
+func StoreExitCode(err error) int {
+	switch {
+	case err == nil:
+		return 0
+	case errors.Is(err, trapfile.ErrCorrupt):
+		return 3
+	case errors.Is(err, trapstore.ErrUnavailable):
+		return 4
+	default:
+		return 1
+	}
+}

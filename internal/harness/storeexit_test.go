@@ -1,0 +1,139 @@
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/trapfile"
+	"repro/internal/trapstore"
+	"repro/internal/workload"
+)
+
+// TestStoreExitCodeSentinels pins the pure classification: sentinels are
+// matched with errors.Is through wrapping and joins, and corruption outranks
+// unavailability in a joined error.
+func TestStoreExitCodeSentinels(t *testing.T) {
+	corrupt := fmt.Errorf("wrapped: %w", trapfile.ErrCorrupt)
+	unavailable := fmt.Errorf("wrapped: %w", trapstore.ErrUnavailable)
+	for _, tc := range []struct {
+		name string
+		err  error
+		want int
+	}{
+		{"nil", nil, 0},
+		{"corrupt", corrupt, 3},
+		{"unavailable", unavailable, 4},
+		{"both joined, corruption wins", errors.Join(unavailable, corrupt), 3},
+		{"other", errors.New("disk on fire"), 1},
+	} {
+		if got := StoreExitCode(tc.err); got != tc.want {
+			t.Errorf("%s: StoreExitCode = %d, want %d", tc.name, got, tc.want)
+		}
+	}
+}
+
+// deadStoreURL returns an http URL nothing listens on: the port comes from a
+// listener opened and immediately closed, so connections are refused fast
+// instead of timing out.
+func deadStoreURL(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	url := "http://" + ln.Addr().String()
+	ln.Close()
+	return url
+}
+
+// fastHTTP is a retry policy that gives up in milliseconds, so the
+// unreachable-store cases don't stall the test suite.
+func fastHTTP() trapstore.HTTPConfig {
+	return trapstore.HTTPConfig{
+		Timeout:     500 * time.Millisecond,
+		Attempts:    2,
+		BackoffBase: time.Millisecond,
+		BackoffMax:  2 * time.Millisecond,
+	}
+}
+
+// TestRunStoreSentinelExitCodes drives the documented tsvd-run sentinel exit
+// codes through the harness itself (no subprocess): a corrupt trap file
+// classifies as 3, an unreachable store with no local fallback as 4, and
+// degradation onto a healthy local file stays a success (0) with the
+// fallback visible in the store totals for the CLI's warning line.
+func TestRunStoreSentinelExitCodes(t *testing.T) {
+	suite := workload.GenerateSuite(21, 4)
+
+	for _, tc := range []struct {
+		name          string
+		store         func(t *testing.T) trapstore.TrapStore
+		want          int
+		wantFallbacks bool
+	}{
+		{
+			name: "corrupt trap file -> 3",
+			store: func(t *testing.T) trapstore.TrapStore {
+				path := filepath.Join(t.TempDir(), "traps.json")
+				if err := os.WriteFile(path, []byte("{ not json"), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return trapstore.NewFileStore(path, nil)
+			},
+			want: 3,
+		},
+		{
+			name: "unreachable store without fallback -> 4",
+			store: func(t *testing.T) trapstore.TrapStore {
+				return trapstore.NewHTTPStore(deadStoreURL(t), fastHTTP())
+			},
+			want: 4,
+		},
+		{
+			name: "degraded with local file -> 0 + warn",
+			store: func(t *testing.T) trapstore.TrapStore {
+				return trapstore.NewFallback(
+					trapstore.NewHTTPStore(deadStoreURL(t), fastHTTP()),
+					trapstore.NewFileStore(filepath.Join(t.TempDir(), "traps.json"), nil),
+					nil)
+			},
+			want:          0,
+			wantFallbacks: true,
+		},
+		{
+			name: "healthy local file -> 0",
+			store: func(t *testing.T) trapstore.TrapStore {
+				return trapstore.NewFileStore(filepath.Join(t.TempDir(), "traps.json"), nil)
+			},
+			want: 0,
+		},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			store := tc.store(t)
+			defer store.Close()
+			o := opts(config.AlgoTSVD, 1)
+			o.Store = store
+			out := Run(suite, o)
+			if got := StoreExitCode(out.StoreErr); got != tc.want {
+				t.Fatalf("StoreExitCode(%v) = %d, want %d", out.StoreErr, got, tc.want)
+			}
+			if tc.want == 0 && out.StoreErr != nil {
+				t.Fatalf("unexpected store error: %v", out.StoreErr)
+			}
+			// The suite itself always runs to completion, store or no store.
+			if out.Stats.OnCalls == 0 {
+				t.Fatal("suite did not run")
+			}
+			if fellBack := store.Totals().Fallbacks > 0; fellBack != tc.wantFallbacks {
+				t.Fatalf("fallbacks > 0 = %v, want %v (totals %+v)",
+					fellBack, tc.wantFallbacks, store.Totals())
+			}
+		})
+	}
+}

@@ -137,6 +137,15 @@ func ToKeys(pairs []Pair) []report.PairKey {
 // nothing.
 var testHookAfterWrite func(tmpPath string) error
 
+// SetTestHookAfterWrite installs (or, with nil, removes) the crash hook every
+// Save runs between the durable temp-file write and the atomic rename — the
+// narrowest window a kill can hit. The hook returning an error makes Save
+// stop right there, leaving the temp file behind exactly as a killed process
+// would. It exists so packages that build on Save (trapstore's snapshot
+// persister, the chaos harness) can stage the same kill-9 simulation the
+// trapfile tests use; production code must never call it.
+func SetTestHookAfterWrite(fn func(tmpPath string) error) { testHookAfterWrite = fn }
+
 // Save atomically replaces the trap file at path with f, normalized. The
 // Version field is stamped by Save — callers build f with New or a literal
 // and never track the format version themselves. The previous contents stay

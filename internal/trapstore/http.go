@@ -40,6 +40,11 @@ type HTTPConfig struct {
 	// latency histograms (the tsvd_store_* families; docs/OBSERVABILITY.md).
 	// Register at most one store client per registry.
 	Metrics *metrics.Registry
+	// Transport, when non-nil, replaces the default HTTP transport. It is the
+	// fault-injection seam the chaos harness (internal/chaos) uses to put a
+	// slow, flaky, or 5xx-speaking network between a shard and its daemon
+	// without a real proxy. Production callers leave it nil.
+	Transport http.RoundTripper
 }
 
 func (c HTTPConfig) withDefaults() HTTPConfig {
@@ -76,9 +81,15 @@ type HTTPStore struct {
 	cfg HTTPConfig
 
 	client *http.Client
+	// ctx is canceled by Close: in-flight requests abort and backoff sleeps
+	// return immediately, so no goroutine lingers in a retry loop past
+	// daemon (or shard) shutdown.
+	ctx    context.Context
+	cancel context.CancelFunc
 	// sleep is swapped by tests to observe the backoff schedule without
-	// actually waiting.
-	sleep func(time.Duration)
+	// actually waiting; the default waits on the timer or on ctx, whichever
+	// fires first, and reports ctx's error when the store was closed mid-wait.
+	sleep func(time.Duration) error
 
 	mu       sync.Mutex
 	rng      *rand.Rand
@@ -94,16 +105,32 @@ type HTTPStore struct {
 func NewHTTPStore(baseURL string, cfg HTTPConfig) *HTTPStore {
 	cfg = cfg.withDefaults()
 	base := strings.TrimSuffix(baseURL, "/")
+	ctx, cancel := context.WithCancel(context.Background())
 	s := &HTTPStore{
 		url:    base + TrapsPath,
 		cfg:    cfg,
-		client: &http.Client{},
-		sleep:  time.Sleep,
+		client: &http.Client{Transport: cfg.Transport},
+		ctx:    ctx,
+		cancel: cancel,
 		rng:    rand.New(rand.NewSource(time.Now().UnixNano())),
 		instr:  newInstr(cfg.Tracer, base),
 	}
+	s.sleep = s.ctxSleep
 	s.register(cfg.Metrics)
 	return s
+}
+
+// ctxSleep waits d, or returns early with the context's error when Close
+// cancels the store mid-backoff.
+func (s *HTTPStore) ctxSleep(d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-s.ctx.Done():
+		return s.ctx.Err()
+	}
 }
 
 // URL returns the traps resource URL this store talks to.
@@ -127,13 +154,18 @@ func (s *HTTPStore) backoffDelay(retry int) time.Duration {
 
 // retry runs op up to cfg.Attempts times. op reports whether its failure is
 // retryable; non-retryable errors surface immediately, exhausted attempts
-// wrap ErrUnavailable.
+// wrap ErrUnavailable. A store closed mid-backoff stops retrying promptly
+// and reports ErrUnavailable — to its caller, a closed client and a dead
+// daemon look the same.
 func (s *HTTPStore) retry(name string, op func() (retryable bool, err error)) error {
 	var last error
 	for attempt := 0; attempt < s.cfg.Attempts; attempt++ {
 		if attempt > 0 {
 			s.retried()
-			s.sleep(s.backoffDelay(attempt - 1))
+			if err := s.sleep(s.backoffDelay(attempt - 1)); err != nil {
+				return fmt.Errorf("trapstore: %s %s: store closed during retry backoff: %w (%v)",
+					name, s.url, ErrUnavailable, err)
+			}
 		}
 		retryable, err := op()
 		if err == nil {
@@ -148,9 +180,11 @@ func (s *HTTPStore) retry(name string, op func() (retryable bool, err error)) er
 		name, s.url, s.cfg.Attempts, ErrUnavailable, last)
 }
 
-// do issues one request with the per-request timeout applied.
+// do issues one request with the per-request timeout applied. The request
+// context derives from the store's, so Close aborts in-flight requests too,
+// not just backoff waits.
 func (s *HTTPStore) do(method string, hdr map[string]string, body []byte) (*http.Response, error) {
-	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.Timeout)
+	ctx, cancel := context.WithTimeout(s.ctx, s.cfg.Timeout)
 	defer cancel()
 	var rd io.Reader
 	if body != nil {
@@ -267,8 +301,12 @@ func (s *HTTPStore) Publish(f trapfile.File) error {
 // Totals implements TrapStore.
 func (s *HTTPStore) Totals() trace.StoreTotals { return s.totals() }
 
-// Close implements TrapStore.
+// Close implements TrapStore: it cancels the store's context — aborting
+// in-flight requests and waking any goroutine parked in a backoff sleep —
+// then releases idle connections. Operations after Close fail with an
+// ErrUnavailable-wrapped error. Close is idempotent.
 func (s *HTTPStore) Close() error {
+	s.cancel()
 	s.client.CloseIdleConnections()
 	return nil
 }

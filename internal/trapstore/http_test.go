@@ -18,8 +18,66 @@ import (
 func newTestClient(url string, cfg HTTPConfig) (*HTTPStore, *[]time.Duration) {
 	s := NewHTTPStore(url, cfg)
 	slept := &[]time.Duration{}
-	s.sleep = func(d time.Duration) { *slept = append(*slept, d) }
+	s.sleep = func(d time.Duration) error { *slept = append(*slept, d); return nil }
 	return s, slept
+}
+
+// TestCloseCancelsRetryBackoff parks a client in a long backoff against a
+// daemon that only ever answers 500, closes the store mid-retry, and asserts
+// the operation returns promptly (well before the backoff schedule would
+// have elapsed) with an ErrUnavailable-wrapped error.
+func TestCloseCancelsRetryBackoff(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+
+	// Real sleeps (no test seam): the first retry backoff alone is >= 15s,
+	// so only cancellation can explain a prompt return.
+	s := NewHTTPStore(srv.URL, HTTPConfig{
+		Attempts:    4,
+		BackoffBase: 30 * time.Second,
+		BackoffMax:  30 * time.Second,
+	})
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := s.Fetch()
+		done <- err
+	}()
+
+	// Wait until the client is actually parked in its first backoff sleep
+	// (one failed attempt recorded) before closing.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.retries.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("client never reached its first retry backoff")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	begin := time.Now()
+	s.Close()
+
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrUnavailable) {
+			t.Fatalf("Fetch after Close = %v, want ErrUnavailable", err)
+		}
+		if waited := time.Since(begin); waited > 2*time.Second {
+			t.Fatalf("Fetch returned %v after Close; want prompt return", waited)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Fetch still blocked 5s after Close; backoff sleep ignored cancellation")
+	}
+
+	// Operations after Close must fail fast, not hang in fresh backoffs.
+	begin = time.Now()
+	if err := s.Publish(trapfile.File{Version: trapfile.FormatVersion}); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("Publish after Close = %v, want ErrUnavailable", err)
+	}
+	if waited := time.Since(begin); waited > 2*time.Second {
+		t.Fatalf("Publish after Close took %v; want prompt failure", waited)
+	}
 }
 
 func TestHTTPRoundTripAndETag(t *testing.T) {

@@ -1,0 +1,68 @@
+package trapstore
+
+import (
+	"sync"
+
+	"repro/internal/trapfile"
+)
+
+// SnapshotPersister writes a daemon's merged trap set to one snapshot file
+// with the crash-safety of trapfile.Save (temp file in the target directory,
+// fsync, atomic rename — a process killed mid-save leaves the previous
+// snapshot intact) plus the two properties the daemon's ack contract needs
+// on top:
+//
+//   - Saves are serialized. Concurrent merge handlers may race to persist;
+//     without a lock their temp-file renames could land in either order.
+//   - Saves are generation-monotone. A save carrying an older generation
+//     than one already on disk is skipped: the newer snapshot is a superset
+//     (the merged set is grow-only within a daemon lifetime), so letting a
+//     slow, stale writer win the rename would silently regress the file
+//     below a state the daemon already acknowledged to a client.
+//
+// One persister guards one file for one daemon lifetime. After a restart,
+// create a fresh persister: the restarted daemon's generation counter starts
+// over, and holding the old lifetime's high-water mark would make it skip
+// every save.
+type SnapshotPersister struct {
+	mu      sync.Mutex
+	path    string
+	gen     uint64
+	haveGen bool
+}
+
+// NewSnapshotPersister returns a persister for the snapshot file at path.
+// The file need not exist yet.
+func NewSnapshotPersister(path string) *SnapshotPersister {
+	return &SnapshotPersister{path: path}
+}
+
+// Path returns the snapshot file path.
+func (p *SnapshotPersister) Path() string { return p.path }
+
+// Load reads the current snapshot — the daemon's startup seed. A missing
+// file is an empty set; unparseable contents wrap trapfile.ErrCorrupt, and
+// the daemon refuses to start rather than silently replacing the fleet's
+// aggregated pairs with an empty set.
+func (p *SnapshotPersister) Load() (trapfile.File, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return trapfile.LoadFile(p.path)
+}
+
+// Save persists f, stamped with the daemon generation that produced it.
+// Stale saves (gen at or below the last persisted generation) return nil
+// without touching the file: the bytes on disk already reflect a newer — and
+// therefore superset — state.
+func (p *SnapshotPersister) Save(f trapfile.File, gen uint64) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.haveGen && gen <= p.gen {
+		return nil
+	}
+	if err := trapfile.Save(p.path, f); err != nil {
+		return err
+	}
+	p.gen, p.haveGen = gen, true
+	return nil
+}

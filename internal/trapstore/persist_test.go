@@ -1,0 +1,119 @@
+package trapstore
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/trapfile"
+)
+
+func pairsOf(t *testing.T, path string) []trapfile.Pair {
+	t.Helper()
+	f, err := trapfile.LoadFile(path)
+	if err != nil {
+		t.Fatalf("load %s: %v", path, err)
+	}
+	return f.Pairs
+}
+
+// TestSnapshotPersisterCrashRecovery mirrors the trapfile kill-9 test for
+// the daemon's snapshot path: a save killed between the temp-file write and
+// the rename must leave the previous snapshot readable and intact.
+func TestSnapshotPersisterCrashRecovery(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snapshot.json")
+	p := NewSnapshotPersister(path)
+
+	first := trapfile.File{Tool: "TSVD", Pairs: []trapfile.Pair{{A: "a.go:1", B: "b.go:2"}}}
+	if err := p.Save(first, 1); err != nil {
+		t.Fatalf("save gen 1: %v", err)
+	}
+
+	// Kill the process (simulated) at the most dangerous instant of the next
+	// save: after the new temp file is durable, before the rename.
+	trapfile.SetTestHookAfterWrite(func(string) error { return errors.New("killed") })
+	second := trapfile.Merge(first, trapfile.File{Pairs: []trapfile.Pair{{A: "c.go:3", B: "d.go:4"}}})
+	if err := p.Save(second, 2); err == nil {
+		t.Fatal("save under the kill hook unexpectedly succeeded")
+	}
+	trapfile.SetTestHookAfterWrite(nil)
+
+	// Recovery: the snapshot on disk is the previous generation, whole.
+	got := pairsOf(t, path)
+	if len(got) != 1 || got[0] != first.Pairs[0] {
+		t.Fatalf("snapshot after crash = %v, want %v", got, first.Pairs)
+	}
+	// The killed save's temp debris is visible (a killed process cleans up
+	// nothing) and does not confuse recovery.
+	debris, err := filepath.Glob(filepath.Join(dir, "snapshot.json.tmp-*"))
+	if err != nil || len(debris) == 0 {
+		t.Fatalf("expected temp-file debris from the killed save, found %v (err %v)", debris, err)
+	}
+
+	// The retried save (same generation — the daemon's state did not move)
+	// goes through: the failed attempt must not poison the monotonic guard.
+	if err := p.Save(second, 2); err != nil {
+		t.Fatalf("retried save gen 2: %v", err)
+	}
+	if got := pairsOf(t, path); len(got) != 2 {
+		t.Fatalf("snapshot after retried save has %d pairs, want 2", len(got))
+	}
+}
+
+// TestSnapshotPersisterMonotone asserts a stale save (older generation,
+// smaller set) cannot regress the file below a newer persisted state.
+func TestSnapshotPersisterMonotone(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "snapshot.json")
+	p := NewSnapshotPersister(path)
+
+	newer := trapfile.File{Pairs: []trapfile.Pair{{A: "a.go:1", B: "b.go:2"}, {A: "c.go:3", B: "d.go:4"}}}
+	older := trapfile.File{Pairs: newer.Pairs[:1]}
+	if err := p.Save(newer, 5); err != nil {
+		t.Fatalf("save gen 5: %v", err)
+	}
+	if err := p.Save(older, 4); err != nil {
+		t.Fatalf("stale save gen 4: %v", err)
+	}
+	if got := pairsOf(t, path); len(got) != 2 {
+		t.Fatalf("stale save regressed the snapshot to %d pairs, want 2", len(got))
+	}
+}
+
+// TestSnapshotPersisterConcurrent hammers Save from many goroutines with
+// growing sets and ascending generations; the surviving file must be the
+// full union regardless of scheduling.
+func TestSnapshotPersisterConcurrent(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "snapshot.json")
+	p := NewSnapshotPersister(path)
+
+	const n = 16
+	cur := trapfile.File{}
+	files := make([]trapfile.File, n)
+	for i := range files {
+		cur = trapfile.Merge(cur, trapfile.File{Pairs: []trapfile.Pair{
+			{A: fmt.Sprintf("a.go:%d", i), B: fmt.Sprintf("b.go:%d", i)},
+		}})
+		files[i] = cur
+	}
+	var wg sync.WaitGroup
+	for i := range files {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := p.Save(files[i], uint64(i+1)); err != nil {
+				t.Errorf("save gen %d: %v", i+1, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := pairsOf(t, path); len(got) != n {
+		t.Fatalf("snapshot has %d pairs after concurrent saves, want %d", len(got), n)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("snapshot missing: %v", err)
+	}
+}
