@@ -44,12 +44,13 @@ metrics-smoke:
 fleet-smoke:
 	$(GO) run ./cmd/tsvd-fleet-smoke
 
-# Fleet chaos gate: one short race-enabled chaos run (randomized fleet
-# actions with invariant checks after each, see docs/TESTING.md), then a
+# Fleet chaos gate: one short race-enabled chaos run against a three-daemon
+# cluster (randomized fleet actions — including partitions and anti-entropy
+# rounds — with invariant checks after each, see docs/TESTING.md), then a
 # full replay of the committed regression-seed database — every seed that
 # ever caught a bug, plus a planted-fault seed proving the oracles fire.
 chaos-smoke:
-	$(GO) run -race ./cmd/tsvd-chaos -seed 11 -actions 20 -shards 2
+	$(GO) run -race ./cmd/tsvd-chaos -seed 11 -actions 20 -shards 2 -daemons 3
 	$(GO) run -race ./cmd/tsvd-chaos -replay internal/chaos/regression_seeds.json
 
 # Docs gate: intra-docs links must resolve, every Config field and tsvd.*

@@ -142,13 +142,149 @@ func run() error {
 	}
 	fmt.Printf("daemon killed mid-run: shard exited 0, degraded gracefully, kept all %d prior pairs (%d now)\n",
 		len(before.Pairs), len(after.Pairs))
+
+	// --- Scenario 3: three-daemon anti-entropy cluster converges, and
+	// steady-state polls are delta-sized, not full snapshots ---
+
+	const daemons = 3
+	cluster := make([]*exec.Cmd, 0, daemons)
+	urls := make([]string, 0, daemons)
+	defer func() {
+		for _, d := range cluster {
+			d.Process.Kill()
+		}
+	}()
+	for i := 0; i < daemons; i++ {
+		// Sequential startup with chain -peer flags, as an operator would
+		// bring a cluster up: each daemon names only the ones already
+		// running; push+pull anti-entropy makes the chain converge anyway.
+		args := []string{"-addr", "127.0.0.1:0",
+			"-snapshot", filepath.Join(dir, fmt.Sprintf("cluster%d.json", i)),
+			"-sync-interval", "150ms"}
+		for _, u := range urls {
+			args = append(args, "-peer", u)
+		}
+		d, u, err := startDaemonArgs(trapdBin, args)
+		if err != nil {
+			return fmt.Errorf("cluster daemon %d: %v", i, err)
+		}
+		cluster, urls = append(cluster, d), append(urls, u)
+	}
+	fmt.Printf("3-daemon cluster up: %s\n", strings.Join(urls, " "))
+
+	// Each shard publishes to a different daemon of the cluster.
+	shard3File := func(i int) string { return filepath.Join(dir, fmt.Sprintf("cluster-shard%d.json", i)) }
+	errs3 := make([]error, daemons)
+	var wg3 sync.WaitGroup
+	for i := 0; i < daemons; i++ {
+		wg3.Add(1)
+		go func(i int) {
+			defer wg3.Done()
+			cmd := exec.Command(runBin,
+				"-modules", "10", "-runs", "2", "-seed", fmt.Sprint(63+i),
+				"-trapfile", shard3File(i), "-trap-server", urls[i])
+			if out, err := cmd.CombinedOutput(); err != nil {
+				errs3[i] = fmt.Errorf("cluster shard %d: %v\n%s", i, err, out)
+			}
+		}(i)
+	}
+	wg3.Wait()
+	for _, e := range errs3 {
+		if e != nil {
+			return e
+		}
+	}
+	union3 := trapfile.File{}
+	for i := 0; i < daemons; i++ {
+		f, err := trapfile.LoadFile(shard3File(i))
+		if err != nil {
+			return fmt.Errorf("cluster shard %d trap file: %v", i, err)
+		}
+		union3 = trapfile.Merge(union3, f)
+	}
+
+	// Anti-entropy must spread every daemon's pairs to every other.
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		converged := true
+		for i, u := range urls {
+			c := trapstore.NewHTTPStore(u, trapstore.HTTPConfig{})
+			got, err := c.Fetch()
+			c.Close()
+			if err != nil {
+				return fmt.Errorf("cluster daemon %d fetch: %v", i, err)
+			}
+			if samePairs(got.Pairs, union3.Pairs) != nil {
+				converged = false
+				break
+			}
+		}
+		if converged {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("3-daemon cluster did not converge on %d pairs within 20s", len(union3.Pairs))
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	fmt.Printf("3-daemon cluster converged: every daemon holds all %d pairs\n", len(union3.Pairs))
+
+	// Wire economy: a polling client pays one full snapshot up front; after
+	// that an idle poll is a 304 and a one-pair growth arrives as a delta
+	// body, never a second full snapshot.
+	poller := trapstore.NewHTTPStore(urls[0], trapstore.HTTPConfig{})
+	defer poller.Close()
+	if _, err := poller.Fetch(); err != nil {
+		return fmt.Errorf("poller full fetch: %v", err)
+	}
+	fullBytes := poller.WireStats().FetchBytes
+	if _, err := poller.Fetch(); err != nil { // idle poll
+		return fmt.Errorf("poller idle fetch: %v", err)
+	}
+	pub := trapstore.NewHTTPStore(urls[2], trapstore.HTTPConfig{})
+	err = pub.Publish(trapfile.File{Tool: "TSVD", Pairs: []trapfile.Pair{{A: "smoke/delta.go:1", B: "smoke/delta.go:2"}}})
+	pub.Close()
+	if err != nil {
+		return fmt.Errorf("publish to cluster daemon 2: %v", err)
+	}
+	want := len(union3.Pairs) + 1
+	for {
+		got, err := poller.Fetch()
+		if err != nil {
+			return fmt.Errorf("poller fetch: %v", err)
+		}
+		if len(got.Pairs) == want {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("pair published to daemon 2 never reached daemon 0")
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	ws := poller.WireStats()
+	if ws.DeltaFetches < 1 {
+		return fmt.Errorf("replicated growth arrived as a full snapshot, not a delta: %+v", ws)
+	}
+	steadyBytes := ws.FetchBytes - fullBytes
+	if steadyBytes >= fullBytes {
+		return fmt.Errorf("steady-state polling cost %d bytes vs %d for one full snapshot; deltas are not saving wire",
+			steadyBytes, fullBytes)
+	}
+	fmt.Printf("delta polling: full snapshot %dB once, then %d polls cost %dB total (%d delta, %d not-modified)\n",
+		fullBytes, ws.Fetches-1, steadyBytes, ws.DeltaFetches, ws.NotModified)
 	return nil
 }
 
 // startDaemon launches tsvd-trapd on an ephemeral port and parses the bound
 // base URL from its startup line.
 func startDaemon(bin, snapshot string) (*exec.Cmd, string, error) {
-	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-snapshot", snapshot)
+	return startDaemonArgs(bin, []string{"-addr", "127.0.0.1:0", "-snapshot", snapshot})
+}
+
+// startDaemonArgs starts tsvd-trapd with an arbitrary flag set, for the
+// cluster scenario where each daemon also carries -peer and -sync-interval.
+func startDaemonArgs(bin string, args []string) (*exec.Cmd, string, error) {
+	cmd := exec.Command(bin, args...)
 	cmd.Stderr = os.Stderr
 	stdout, err := cmd.StdoutPipe()
 	if err != nil {

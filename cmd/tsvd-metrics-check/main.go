@@ -111,10 +111,10 @@ func run() int {
 	}
 
 	// A deterministic post-suite store epilogue: the sentinel publish is
-	// guaranteed to grow the daemon's set, so the next fetch must be a full
-	// 200 (stale ETag) and the one after it must be a 304 — exactly one
-	// not_modified, independent of what the suite's own merges did to the
-	// generation counter.
+	// guaranteed to grow the daemon's set, so the next fetch must carry new
+	// pairs (a delta, now that the client resumes from its cursor) and the
+	// one after it must be a 304 — exactly one not_modified, independent of
+	// what the suite's own merges did to the generation counter.
 	sentinel := trapfile.File{Version: trapfile.FormatVersion, Tool: "TSVD", Pairs: []trapfile.Pair{
 		{A: "tsvd-metrics-check/sentinel@1", B: "tsvd-metrics-check/sentinel@2"},
 	}}
@@ -165,8 +165,12 @@ func run() int {
 	}
 
 	// --- Store client series vs the harness protocol, exactly ---
+	// The fetch sequence is full, then delta-resumed, then 304: the first
+	// fetch has no cursor, the last finds nothing new, and every fetch in
+	// between resumes from the client's generation cursor.
 	cli := map[string]float64{
 		`tsvd_store_ops_total{op="fetch"}`:                   fetches,
+		`tsvd_store_ops_total{op="delta"}`:                   fetches - 2,
 		`tsvd_store_ops_total{op="publish"}`:                 publishes,
 		`tsvd_store_ops_total{op="not_modified"}`:            1,
 		`tsvd_store_ops_total{op="retry"}`:                   0, // healthy daemon: a retry means phantom requests
@@ -216,6 +220,11 @@ func run() int {
 		`tsvd_trapd_requests_total{endpoint="metrics"}`:           1, // entry-increment: the scrape reports itself
 		`tsvd_trapd_request_seconds_count{endpoint="traps_get"}`:  fetches,
 		`tsvd_trapd_request_seconds_count{endpoint="traps_post"}`: publishes,
+		// The daemon's own account of how it answered each snapshot GET must
+		// mirror the client's full/delta/304 split exactly.
+		`tsvd_trapd_snapshot_responses_total{kind="full"}`:         1,
+		`tsvd_trapd_snapshot_responses_total{kind="delta"}`:        fetches - 2,
+		`tsvd_trapd_snapshot_responses_total{kind="not_modified"}`: 1,
 	}
 	for series, want := range dmn {
 		c.eq("daemon", series, dm1, want)

@@ -8,17 +8,23 @@
 //
 //	tsvd-trapd -addr 127.0.0.1:8321 -snapshot /var/lib/tsvd/traps.json
 //	tsvd-trapd -addr 127.0.0.1:0 -v     # ephemeral port, printed on stdout
+//	tsvd-trapd -addr 127.0.0.1:8321 -peer http://10.0.0.2:8321 -peer http://10.0.0.3:8321
 //
 // The daemon speaks the trapstore wire schema on /v1/traps (GET snapshot
-// with an ETag generation counter, POST merge), answers liveness probes on
-// /healthz (JSON: status, generation, pairs, uptime_seconds), and exposes
-// Prometheus metrics on /metrics (tsvd_trapd_* series; see
-// docs/OBSERVABILITY.md). With -pprof the standard net/http/pprof profiling
-// endpoints are additionally mounted under /debug/pprof/ — off by default,
-// since profiling handlers on a fleet-shared daemon are a footgun. With
-// -snapshot it seeds its set from the file at startup and persists after
-// every merge that grows the set, so a restarted daemon resumes where it
-// stopped. SIGINT/SIGTERM shut it down gracefully, saving a final snapshot.
+// with an epoch-qualified ETag and O(delta) ?since= incremental responses,
+// POST merge), answers liveness probes on /healthz (JSON: status,
+// generation, epoch, pairs, uptime_seconds), and exposes Prometheus metrics
+// on /metrics (tsvd_trapd_* series; see docs/OBSERVABILITY.md). With -pprof
+// the standard net/http/pprof profiling endpoints are additionally mounted
+// under /debug/pprof/ — off by default, since profiling handlers on a
+// fleet-shared daemon are a footgun. With -snapshot it seeds its set — and
+// restores its generation counter, keeping it monotone across restarts —
+// from the file at startup and persists after every merge that grows the
+// set, so a restarted daemon resumes where it stopped. With -peer (repeat
+// the flag, or pass a comma-separated list) it runs pull+push anti-entropy
+// against the named daemons every -sync-interval, so any connected cluster
+// converges to the union of all daemons' sets with no single point of
+// failure. SIGINT/SIGTERM shut it down gracefully, saving a final snapshot.
 //
 // On startup it prints exactly one line, "tsvd-trapd: listening on
 // http://HOST:PORT", so wrappers that start it with -addr ...:0 can
@@ -37,6 +43,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -49,14 +56,34 @@ func main() {
 	os.Exit(run())
 }
 
+// peerList collects -peer flags; each occurrence may itself be a
+// comma-separated list.
+type peerList []string
+
+func (p *peerList) String() string { return strings.Join(*p, ",") }
+
+func (p *peerList) Set(v string) error {
+	for _, s := range strings.Split(v, ",") {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			continue
+		}
+		*p = append(*p, s)
+	}
+	return nil
+}
+
 func run() int {
+	var peers peerList
 	var (
 		addr     = flag.String("addr", "127.0.0.1:8321", "listen address (use :0 for an ephemeral port)")
 		snapshot = flag.String("snapshot", "", "trap file to seed from at startup and persist after every merge")
 		tool     = flag.String("tool", "TSVD", "tool label for the aggregated trap set")
 		verbose  = flag.Bool("v", false, "log every merge")
 		pprofOn  = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		syncIvl  = flag.Duration("sync-interval", 2*time.Second, "anti-entropy period against -peer daemons")
 	)
+	flag.Var(&peers, "peer", "peer daemon base URL for anti-entropy replication (repeatable, or comma-separated)")
 	flag.Parse()
 	if flag.NArg() > 0 {
 		fmt.Fprintf(os.Stderr, "tsvd-trapd: unexpected arguments %v\n", flag.Args())
@@ -69,16 +96,20 @@ func run() int {
 	var persister *trapstore.SnapshotPersister
 	if *snapshot != "" {
 		persister = trapstore.NewSnapshotPersister(*snapshot)
-		f, err := persister.Load()
+		f, prev, err := persister.Load()
 		if err != nil {
 			// A corrupt snapshot must not be silently replaced by an empty
 			// set: shards would lose every previously aggregated pair.
 			logger.Printf("refusing to start: %v", err)
 			return 1
 		}
-		store.Seed(f)
+		// Restore continues the persisted generation under this boot's fresh
+		// epoch, so no two daemon lifetimes ever serve the same ETag for
+		// different sets.
+		store.Restore(f, prev)
 		if len(f.Pairs) > 0 {
-			logger.Printf("seeded %d pairs from %s", len(f.Pairs), *snapshot)
+			logger.Printf("seeded %d pairs from %s (generation %d continues at %d)",
+				len(f.Pairs), *snapshot, prev.Generation, store.Generation())
 		}
 	}
 
@@ -86,14 +117,14 @@ func run() int {
 	// stale generations, so the snapshot on disk can never regress below a
 	// state a client's publish was already acknowledged against; the save
 	// itself is the same temp+fsync+atomic-rename dance as trapfile.Save.
-	saveSnapshot := func(f trapfile.File, gen uint64) {
+	saveSnapshot := func(f trapfile.File, st trapstore.SyncState) {
 		if persister == nil {
 			return
 		}
-		if err := persister.Save(f, gen); err != nil {
+		if err := persister.Save(f, st); err != nil {
 			logger.Printf("snapshot save failed (set kept in memory): %v", err)
 		} else if *verbose {
-			logger.Printf("snapshot saved: %d pairs, generation %d", len(f.Pairs), gen)
+			logger.Printf("snapshot saved: %d pairs, generation %d", len(f.Pairs), st.Generation)
 		}
 	}
 	logf := func(string, ...any) {}
@@ -109,6 +140,9 @@ func run() int {
 	// The one machine-readable startup line: wrappers parse the bound
 	// address from it when they start the daemon on an ephemeral port.
 	fmt.Printf("tsvd-trapd: listening on http://%s\n", ln.Addr())
+	if *verbose {
+		logger.Printf("boot epoch %s", store.State())
+	}
 
 	reg := metrics.NewRegistry()
 	handler := trapstore.NewHandler(store, trapstore.HandlerOptions{
@@ -131,6 +165,19 @@ func run() int {
 		root = mux
 	}
 
+	var repl *trapstore.Replicator
+	if len(peers) > 0 {
+		repl = trapstore.NewReplicator(store, trapstore.ReplicatorConfig{
+			Peers:    peers,
+			Interval: *syncIvl,
+			OnMerge:  saveSnapshot,
+			Logf:     logf,
+			Metrics:  reg,
+		})
+		repl.Start()
+		logger.Printf("anti-entropy against %d peer(s) every %s: %s", len(peers), *syncIvl, peers.String())
+	}
+
 	srv := &http.Server{Handler: root}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
@@ -140,15 +187,21 @@ func run() int {
 	select {
 	case <-ctx.Done():
 		logger.Printf("shutting down")
+		if repl != nil {
+			repl.Close()
+		}
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(shutdownCtx); err != nil {
 			logger.Printf("shutdown: %v", err)
 		}
-		f, gen := store.Snapshot()
-		saveSnapshot(f, gen)
+		f, st := store.SnapshotState()
+		saveSnapshot(f, st)
 		return 0
 	case err := <-errc:
+		if repl != nil {
+			repl.Close()
+		}
 		if !errors.Is(err, http.ErrServerClosed) {
 			logger.Printf("%v", err)
 			return 1

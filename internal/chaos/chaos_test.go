@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/config"
 	"repro/internal/trapstore"
 )
 
@@ -128,6 +129,53 @@ func TestPlantedFaultCaught(t *testing.T) {
 			t.Fatalf("minimized plan kept an action irrelevant to a publish-path bug: %s", line)
 		}
 	}
+}
+
+// TestPartitionHealClusterConvergence drives a hand-built worst-case
+// replication plan against a three-daemon cluster: shards publish to
+// different daemons, one daemon is partitioned away while the others
+// exchange pairs, another is killed outright, the partition heals — and the
+// closing converge must still leave every daemon and every shard file
+// holding the identical set, with every per-daemon durability check green
+// along the way.
+func TestPartitionHealClusterConvergence(t *testing.T) {
+	cfg := Config{Seed: 1, Shards: 2, Daemons: 3, Logf: t.Logf}.withDefaults()
+	plan := []action{
+		{kind: actRunShard, shard: 0, daemon: 0, algo: config.AlgoTSVD, mode: config.ModeFull,
+			suite: 101, modules: 2, detSeed: 5, runSeed: 7},
+		{kind: actPartitionDaemon, daemon: 2},
+		{kind: actRunShard, shard: 1, daemon: 1, algo: config.AlgoTSVD, mode: config.ModeFull,
+			suite: 102, modules: 3, detSeed: 6, runSeed: 8},
+		// Daemons 0 and 1 exchange their sets; the partitioned daemon 2
+		// stays behind (its sync legs fail, which must NOT be a violation).
+		{kind: actPeerSync},
+		{kind: actKillDaemon, daemon: 1},
+		{kind: actHealPartition, daemon: 2},
+		// Daemons 0 and 2 exchange; daemon 1 is down and stays behind.
+		{kind: actPeerSync},
+		// Converge restarts daemon 1 from its snapshot, runs a full round,
+		// and demands exact cluster-wide set equality.
+		{kind: actConverge},
+	}
+	v, ran, err := execute(cfg, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != nil {
+		t.Fatalf("partition/heal plan violated %q after action #%d: %s\nexplanation:\n  %s",
+			v.Invariant, v.Action, v.Detail, strings.Join(explainLines(v), "\n  "))
+	}
+	if ran != len(plan) {
+		t.Fatalf("ran %d of %d actions without a violation", ran, len(plan))
+	}
+}
+
+// explainLines guards against a nil explanation when rendering a failure.
+func explainLines(v *Violation) []string {
+	if len(v.Explanation) > 0 {
+		return v.Explanation
+	}
+	return []string{"(no explanation attached)"}
 }
 
 // TestRegressionSeedsReplay replays the committed database — the same check

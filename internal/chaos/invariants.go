@@ -12,45 +12,51 @@ import (
 // public API — never the implementation's internals — so a passing check
 // means the *contracts* held, whatever the code did.
 func (f *fleet) checkInvariants(act int, m *model) *Violation {
-	// Invariant: daemon durability. Every acked pair is in the snapshot
-	// file (NewHandler saves through OnMerge before writing the ack), and
-	// the snapshot never holds pairs nobody published (acked ∪ limbo bounds
-	// it above).
-	snapFile, err := trapfile.LoadFile(f.snapPath)
-	if err != nil {
-		return violation(act, "snapshot-file-corrupt",
-			fmt.Sprintf("daemon snapshot file is unreadable: %v", err), nil)
-	}
-	snapSet := setOf(snapFile.Pairs)
-	if missing := m.acked.minus(snapSet); len(missing) > 0 {
-		return violation(act, "daemon-durability",
-			fmt.Sprintf("%d acked pairs are missing from the daemon snapshot file: %v",
-				len(missing), missing), missing)
-	}
-	published := m.acked.union(m.limbo)
-	if phantom := snapSet.minus(published); len(phantom) > 0 {
-		return violation(act, "phantom-pair",
-			fmt.Sprintf("the snapshot file holds %d pairs no publish ever carried: %v",
-				len(phantom), phantom), phantom)
-	}
-
-	// Invariant: the live daemon agrees with its own durability contract.
-	if f.up {
-		live, err := f.checker.Fetch()
+	// Invariant: per-daemon durability. Every pair daemon d acknowledged —
+	// by client publish ack, peer push ack, or completed pull — is in d's
+	// snapshot file (NewHandler and the replicator both persist through
+	// OnMerge before acking), and no daemon's set exceeds the fleet-wide
+	// published bound (pairs replicate between daemons, but none may appear
+	// that no publish ever carried).
+	published := m.published()
+	for d, n := range f.nodes {
+		snapFile, err := trapfile.LoadFile(n.snapPath)
 		if err != nil {
-			return violation(act, "daemon-unreachable",
-				fmt.Sprintf("the daemon is up but a pristine client cannot fetch: %v", err), nil)
+			return violation(act, "snapshot-file-corrupt",
+				fmt.Sprintf("daemon %d snapshot file is unreadable: %v", d, err), nil)
 		}
-		liveSet := setOf(live.Pairs)
-		if missing := m.acked.minus(liveSet); len(missing) > 0 {
+		snapSet := setOf(snapFile.Pairs)
+		if missing := m.ackedTo[d].minus(snapSet); len(missing) > 0 {
 			return violation(act, "daemon-durability",
-				fmt.Sprintf("%d acked pairs are missing from the live daemon set: %v",
-					len(missing), missing), missing)
+				fmt.Sprintf("%d pairs daemon %d acked are missing from its snapshot file: %v",
+					len(missing), d, missing), missing)
 		}
-		if phantom := liveSet.minus(published); len(phantom) > 0 {
+		if phantom := snapSet.minus(published); len(phantom) > 0 {
 			return violation(act, "phantom-pair",
-				fmt.Sprintf("the live daemon set holds %d pairs no publish ever carried: %v",
-					len(phantom), phantom), phantom)
+				fmt.Sprintf("daemon %d's snapshot file holds %d pairs no publish ever carried: %v",
+					d, len(phantom), phantom), phantom)
+		}
+
+		// Invariant: a reachable daemon agrees with its own durability
+		// contract. Down or partitioned daemons are checked through their
+		// snapshot files only — that is all that survives them.
+		if n.up && !n.partitioned {
+			live, err := n.checker.Fetch()
+			if err != nil {
+				return violation(act, "daemon-unreachable",
+					fmt.Sprintf("daemon %d is up but a pristine client cannot fetch: %v", d, err), nil)
+			}
+			liveSet := setOf(live.Pairs)
+			if missing := m.ackedTo[d].minus(liveSet); len(missing) > 0 {
+				return violation(act, "daemon-durability",
+					fmt.Sprintf("%d pairs daemon %d acked are missing from its live set: %v",
+						len(missing), d, missing), missing)
+			}
+			if phantom := liveSet.minus(published); len(phantom) > 0 {
+				return violation(act, "phantom-pair",
+					fmt.Sprintf("daemon %d's live set holds %d pairs no publish ever carried: %v",
+						d, len(phantom), phantom), phantom)
+			}
 		}
 	}
 

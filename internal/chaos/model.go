@@ -63,11 +63,12 @@ func (s pairSet) union(t pairSet) pairSet {
 // An implementation that breaks a contract — including a deliberately
 // planted one — therefore diverges from the model and trips a check.
 type model struct {
-	// acked: pairs some client publish was acknowledged against — must be in
-	// the daemon's set and snapshot file at all times.
-	acked pairSet
+	// ackedTo[d]: pairs daemon d acknowledged — via a client publish ack, a
+	// peer push it acked, or a pull it completed — and must therefore hold
+	// in its set and snapshot file at all times.
+	ackedTo []pairSet
 	// limbo: pairs whose publish reached the wire but failed client-side —
-	// the daemon may or may not hold them.
+	// some daemon may or may not hold them.
 	limbo pairSet
 	// local[i]: exactly what shard i's trap file must contain.
 	local []pairSet
@@ -87,14 +88,34 @@ type model struct {
 	storeTail []string
 }
 
-func newModel(shards int) *model {
-	return &model{
-		acked:   pairSet{},
+func newModel(shards, daemons int) *model {
+	m := &model{
+		ackedTo: make([]pairSet, daemons),
 		limbo:   pairSet{},
 		local:   make([]pairSet, shards),
 		corrupt: make([]bool, shards),
 		history: map[trapfile.Pair][]string{},
 	}
+	for i := range m.ackedTo {
+		m.ackedTo[i] = pairSet{}
+	}
+	return m
+}
+
+// published is the set of pairs some publish ever carried to some daemon —
+// the upper bound no daemon's set may exceed (pairs replicate between
+// daemons, so the bound is fleet-wide, not per-daemon).
+func (m *model) published() pairSet {
+	out := make(pairSet, len(m.limbo))
+	for _, acked := range m.ackedTo {
+		for p := range acked {
+			out[p] = true
+		}
+	}
+	for p := range m.limbo {
+		out[p] = true
+	}
+	return out
 }
 
 func (m *model) note(pairs []trapfile.Pair, format string, args ...any) {
@@ -123,23 +144,34 @@ func (m *model) localAdd(shard int, pairs []trapfile.Pair, act int, why string) 
 	}
 }
 
-// ack records pairs the daemon acknowledged a publish for: durable in the
-// snapshot file from here on. Acked pairs leave limbo.
-func (m *model) ack(pairs []trapfile.Pair, act int, why string) {
+// ack records pairs daemon d acknowledged — by client publish ack, peer
+// push ack, or completed pull: durable in d's snapshot file from here on.
+// Acked pairs leave limbo (their existence is confirmed).
+func (m *model) ack(daemon int, pairs []trapfile.Pair, act int, why string) {
 	for _, p := range pairs {
-		if !m.acked[p] {
-			m.acked[p] = true
+		if !m.ackedTo[daemon][p] {
+			m.ackedTo[daemon][p] = true
 			m.history[p] = append(m.history[p],
-				fmt.Sprintf("act#%02d daemon acked %s|%s (%s)", act, p.A, p.B, why))
+				fmt.Sprintf("act#%02d daemon %d acked %s|%s (%s)", act, daemon, p.A, p.B, why))
 		}
 		delete(m.limbo, p)
 	}
 }
 
-// limboAdd records pairs whose delivery to the daemon is ambiguous.
+// anyAcked reports whether some daemon already acked p.
+func (m *model) anyAcked(p trapfile.Pair) bool {
+	for _, acked := range m.ackedTo {
+		if acked[p] {
+			return true
+		}
+	}
+	return false
+}
+
+// limboAdd records pairs whose delivery to a daemon is ambiguous.
 func (m *model) limboAdd(pairs []trapfile.Pair, act int, why string) {
 	for _, p := range pairs {
-		if !m.acked[p] && !m.limbo[p] {
+		if !m.anyAcked(p) && !m.limbo[p] {
 			m.limbo[p] = true
 			m.history[p] = append(m.history[p],
 				fmt.Sprintf("act#%02d publish of %s|%s ambiguous (%s)", act, p.A, p.B, why))

@@ -12,15 +12,16 @@ type actionKind int
 
 const (
 	// actRunShard: one CI shard runs a workload suite under a detector
-	// variant and sampling mode, seeding from and publishing to the fleet
-	// through a Fallback(HTTPStore, FileStore), optionally through an
-	// injected network fault.
+	// variant and sampling mode, seeding from and publishing to one of the
+	// fleet's daemons through a Fallback(HTTPStore, FileStore), optionally
+	// through an injected network fault.
 	actRunShard actionKind = iota
-	// actKillDaemon: the daemon process dies; its in-memory set is gone,
-	// only the snapshot file survives.
+	// actKillDaemon: one daemon process dies; its in-memory set is gone,
+	// only its snapshot file survives.
 	actKillDaemon
-	// actRestartDaemon: the daemon restarts (killing it first when up),
-	// seeding its set from the snapshot file.
+	// actRestartDaemon: one daemon restarts (killing it first when up),
+	// restoring its set and generation from its snapshot file under a fresh
+	// boot epoch.
 	actRestartDaemon
 	// actCorruptFile: a shard's local trap file is overwritten with garbage
 	// bytes — a detectable corruption the next run must classify as
@@ -30,15 +31,26 @@ const (
 	// empty trap file — a silent external pair loss the fleet must absorb.
 	actTruncateFile
 	// actConcurrentPublish: several goroutines publish disjoint synthetic
-	// pair sets straight at the daemon at once.
+	// pair sets straight at one daemon at once.
 	actConcurrentPublish
 	// actSupersedeInstall: exercises the public Session API — Install,
 	// concurrent container traffic, supersede, Close — and its documented
 	// lifecycle guarantees.
 	actSupersedeInstall
-	// actConverge: one anti-entropy round — push every healthy shard file
-	// to the daemon, pull the snapshot back into every shard file — after
-	// which daemon and shards must hold the identical set.
+	// actPartitionDaemon: one daemon is partitioned away from the cluster —
+	// peers and clients reach it as they would a dead host — while its own
+	// process keeps running.
+	actPartitionDaemon
+	// actHealPartition: the named daemon's partition heals.
+	actHealPartition
+	// actPeerSync: one anti-entropy round on every live, unpartitioned
+	// daemon — the replication that must move pairs between healthy daemons
+	// and must not lose any across partitions.
+	actPeerSync
+	// actConverge: the closing storm — heal every partition, restart every
+	// downed daemon, push every shard file into the cluster, one full
+	// anti-entropy round — after which every daemon and every shard file
+	// must hold the identical set.
 	actConverge
 )
 
@@ -47,6 +59,7 @@ const (
 type action struct {
 	kind    actionKind
 	shard   int
+	daemon  int
 	algo    config.Algorithm
 	mode    config.Mode
 	sampleP float64
@@ -65,22 +78,28 @@ func (a action) describe() string {
 		if a.mode == config.ModeSampled {
 			mode = fmt.Sprintf("sampled(p=%.1f)", a.sampleP)
 		}
-		return fmt.Sprintf("run shard=%d algo=%s mode=%s suite=%d modules=%d det=%d sched=%d fault=%s",
-			a.shard, a.algo, mode, a.suite, a.modules, a.detSeed, a.runSeed, a.fault)
+		return fmt.Sprintf("run shard=%d daemon=%d algo=%s mode=%s suite=%d modules=%d det=%d sched=%d fault=%s",
+			a.shard, a.daemon, a.algo, mode, a.suite, a.modules, a.detSeed, a.runSeed, a.fault)
 	case actKillDaemon:
-		return "kill-daemon"
+		return fmt.Sprintf("kill-daemon daemon=%d", a.daemon)
 	case actRestartDaemon:
-		return "restart-daemon (seed from snapshot)"
+		return fmt.Sprintf("restart-daemon daemon=%d (restore from snapshot)", a.daemon)
 	case actCorruptFile:
 		return fmt.Sprintf("corrupt-file shard=%d", a.shard)
 	case actTruncateFile:
 		return fmt.Sprintf("truncate-file shard=%d", a.shard)
 	case actConcurrentPublish:
-		return fmt.Sprintf("concurrent-publish base=%d writers=3", a.base)
+		return fmt.Sprintf("concurrent-publish daemon=%d base=%d writers=3", a.daemon, a.base)
 	case actSupersedeInstall:
 		return fmt.Sprintf("supersede-install det=%d", a.detSeed)
+	case actPartitionDaemon:
+		return fmt.Sprintf("partition-daemon daemon=%d", a.daemon)
+	case actHealPartition:
+		return fmt.Sprintf("heal-partition daemon=%d", a.daemon)
+	case actPeerSync:
+		return "peer-sync (anti-entropy round)"
 	case actConverge:
-		return "converge (push locals, pull snapshot)"
+		return "converge (heal, restart, push locals, full sync round)"
 	default:
 		return fmt.Sprintf("unknown-action(%d)", a.kind)
 	}
@@ -96,7 +115,10 @@ func describePlan(plan []action) []string {
 
 // weightedKinds is the action mix. Shard runs dominate — they are the
 // workload everything else disrupts; the disruptions stay frequent enough
-// that a default-size plan exercises each several times.
+// that a default-size plan exercises each several times. The partition /
+// heal / peer-sync trio only fires for multi-daemon fleets (newPlan skips
+// them at Daemons == 1, where they would be no-ops or self-partitions that
+// starve the whole plan).
 var weightedKinds = []struct {
 	kind   actionKind
 	weight int
@@ -108,6 +130,9 @@ var weightedKinds = []struct {
 	{actTruncateFile, 5},
 	{actConcurrentPublish, 8},
 	{actSupersedeInstall, 5},
+	{actPartitionDaemon, 5},
+	{actHealPartition, 5},
+	{actPeerSync, 8},
 	{actConverge, 5},
 }
 
@@ -186,6 +211,7 @@ func newPlan(cfg Config) []action {
 		switch a.kind {
 		case actRunShard:
 			a.shard = rng.Intn(cfg.Shards)
+			a.daemon = rng.Intn(cfg.Daemons)
 			a.algo = shardAlgos[pickWeighted(rng, algoTotal, func(i int) int { return shardAlgos[i].weight })].algo
 			a.mode = shardModes[pickWeighted(rng, modeTotal, func(i int) int { return shardModes[i].weight })].mode
 			if a.mode == config.ModeSampled {
@@ -196,9 +222,29 @@ func newPlan(cfg Config) []action {
 			a.detSeed = int64(rng.Intn(1 << 20))
 			a.runSeed = int64(rng.Intn(1 << 20))
 			a.fault = shardFaults[pickWeighted(rng, faultTotal, func(i int) int { return shardFaults[i].weight })].fault
+		case actKillDaemon, actRestartDaemon:
+			a.daemon = rng.Intn(cfg.Daemons)
+		case actPartitionDaemon, actHealPartition:
+			a.daemon = rng.Intn(cfg.Daemons)
+			if cfg.Daemons == 1 {
+				// Partitioning a single-daemon fleet's only daemon starves
+				// every later action of a store; redraw as a shard-file
+				// disruption instead (still deterministic: the redraw
+				// consumes no extra randomness).
+				a.kind = actTruncateFile
+				a.shard = a.daemon % cfg.Shards
+				a.daemon = 0
+			}
+		case actPeerSync:
+			if cfg.Daemons == 1 {
+				// A sync round with no peers is a no-op; keep the plan
+				// meaningful by restarting the daemon instead.
+				a.kind = actRestartDaemon
+			}
 		case actCorruptFile, actTruncateFile:
 			a.shard = rng.Intn(cfg.Shards)
 		case actConcurrentPublish:
+			a.daemon = rng.Intn(cfg.Daemons)
 			a.base = base
 			base += 3 // three writers, each with its own disjoint namespace
 		case actSupersedeInstall:
@@ -206,7 +252,7 @@ func newPlan(cfg Config) []action {
 		}
 		plan = append(plan, a)
 	}
-	// Every plan ends with one anti-entropy round: the closing state must be
-	// a converged fleet, whatever the chaos before it.
+	// Every plan ends with one converge: the closing state must be a fully
+	// converged fleet, whatever the chaos before it.
 	return append(plan, action{kind: actConverge})
 }

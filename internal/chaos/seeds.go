@@ -14,13 +14,16 @@ import (
 // "caught" carry a planted fault and prove the oracles still fire — a
 // planted seed that passes is itself a harness failure.
 type SeedEntry struct {
-	// Seed is the plan seed; with Actions and Shards it reproduces the plan
-	// bit-for-bit.
+	// Seed is the plan seed; with Actions, Shards and Daemons it reproduces
+	// the plan bit-for-bit.
 	Seed int64 `json:"seed"`
 	// Actions is the planned action count of the recorded run.
 	Actions int `json:"actions"`
 	// Shards is the shard count of the recorded run.
 	Shards int `json:"shards"`
+	// Daemons is the daemon-cluster size of the recorded run (0 means the
+	// default single daemon).
+	Daemons int `json:"daemons,omitempty"`
 	// Plant names the armed fault: "" (none) or "lose-local-publish".
 	Plant string `json:"plant,omitempty"`
 	// Expect is the required verdict: "pass" (no violation) or "caught"
@@ -105,7 +108,7 @@ func ReplaySeeds(path string, logf func(format string, args ...any)) (int, error
 	}
 	for i, s := range db.Seeds {
 		plant, _ := ParsePlant(s.Plant) // validated by LoadSeeds
-		res, err := Run(Config{Seed: s.Seed, Actions: s.Actions, Shards: s.Shards, Plant: plant})
+		res, err := Run(Config{Seed: s.Seed, Actions: s.Actions, Shards: s.Shards, Daemons: s.Daemons, Plant: plant})
 		if err != nil {
 			return i, fmt.Errorf("chaos: seed %d (seed=%d): %w", i, s.Seed, err)
 		}
@@ -117,8 +120,8 @@ func ReplaySeeds(path string, logf func(format string, args ...any)) (int, error
 			return i, fmt.Errorf("chaos: planted seed %d (seed=%d, plant=%s) passed — the oracles missed the planted fault",
 				i, s.Seed, s.Plant)
 		}
-		logf("seed %d/%d ok: seed=%d actions=%d shards=%d plant=%q expect=%s",
-			i+1, len(db.Seeds), s.Seed, s.Actions, s.Shards, s.Plant, s.Expect)
+		logf("seed %d/%d ok: seed=%d actions=%d shards=%d daemons=%d plant=%q expect=%s",
+			i+1, len(db.Seeds), s.Seed, s.Actions, s.Shards, s.Daemons, s.Plant, s.Expect)
 	}
 	return len(db.Seeds), nil
 }

@@ -157,8 +157,15 @@ func Save(path string, f File) error {
 	if err != nil {
 		return fmt.Errorf("trapfile: marshal: %w", err)
 	}
-	data = append(data, '\n')
+	return SaveBytes(path, append(data, '\n'))
+}
 
+// SaveBytes atomically replaces the file at path with data using the same
+// crash-safe temp-write/fsync/rename dance as Save, including the kill-9
+// test hook. It exists for callers that persist a superset of the trap-file
+// schema (trapstore.SnapshotPersister stores sync state alongside the pairs)
+// and need identical durability without re-implementing the dance.
+func SaveBytes(path string, data []byte) error {
 	// The temp file must live in the target's directory: rename(2) is only
 	// atomic within one filesystem.
 	dir := filepath.Dir(path)

@@ -8,6 +8,7 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -45,6 +46,12 @@ type HTTPConfig struct {
 	// slow, flaky, or 5xx-speaking network between a shard and its daemon
 	// without a real proxy. Production callers leave it nil.
 	Transport http.RoundTripper
+	// PublishChunkBytes caps one POST body (default 8 MiB, matching the
+	// daemon's payload cap). Publish splits a trap set whose JSON exceeds it
+	// into multiple bounded POSTs — safe because merge is a commutative,
+	// idempotent union, so N partial merges equal one big one. Tests lower
+	// it to exercise chunking without megabyte payloads.
+	PublishChunkBytes int
 }
 
 func (c HTTPConfig) withDefaults() HTTPConfig {
@@ -60,6 +67,9 @@ func (c HTTPConfig) withDefaults() HTTPConfig {
 	if c.BackoffMax <= 0 {
 		c.BackoffMax = time.Second
 	}
+	if c.PublishChunkBytes <= 0 {
+		c.PublishChunkBytes = defaultMaxTrapPayload
+	}
 	return c
 }
 
@@ -73,9 +83,13 @@ func (c HTTPConfig) withDefaults() HTTPConfig {
 // trapfile.ErrCorrupt and are never retried: repeating a malformed exchange
 // cannot fix it.
 //
-// Fetch is conditional: the store remembers the last snapshot's ETag
-// (the daemon's generation counter) and sends If-None-Match, so a poll
-// against an idle daemon costs a header exchange, not a body.
+// Fetch is conditional and incremental: the store remembers the last
+// snapshot's epoch-qualified sync state and sends both If-None-Match (an
+// idle daemon answers 304 — a header exchange, no body) and ?since= (a
+// grown daemon answers with only the pairs added since — O(delta), not
+// O(pairs)). A daemon restart changes the epoch, so the cached state never
+// false-matches across daemon lifetimes; the client transparently takes one
+// full snapshot and resumes delta polling.
 type HTTPStore struct {
 	url string
 	cfg HTTPConfig
@@ -93,7 +107,7 @@ type HTTPStore struct {
 
 	mu       sync.Mutex
 	rng      *rand.Rand
-	etag     string
+	state    SyncState
 	cached   trapfile.File
 	hasCache bool
 
@@ -183,14 +197,14 @@ func (s *HTTPStore) retry(name string, op func() (retryable bool, err error)) er
 // do issues one request with the per-request timeout applied. The request
 // context derives from the store's, so Close aborts in-flight requests too,
 // not just backoff waits.
-func (s *HTTPStore) do(method string, hdr map[string]string, body []byte) (*http.Response, error) {
+func (s *HTTPStore) do(method, url string, hdr map[string]string, body []byte) (*http.Response, error) {
 	ctx, cancel := context.WithTimeout(s.ctx, s.cfg.Timeout)
 	defer cancel()
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
 	}
-	req, err := http.NewRequestWithContext(ctx, method, s.url, rd)
+	req, err := http.NewRequestWithContext(ctx, method, url, rd)
 	if err != nil {
 		return nil, err
 	}
@@ -209,30 +223,54 @@ func (s *HTTPStore) do(method string, hdr map[string]string, body []byte) (*http
 		return nil, err
 	}
 	resp.Body = io.NopCloser(bytes.NewReader(data))
+	resp.ContentLength = int64(len(data))
 	return resp, nil
 }
 
-// Fetch implements TrapStore.
+// copyPairs returns f with its Pairs slice copied — the defensive copy
+// every Fetch hands out. Returning the cache's slice by reference let a
+// caller that appended to or reordered the result corrupt every later
+// cached fetch (and, via ?since= deltas, every later incremental merge).
+func copyPairs(f trapfile.File) trapfile.File {
+	f.Pairs = append([]trapfile.Pair(nil), f.Pairs...)
+	return f
+}
+
+// parseEpoch decodes a wire epoch (hex; "" means a pre-epoch daemon).
+func parseEpoch(s string) (uint64, error) {
+	if s == "" {
+		return 0, nil
+	}
+	return strconv.ParseUint(s, 16, 64)
+}
+
+// Fetch implements TrapStore. The returned File owns its Pairs slice:
+// callers may mutate it freely without corrupting the client's cache.
 func (s *HTTPStore) Fetch() (trapfile.File, error) {
 	var out trapfile.File
+	var wasDelta bool
+	var bodyBytes int64
 	begin := time.Now()
 	err := s.retry("fetch", func() (bool, error) {
 		hdr := map[string]string{}
+		url := s.url
 		s.mu.Lock()
-		if s.hasCache && s.etag != "" {
-			hdr["If-None-Match"] = s.etag
+		if s.hasCache {
+			hdr["If-None-Match"] = etagOf(s.state)
+			url += "?" + SinceParam + "=" + s.state.String()
 		}
 		s.mu.Unlock()
 
-		resp, err := s.do(http.MethodGet, hdr, nil)
+		resp, err := s.do(http.MethodGet, url, hdr, nil)
 		if err != nil {
 			return true, err
 		}
 		switch {
 		case resp.StatusCode == http.StatusNotModified:
 			s.sawNotModified()
+			wasDelta, bodyBytes = false, 0
 			s.mu.Lock()
-			out = s.cached
+			out = copyPairs(s.cached)
 			s.mu.Unlock()
 			return false, nil
 		case resp.StatusCode == http.StatusOK:
@@ -244,11 +282,38 @@ func (s *HTTPStore) Fetch() (trapfile.File, error) {
 				return false, fmt.Errorf("trapstore: fetch %s: server speaks version %d, want %d: %w",
 					s.url, snap.Version, trapfile.FormatVersion, trapfile.ErrCorrupt)
 			}
+			epoch, err := parseEpoch(snap.Epoch)
+			if err != nil {
+				return false, fmt.Errorf("trapstore: fetch %s: bad epoch %q: %w", s.url, snap.Epoch, trapfile.ErrCorrupt)
+			}
+			st := SyncState{Epoch: epoch, Generation: snap.Generation}
+			bodyBytes = resp.ContentLength
+			if snap.Delta {
+				// An incremental body applies on top of the cache it was
+				// computed against. The daemon echoes the window (Since) and
+				// epoch; anything out of line with our cache means the cache
+				// cannot be trusted as the delta's base — drop it and retry
+				// as a full fetch.
+				s.mu.Lock()
+				if !s.hasCache || s.state.Epoch != epoch || s.state.Generation != snap.Since {
+					s.cached, s.state, s.hasCache = trapfile.File{}, SyncState{}, false
+					s.mu.Unlock()
+					return true, fmt.Errorf("trapstore: fetch %s: delta for window e%x-g%d does not match cache",
+						s.url, epoch, snap.Since)
+				}
+				s.cached = trapfile.Merge(s.cached, trapfile.File{Tool: snap.Tool, Pairs: snap.Pairs})
+				s.state = st
+				out = copyPairs(s.cached)
+				s.mu.Unlock()
+				wasDelta = true
+				return false, nil
+			}
 			f := trapfile.Merge(trapfile.File{}, trapfile.File{Tool: snap.Tool, Pairs: snap.Pairs})
 			s.mu.Lock()
-			s.cached, s.etag, s.hasCache = f, resp.Header.Get("ETag"), true
+			s.cached, s.state, s.hasCache = f, st, true
+			out = copyPairs(f)
 			s.mu.Unlock()
-			out = f
+			wasDelta = false
 			return false, nil
 		case resp.StatusCode >= 500:
 			return true, fmt.Errorf("trapstore: fetch %s: server error %s", s.url, resp.Status)
@@ -259,40 +324,88 @@ func (s *HTTPStore) Fetch() (trapfile.File, error) {
 	if err != nil {
 		return trapfile.File{Version: trapfile.FormatVersion}, err
 	}
+	if wasDelta {
+		s.sawDelta()
+	}
+	s.countFetchBytes(int(bodyBytes))
 	s.fetched(time.Since(begin))
 	return out, nil
 }
 
-// Publish implements TrapStore.
-func (s *HTTPStore) Publish(f trapfile.File) error {
+// WireStats reports the client's wire accounting: how many fetches were
+// full, delta-sized, or 304s, and the body bytes they cost.
+func (s *HTTPStore) WireStats() WireStats { return s.wireStats() }
+
+// marshalChunks encodes pairs into one or more POST bodies, each at most
+// limit bytes, splitting recursively until every chunk fits. A single pair
+// whose encoding alone exceeds the limit cannot be chunked and is an error.
+func marshalChunks(tool string, pairs []trapfile.Pair, limit int) ([][]byte, error) {
 	payload, err := json.Marshal(wireSnapshot{
-		Version: trapfile.FormatVersion, Tool: f.Tool, Pairs: f.Pairs,
+		Version: trapfile.FormatVersion, Tool: tool, Pairs: pairs,
 	})
 	if err != nil {
-		return fmt.Errorf("trapstore: publish %s: marshal: %w", s.url, err)
+		return nil, fmt.Errorf("marshal: %w", err)
+	}
+	if len(payload) <= limit {
+		return [][]byte{payload}, nil
+	}
+	if len(pairs) <= 1 {
+		return nil, fmt.Errorf("payload of %d bytes exceeds the %d-byte chunk limit and cannot be split further", len(payload), limit)
+	}
+	mid := len(pairs) / 2
+	left, err := marshalChunks(tool, pairs[:mid], limit)
+	if err != nil {
+		return nil, err
+	}
+	right, err := marshalChunks(tool, pairs[mid:], limit)
+	if err != nil {
+		return nil, err
+	}
+	return append(left, right...), nil
+}
+
+// Publish implements TrapStore. A trap set whose JSON exceeds
+// PublishChunkBytes is split into multiple bounded POSTs — the daemon's
+// merge is a commutative, idempotent union, so N partial merges reach the
+// same set as one big one, and a daemon-side payload cap (413) can no
+// longer make a large set permanently unpublishable. One Publish counts as
+// one logical operation in Totals regardless of chunk count.
+func (s *HTTPStore) Publish(f trapfile.File) error {
+	chunks, err := marshalChunks(f.Tool, f.Pairs, s.cfg.PublishChunkBytes)
+	if err != nil {
+		return fmt.Errorf("trapstore: publish %s: %w", s.url, err)
 	}
 	begin := time.Now()
-	err = s.retry("publish", func() (bool, error) {
-		resp, err := s.do(http.MethodPost, map[string]string{"Content-Type": "application/json"}, payload)
+	for _, payload := range chunks {
+		err := s.retry("publish", func() (bool, error) {
+			resp, err := s.do(http.MethodPost, s.url, map[string]string{"Content-Type": "application/json"}, payload)
+			if err != nil {
+				return true, err
+			}
+			switch {
+			case resp.StatusCode == http.StatusOK:
+				return false, nil
+			case resp.StatusCode >= 500:
+				return true, fmt.Errorf("trapstore: publish %s: server error %s", s.url, resp.Status)
+			case resp.StatusCode == http.StatusBadRequest:
+				// The daemon rejected the payload itself (schema mismatch):
+				// a data error, not an availability problem.
+				return false, fmt.Errorf("trapstore: publish %s: rejected: %s: %w",
+					s.url, bodyExcerpt(resp), trapfile.ErrCorrupt)
+			case resp.StatusCode == http.StatusRequestEntityTooLarge:
+				// The daemon's payload cap is below our chunk size — a
+				// deployment misconfiguration. Retrying the same bytes cannot
+				// help; the operator must align PublishChunkBytes with the
+				// daemon's cap.
+				return false, fmt.Errorf("trapstore: publish %s: %s — chunk of %d bytes exceeds the daemon's payload cap; lower PublishChunkBytes (%s)",
+					s.url, resp.Status, len(payload), bodyExcerpt(resp))
+			default:
+				return false, fmt.Errorf("trapstore: publish %s: %s (%s)", s.url, resp.Status, bodyExcerpt(resp))
+			}
+		})
 		if err != nil {
-			return true, err
+			return err
 		}
-		switch {
-		case resp.StatusCode == http.StatusOK:
-			return false, nil
-		case resp.StatusCode >= 500:
-			return true, fmt.Errorf("trapstore: publish %s: server error %s", s.url, resp.Status)
-		case resp.StatusCode == http.StatusBadRequest:
-			// The daemon rejected the payload itself (schema mismatch):
-			// a data error, not an availability problem.
-			return false, fmt.Errorf("trapstore: publish %s: rejected: %s: %w",
-				s.url, bodyExcerpt(resp), trapfile.ErrCorrupt)
-		default:
-			return false, fmt.Errorf("trapstore: publish %s: %s (%s)", s.url, resp.Status, bodyExcerpt(resp))
-		}
-	})
-	if err != nil {
-		return err
 	}
 	s.published(time.Since(begin))
 	return nil

@@ -169,7 +169,7 @@ func TestHandlerHealthzJSON(t *testing.T) {
 func TestHandlerNoSnapshotOnNoOpMerge(t *testing.T) {
 	m := NewMemory("TSVD", nil)
 	var merges atomic.Int64
-	srv := httptest.NewServer(Handler(m, func(trapfile.File, uint64) { merges.Add(1) }, nil))
+	srv := httptest.NewServer(Handler(m, func(trapfile.File, SyncState) { merges.Add(1) }, nil))
 	defer srv.Close()
 
 	s, _ := newTestClient(srv.URL, HTTPConfig{})

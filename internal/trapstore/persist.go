@@ -1,33 +1,58 @@
 package trapstore
 
 import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
 	"sync"
 
 	"repro/internal/trapfile"
 )
 
-// SnapshotPersister writes a daemon's merged trap set to one snapshot file
-// with the crash-safety of trapfile.Save (temp file in the target directory,
-// fsync, atomic rename — a process killed mid-save leaves the previous
-// snapshot intact) plus the two properties the daemon's ack contract needs
-// on top:
+// persistedSnapshot is the on-disk daemon snapshot: the trap-file schema
+// plus the sync state that produced it. The layout is a strict superset of
+// trapfile.File, so trapfile.LoadFile still reads a daemon snapshot (it
+// ignores the extra fields) and hand-written or pre-epoch snapshots load
+// here with a zero SyncState.
+type persistedSnapshot struct {
+	Version    int             `json:"version"`
+	Tool       string          `json:"tool"`
+	Epoch      string          `json:"epoch,omitempty"` // hex, like the wire form
+	Generation uint64          `json:"generation,omitempty"`
+	Pairs      []trapfile.Pair `json:"pairs"`
+}
+
+// SnapshotPersister writes a daemon's merged trap set and sync state to one
+// snapshot file with the crash-safety of trapfile.Save (temp file in the
+// target directory, fsync, atomic rename — a process killed mid-save leaves
+// the previous snapshot intact) plus the two properties the daemon's ack
+// contract needs on top:
 //
 //   - Saves are serialized. Concurrent merge handlers may race to persist;
 //     without a lock their temp-file renames could land in either order.
-//   - Saves are generation-monotone. A save carrying an older generation
-//     than one already on disk is skipped: the newer snapshot is a superset
-//     (the merged set is grow-only within a daemon lifetime), so letting a
-//     slow, stale writer win the rename would silently regress the file
-//     below a state the daemon already acknowledged to a client.
+//   - Saves are generation-monotone within an epoch. A save carrying an
+//     older generation than one already on disk under the same epoch is
+//     skipped: the newer snapshot is a superset (the merged set is
+//     grow-only within a daemon lifetime), so letting a slow, stale writer
+//     win the rename would silently regress the file below a state the
+//     daemon already acknowledged to a client. A save under a *different*
+//     epoch is always accepted — generations from different boots are not
+//     comparable, and the restarted daemon's restored generation is already
+//     at or above the old epoch's high-water mark anyway (Memory.Restore).
 //
-// One persister guards one file for one daemon lifetime. After a restart,
-// create a fresh persister: the restarted daemon's generation counter starts
-// over, and holding the old lifetime's high-water mark would make it skip
-// every save.
+// Persisting the generation is what keeps it monotone across restarts: the
+// next boot restores it via Load + Memory.Restore instead of starting near
+// zero, so no two daemon lifetimes ever ack the same generation number for
+// different sets (the restart ETag-collision bug). The epoch is persisted
+// for lineage — Load reports which boot wrote the snapshot — but is never
+// reused as the live epoch: a kill-9 can land between a client-observed
+// merge and its save, so only a fresh epoch per boot makes cached ETags
+// from the previous lifetime safely stale.
 type SnapshotPersister struct {
 	mu      sync.Mutex
 	path    string
-	gen     uint64
+	last    SyncState
 	haveGen bool
 }
 
@@ -40,29 +65,66 @@ func NewSnapshotPersister(path string) *SnapshotPersister {
 // Path returns the snapshot file path.
 func (p *SnapshotPersister) Path() string { return p.path }
 
-// Load reads the current snapshot — the daemon's startup seed. A missing
-// file is an empty set; unparseable contents wrap trapfile.ErrCorrupt, and
+// Load reads the current snapshot and the sync state it was saved under —
+// the daemon's startup seed for Memory.Restore. A missing file is an empty
+// set with a zero state; unparseable contents wrap trapfile.ErrCorrupt, and
 // the daemon refuses to start rather than silently replacing the fleet's
 // aggregated pairs with an empty set.
-func (p *SnapshotPersister) Load() (trapfile.File, error) {
+func (p *SnapshotPersister) Load() (trapfile.File, SyncState, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return trapfile.LoadFile(p.path)
+	empty := trapfile.File{Version: trapfile.FormatVersion}
+	data, err := os.ReadFile(p.path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return empty, SyncState{}, nil
+		}
+		return empty, SyncState{}, fmt.Errorf("trapstore: read snapshot %s: %w", p.path, err)
+	}
+	var snap persistedSnapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return empty, SyncState{}, fmt.Errorf("trapstore: parse snapshot %s: %w: %v", p.path, trapfile.ErrCorrupt, err)
+	}
+	if snap.Version != trapfile.FormatVersion {
+		return empty, SyncState{}, fmt.Errorf("trapstore: snapshot %s has version %d, want %d: %w",
+			p.path, snap.Version, trapfile.FormatVersion, trapfile.ErrCorrupt)
+	}
+	epoch, err := parseEpoch(snap.Epoch)
+	if err != nil {
+		return empty, SyncState{}, fmt.Errorf("trapstore: snapshot %s has epoch %q: %w: %v",
+			p.path, snap.Epoch, trapfile.ErrCorrupt, err)
+	}
+	// Merge-with-empty normalizes the pairs exactly as trapfile.LoadFile
+	// would (hand-edited snapshots must not smuggle in denormalized pairs).
+	f := trapfile.Merge(trapfile.File{}, trapfile.File{Tool: snap.Tool, Pairs: snap.Pairs})
+	return f, SyncState{Epoch: epoch, Generation: snap.Generation}, nil
 }
 
-// Save persists f, stamped with the daemon generation that produced it.
-// Stale saves (gen at or below the last persisted generation) return nil
-// without touching the file: the bytes on disk already reflect a newer — and
-// therefore superset — state.
-func (p *SnapshotPersister) Save(f trapfile.File, gen uint64) error {
+// Save persists f, stamped with the sync state that produced it. Stale
+// saves (st.Generation at or below the last persisted generation of the
+// same epoch) return nil without touching the file: the bytes on disk
+// already reflect a newer — and therefore superset — state.
+func (p *SnapshotPersister) Save(f trapfile.File, st SyncState) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if p.haveGen && gen <= p.gen {
+	if p.haveGen && st.Epoch == p.last.Epoch && st.Generation <= p.last.Generation {
 		return nil
 	}
-	if err := trapfile.Save(p.path, f); err != nil {
+	norm := trapfile.Merge(trapfile.File{}, f)
+	var epochHex string
+	if st.Epoch != 0 {
+		epochHex = strconv.FormatUint(st.Epoch, 16)
+	}
+	data, err := json.MarshalIndent(persistedSnapshot{
+		Version: trapfile.FormatVersion, Tool: norm.Tool,
+		Epoch: epochHex, Generation: st.Generation, Pairs: norm.Pairs,
+	}, "", "  ")
+	if err != nil {
+		return fmt.Errorf("trapstore: marshal snapshot: %w", err)
+	}
+	if err := trapfile.SaveBytes(p.path, append(data, '\n')); err != nil {
 		return err
 	}
-	p.gen, p.haveGen = gen, true
+	p.last, p.haveGen = st, true
 	return nil
 }

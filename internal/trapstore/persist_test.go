@@ -29,7 +29,7 @@ func TestSnapshotPersisterCrashRecovery(t *testing.T) {
 	p := NewSnapshotPersister(path)
 
 	first := trapfile.File{Tool: "TSVD", Pairs: []trapfile.Pair{{A: "a.go:1", B: "b.go:2"}}}
-	if err := p.Save(first, 1); err != nil {
+	if err := p.Save(first, SyncState{Epoch: 7, Generation: 1}); err != nil {
 		t.Fatalf("save gen 1: %v", err)
 	}
 
@@ -37,7 +37,7 @@ func TestSnapshotPersisterCrashRecovery(t *testing.T) {
 	// save: after the new temp file is durable, before the rename.
 	trapfile.SetTestHookAfterWrite(func(string) error { return errors.New("killed") })
 	second := trapfile.Merge(first, trapfile.File{Pairs: []trapfile.Pair{{A: "c.go:3", B: "d.go:4"}}})
-	if err := p.Save(second, 2); err == nil {
+	if err := p.Save(second, SyncState{Epoch: 7, Generation: 2}); err == nil {
 		t.Fatal("save under the kill hook unexpectedly succeeded")
 	}
 	trapfile.SetTestHookAfterWrite(nil)
@@ -56,7 +56,7 @@ func TestSnapshotPersisterCrashRecovery(t *testing.T) {
 
 	// The retried save (same generation — the daemon's state did not move)
 	// goes through: the failed attempt must not poison the monotonic guard.
-	if err := p.Save(second, 2); err != nil {
+	if err := p.Save(second, SyncState{Epoch: 7, Generation: 2}); err != nil {
 		t.Fatalf("retried save gen 2: %v", err)
 	}
 	if got := pairsOf(t, path); len(got) != 2 {
@@ -72,10 +72,10 @@ func TestSnapshotPersisterMonotone(t *testing.T) {
 
 	newer := trapfile.File{Pairs: []trapfile.Pair{{A: "a.go:1", B: "b.go:2"}, {A: "c.go:3", B: "d.go:4"}}}
 	older := trapfile.File{Pairs: newer.Pairs[:1]}
-	if err := p.Save(newer, 5); err != nil {
+	if err := p.Save(newer, SyncState{Epoch: 7, Generation: 5}); err != nil {
 		t.Fatalf("save gen 5: %v", err)
 	}
-	if err := p.Save(older, 4); err != nil {
+	if err := p.Save(older, SyncState{Epoch: 7, Generation: 4}); err != nil {
 		t.Fatalf("stale save gen 4: %v", err)
 	}
 	if got := pairsOf(t, path); len(got) != 2 {
@@ -104,7 +104,7 @@ func TestSnapshotPersisterConcurrent(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			if err := p.Save(files[i], uint64(i+1)); err != nil {
+			if err := p.Save(files[i], SyncState{Epoch: 7, Generation: uint64(i + 1)}); err != nil {
 				t.Errorf("save gen %d: %v", i+1, err)
 			}
 		}(i)

@@ -1,0 +1,547 @@
+package trapstore
+
+import (
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/trapfile"
+)
+
+// swapServer hosts a swappable handler behind one stable URL, standing in
+// for a daemon host that restarts (new process, same address) or partitions
+// (requests fail) — the situations the epoch-qualified sync state exists for.
+type swapServer struct {
+	mu   sync.Mutex
+	h    http.Handler
+	down bool
+	srv  *httptest.Server
+}
+
+func newSwapServer(h http.Handler) *swapServer {
+	s := &swapServer{h: h}
+	s.srv = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.mu.Lock()
+		h, down := s.h, s.down
+		s.mu.Unlock()
+		if down || h == nil {
+			http.Error(w, "daemon unreachable", http.StatusServiceUnavailable)
+			return
+		}
+		h.ServeHTTP(w, r)
+	}))
+	return s
+}
+
+func (s *swapServer) swap(h http.Handler) {
+	s.mu.Lock()
+	s.h = h
+	s.mu.Unlock()
+}
+
+func (s *swapServer) setDown(down bool) {
+	s.mu.Lock()
+	s.down = down
+	s.mu.Unlock()
+}
+
+func keySet(ps []trapfile.Pair) map[trapfile.Pair]bool {
+	out := make(map[trapfile.Pair]bool, len(ps))
+	for _, p := range ps {
+		out[p] = true
+	}
+	return out
+}
+
+// TestRestartETagCollisionEmptyDaemon is the regression test for the
+// restart ETag collision: a client that cached generation G from one daemon
+// lifetime polls a restarted (empty) daemon that has re-reached generation G
+// with different pairs. Under the old generation-only ETag ("g1") the daemon
+// answered 304 and the client kept the dead lifetime's pairs forever; the
+// epoch-qualified ETag never matches across boots, forcing the full refetch.
+func TestRestartETagCollisionEmptyDaemon(t *testing.T) {
+	m1 := NewMemory("TSVD", nil)
+	gate := newSwapServer(NewHandler(m1, HandlerOptions{}))
+	defer gate.srv.Close()
+
+	s, _ := newTestClient(gate.srv.URL, HTTPConfig{})
+	defer s.Close()
+
+	if err := s.Publish(trapfile.File{Tool: "TSVD", Pairs: pairs("old.go:1", "old.go:2")}); err != nil {
+		t.Fatal(err)
+	}
+	if got := fetchPairs(t, s); len(got) != 1 {
+		t.Fatalf("first fetch = %v", got)
+	}
+	if g := m1.Generation(); g != 1 {
+		t.Fatalf("old lifetime at generation %d, want 1", g)
+	}
+
+	// The daemon dies losing everything (no snapshot) and restarts empty at
+	// the same address; a different publish brings the NEW lifetime to the
+	// same generation 1 the client's cache cursor names.
+	m2 := NewMemory("TSVD", nil)
+	gate.swap(NewHandler(m2, HandlerOptions{}))
+	if err := s.Publish(trapfile.File{Tool: "TSVD", Pairs: pairs("new.go:1", "new.go:2")}); err != nil {
+		t.Fatal(err)
+	}
+	if g := m2.Generation(); g != 1 {
+		t.Fatalf("new lifetime at generation %d, want 1 (the colliding generation)", g)
+	}
+
+	got := fetchPairs(t, s)
+	want := pairs("new.go:1", "new.go:2")
+	if len(got) != 1 || got[0] != want[0] {
+		t.Fatalf("fetch across restart = %v, want %v (a stale 304 kept the dead lifetime's pairs)", got, want)
+	}
+	ws := s.WireStats()
+	if ws.NotModified != 0 {
+		t.Fatalf("client got %d not-modified answers across the restart; the collision is back", ws.NotModified)
+	}
+}
+
+// TestRestartETagCollisionSeededDaemon covers the harder seeded variant: a
+// kill-9 lands between a merge the client observed and its snapshot save, so
+// the restarted daemon restores below the client's cached generation and
+// legitimately re-reaches it with different pairs.
+func TestRestartETagCollisionSeededDaemon(t *testing.T) {
+	snapPath := filepath.Join(t.TempDir(), "snapshot.json")
+	persister := NewSnapshotPersister(snapPath)
+
+	m1 := NewMemory("TSVD", nil)
+	gate := newSwapServer(NewHandler(m1, HandlerOptions{}))
+	defer gate.srv.Close()
+	s, _ := newTestClient(gate.srv.URL, HTTPConfig{})
+	defer s.Close()
+
+	// Generation 1 is persisted; generation 2 is observed by the client but
+	// the process dies before the save (the kill-9 window).
+	if err := s.Publish(trapfile.File{Tool: "TSVD", Pairs: pairs("a.go:1", "a.go:2")}); err != nil {
+		t.Fatal(err)
+	}
+	f1, st1 := m1.SnapshotState()
+	if err := persister.Save(f1, st1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Publish(trapfile.File{Tool: "TSVD", Pairs: pairs("lost.go:1", "lost.go:2")}); err != nil {
+		t.Fatal(err)
+	}
+	if got := fetchPairs(t, s); len(got) != 2 {
+		t.Fatalf("client observed %v before the crash", got)
+	}
+	if m1.Generation() != 2 {
+		t.Fatalf("old lifetime at generation %d, want 2", m1.Generation())
+	}
+
+	// Restart: restoring the snapshot continues generation 1 and bumps past
+	// it — landing exactly on generation 2, the number the client's cursor
+	// names, with a smaller set (the unsaved pair is gone).
+	seed, prev, err := persister.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2 := NewMemory("TSVD", nil)
+	m2.Restore(seed, prev)
+	gate.swap(NewHandler(m2, HandlerOptions{}))
+	if m2.Generation() != 2 {
+		t.Fatalf("restored lifetime at generation %d, want 2 (the colliding generation)", m2.Generation())
+	}
+
+	// The poll at the colliding generation: a generation-only ETag would 304
+	// and the client would keep serving the lost pair forever; the fresh
+	// epoch forces the full refetch that drops it.
+	got := keySet(fetchPairs(t, s))
+	want := keySet(pairs("a.go:1", "a.go:2"))
+	if len(got) != len(want) || !got[pairs("a.go:1", "a.go:2")[0]] {
+		t.Fatalf("fetch across restart = %v, want only %v (a stale 304 kept the unsaved pair)", got, want)
+	}
+
+	// And the client resumes normal incremental polling against the new
+	// lifetime.
+	if err := s.Publish(trapfile.File{Tool: "TSVD", Pairs: pairs("fresh.go:1", "fresh.go:2")}); err != nil {
+		t.Fatal(err)
+	}
+	after := keySet(fetchPairs(t, s))
+	if len(after) != 2 || !after[pairs("fresh.go:1", "fresh.go:2")[0]] {
+		t.Fatalf("post-restart publish+fetch = %v", after)
+	}
+	if ws := s.WireStats(); ws.DeltaFetches != 1 {
+		t.Fatalf("post-restart poll was not delta-sized: %+v", ws)
+	}
+}
+
+// TestRestoreContinuesGenerationAcrossKill9 asserts the persisted
+// (epoch, generation) survive a simulated kill-9 + restart with the right
+// halves: the generation continues monotonically (no number is ever reused
+// for a different set), while the epoch is minted fresh (reusing the old one
+// would reopen the stale-304 window).
+func TestRestoreContinuesGenerationAcrossKill9(t *testing.T) {
+	snapPath := filepath.Join(t.TempDir(), "snapshot.json")
+	p := NewSnapshotPersister(snapPath)
+
+	m1 := NewMemory("TSVD", nil)
+	for i := 0; i < 5; i++ {
+		st, _, _ := m1.merge(trapfile.File{Tool: "TSVD", Pairs: pairs(
+			fmt.Sprintf("k%d.go:1", i), fmt.Sprintf("k%d.go:2", i))})
+		f, _ := m1.Snapshot()
+		if err := p.Save(f, st); err != nil {
+			t.Fatal(err)
+		}
+	}
+	oldState := m1.State()
+	if oldState.Generation != 5 {
+		t.Fatalf("generation = %d, want 5", oldState.Generation)
+	}
+
+	// kill-9: nothing but the snapshot file survives; even the persister is
+	// a fresh instance in the new process.
+	seed, prev, err := NewSnapshotPersister(snapPath).Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prev.Epoch != oldState.Epoch || prev.Generation != 5 {
+		t.Fatalf("persisted state = %+v, want epoch %x generation 5", prev, oldState.Epoch)
+	}
+	m2 := NewMemory("TSVD", nil)
+	m2.Restore(seed, prev)
+
+	newState := m2.State()
+	if newState.Generation <= oldState.Generation {
+		t.Fatalf("restored generation %d did not advance past the persisted %d: a client cursor from the old lifetime could false-match",
+			newState.Generation, oldState.Generation)
+	}
+	if newState.Epoch == oldState.Epoch {
+		t.Fatal("restore reused the persisted epoch; a kill-9 between merge and save would resurrect stale 304s")
+	}
+	if m2.PairCount() != 5 {
+		t.Fatalf("restored set has %d pairs, want 5", m2.PairCount())
+	}
+	if st, _, _ := m2.merge(trapfile.File{Tool: "TSVD", Pairs: pairs("post.go:1", "post.go:2")}); st.Generation <= newState.Generation {
+		t.Fatalf("post-restore merge assigned generation %d, want > %d", st.Generation, newState.Generation)
+	}
+}
+
+// TestFetchReturnsDefensiveCopy mutates the File each fetch path returns —
+// full, 304-cached, and delta — and asserts the client's cache is unharmed:
+// the next fetch still returns the daemon's set.
+func TestFetchReturnsDefensiveCopy(t *testing.T) {
+	m := NewMemory("TSVD", nil)
+	srv := httptest.NewServer(NewHandler(m, HandlerOptions{}))
+	defer srv.Close()
+	s, _ := newTestClient(srv.URL, HTTPConfig{})
+	defer s.Close()
+
+	if err := s.Publish(trapfile.File{Tool: "TSVD", Pairs: pairs("a.go:1", "a.go:2", "b.go:1", "b.go:2")}); err != nil {
+		t.Fatal(err)
+	}
+	clobber := func(f trapfile.File) {
+		for i := range f.Pairs {
+			f.Pairs[i] = trapfile.Pair{A: "clobbered", B: "clobbered"}
+		}
+		//nolint:staticcheck // the append result is deliberately dropped: the
+		// point is writing into any spare capacity aliased with the cache.
+		_ = append(f.Pairs, trapfile.Pair{A: "x", B: "y"})
+	}
+
+	// Full-fetch path.
+	f1, err := s.Fetch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	clobber(f1)
+
+	// 304 path: served from the cache the clobber tried to corrupt.
+	f2, err := s.Fetch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f2.Pairs) != 2 || f2.Pairs[0].A == "clobbered" {
+		t.Fatalf("cache corrupted through the full-fetch result: %v", f2.Pairs)
+	}
+	clobber(f2)
+
+	// Delta path: the daemon grows, the client merges the delta into the
+	// cache the previous clobber tried to corrupt.
+	if err := s.Publish(trapfile.File{Tool: "TSVD", Pairs: pairs("c.go:1", "c.go:2")}); err != nil {
+		t.Fatal(err)
+	}
+	f3, err := s.Fetch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f3.Pairs) != 3 || f3.Pairs[0].A == "clobbered" {
+		t.Fatalf("cache corrupted through the 304 result: %v", f3.Pairs)
+	}
+	clobber(f3)
+	f4, err := s.Fetch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f4.Pairs) != 3 || f4.Pairs[0].A == "clobbered" {
+		t.Fatalf("cache corrupted through the delta result: %v", f4.Pairs)
+	}
+
+	ws := s.WireStats()
+	if ws.DeltaFetches != 1 {
+		t.Fatalf("wire stats counted %d delta fetches, want exactly 1: %+v", ws.DeltaFetches, ws)
+	}
+}
+
+// TestFetchDeltaEconomy asserts the poll-cost claim directly: once a client
+// holds a snapshot, a daemon that grew by one pair sends only that pair (a
+// delta body), not the whole set, and an idle daemon sends no body at all.
+func TestFetchDeltaEconomy(t *testing.T) {
+	m := NewMemory("TSVD", nil)
+	srv := httptest.NewServer(NewHandler(m, HandlerOptions{}))
+	defer srv.Close()
+	s, _ := newTestClient(srv.URL, HTTPConfig{})
+	defer s.Close()
+
+	// A sizable base set, then the first (full) fetch.
+	var base []trapfile.Pair
+	for i := 0; i < 200; i++ {
+		base = append(base, trapfile.Pair{A: fmt.Sprintf("base%03d.go:1", i), B: fmt.Sprintf("base%03d.go:2", i)})
+	}
+	if err := s.Publish(trapfile.File{Tool: "TSVD", Pairs: base}); err != nil {
+		t.Fatal(err)
+	}
+	if got := fetchPairs(t, s); len(got) != 200 {
+		t.Fatalf("full fetch returned %d pairs", len(got))
+	}
+	fullBytes := s.WireStats().FetchBytes
+
+	// Idle poll: a 304, zero body bytes.
+	if got := fetchPairs(t, s); len(got) != 200 {
+		t.Fatalf("304 fetch returned %d pairs", len(got))
+	}
+	afterIdle := s.WireStats()
+	if afterIdle.NotModified != 1 || afterIdle.FetchBytes != fullBytes {
+		t.Fatalf("idle poll was not free: %+v (full fetch cost %d bytes)", afterIdle, fullBytes)
+	}
+
+	// One-pair growth: a delta body, a small fraction of the full snapshot.
+	if err := s.Publish(trapfile.File{Tool: "TSVD", Pairs: pairs("delta.go:1", "delta.go:2")}); err != nil {
+		t.Fatal(err)
+	}
+	if got := fetchPairs(t, s); len(got) != 201 {
+		t.Fatalf("delta fetch returned %d pairs", len(got))
+	}
+	after := s.WireStats()
+	if after.DeltaFetches != 1 {
+		t.Fatalf("growth poll was not served as a delta: %+v", after)
+	}
+	deltaBytes := after.FetchBytes - fullBytes
+	if deltaBytes <= 0 || deltaBytes > fullBytes/10 {
+		t.Fatalf("delta response cost %d bytes against a %d-byte full snapshot; want O(delta), not O(pairs)",
+			deltaBytes, fullBytes)
+	}
+}
+
+// TestPublishChunksOversizedSets lowers the daemon payload cap and the
+// client chunk size and publishes a set whose JSON is many times the cap:
+// the publish must succeed via multiple bounded POSTs (the G-Set union makes
+// partial merges equivalent), count as ONE logical publish, and land every
+// pair.
+func TestPublishChunksOversizedSets(t *testing.T) {
+	const cap = 2 << 10 // 2 KiB — comfortably below the set's encoding
+	m := NewMemory("TSVD", nil)
+	srv := httptest.NewServer(NewHandler(m, HandlerOptions{MaxPayloadBytes: cap}))
+	defer srv.Close()
+
+	var big []trapfile.Pair
+	for i := 0; i < 300; i++ {
+		big = append(big, trapfile.Pair{A: fmt.Sprintf("pkg/huge%04d.go:10", i), B: fmt.Sprintf("pkg/huge%04d.go:20", i)})
+	}
+
+	// A client with the matching chunk size succeeds.
+	s, _ := newTestClient(srv.URL, HTTPConfig{PublishChunkBytes: cap})
+	defer s.Close()
+	if err := s.Publish(trapfile.File{Tool: "TSVD", Pairs: big}); err != nil {
+		t.Fatalf("chunked publish failed: %v", err)
+	}
+	if n := m.PairCount(); n != 300 {
+		t.Fatalf("daemon holds %d pairs after chunked publish, want 300", n)
+	}
+	if tot := s.Totals(); tot.Publishes != 1 {
+		t.Fatalf("chunked publish counted as %d logical publishes, want 1", tot.Publishes)
+	}
+
+	// A client that chunks above the daemon's cap gets a prompt,
+	// non-retryable 413 telling the operator what to fix.
+	s2, slept := newTestClient(srv.URL, HTTPConfig{PublishChunkBytes: 1 << 20})
+	defer s2.Close()
+	err := s2.Publish(trapfile.File{Tool: "TSVD", Pairs: big})
+	if err == nil {
+		t.Fatal("oversized single-POST publish succeeded against the capped daemon")
+	}
+	if !strings.Contains(err.Error(), "PublishChunkBytes") {
+		t.Fatalf("413 error does not name the knob to fix: %v", err)
+	}
+	if len(*slept) != 0 {
+		t.Fatalf("413 was retried %d times; a payload-cap rejection is permanent", len(*slept))
+	}
+}
+
+// TestDeltaWindowProperty is the snapshot-delta equivalence property: for a
+// randomized merge history, the snapshot at any earlier generation unioned
+// with Delta(since that generation) equals the current snapshot — for every
+// window the delta log still covers.
+func TestDeltaWindowProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(902))
+	m := NewMemory("TSVD", nil)
+
+	type recorded struct {
+		st    SyncState
+		pairs []trapfile.Pair
+	}
+	var hist []recorded
+	record := func() {
+		f, st := m.SnapshotState()
+		hist = append(hist, recorded{st: st, pairs: f.Pairs})
+	}
+	record() // generation 0, empty
+
+	for step := 0; step < 40; step++ {
+		n := 1 + rng.Intn(4)
+		var batch []trapfile.Pair
+		for i := 0; i < n; i++ {
+			k := rng.Intn(60) // overlapping keys: some merges are partial no-ops
+			batch = append(batch, trapfile.Pair{A: fmt.Sprintf("p%02d.go:1", k), B: fmt.Sprintf("p%02d.go:2", k)})
+		}
+		m.merge(trapfile.File{Tool: "TSVD", Pairs: batch})
+		record()
+	}
+
+	cur, curState := m.SnapshotState()
+	want := keySet(cur.Pairs)
+	for _, rec := range hist {
+		delta, got, ok := m.Delta(rec.st)
+		if !ok {
+			t.Fatalf("window since generation %d not servable; the log should cover this history", rec.st.Generation)
+		}
+		if got != curState {
+			t.Fatalf("Delta reported state %+v, want %+v", got, curState)
+		}
+		union := keySet(rec.pairs)
+		for _, p := range delta {
+			union[p] = true
+		}
+		if len(union) != len(want) {
+			t.Fatalf("base(g%d) ∪ delta has %d pairs, full snapshot has %d",
+				rec.st.Generation, len(union), len(want))
+		}
+		for p := range want {
+			if !union[p] {
+				t.Fatalf("base(g%d) ∪ delta is missing %v", rec.st.Generation, p)
+			}
+		}
+	}
+
+	// Foreign epochs and future cursors must refuse the window.
+	if _, _, ok := m.Delta(SyncState{Epoch: curState.Epoch + 1, Generation: 0}); ok {
+		t.Fatal("Delta served a window for a foreign epoch")
+	}
+	if _, _, ok := m.Delta(SyncState{Epoch: curState.Epoch, Generation: curState.Generation + 1}); ok {
+		t.Fatal("Delta served a window from the future")
+	}
+}
+
+// TestDeltaLogCompaction exercises the bounded-log fallback directly: once
+// the retained pairs exceed the bound, the oldest windows compact away and
+// cursors below the floor report ok=false (the caller takes a full
+// snapshot).
+func TestDeltaLogCompaction(t *testing.T) {
+	var l deltaLog
+	big := make([]trapfile.Pair, deltaLogMaxPairs/2+1)
+	for i := range big {
+		big[i] = trapfile.Pair{A: fmt.Sprintf("a%d", i), B: fmt.Sprintf("b%d", i)}
+	}
+	l.append(big) // generation 1
+	l.append(big) // generation 2 — still within one-entry grace
+	l.append(big) // generation 3 — forces compaction of the oldest entries
+
+	if l.floor == 0 {
+		t.Fatalf("log retains %d pairs over the %d bound without compacting", l.pairs, deltaLogMaxPairs)
+	}
+	if _, ok := l.since(0); ok {
+		t.Fatal("compacted window served; cursors below the floor must fall back to a full snapshot")
+	}
+	if _, ok := l.since(l.floor); !ok {
+		t.Fatal("the floor window itself must stay servable")
+	}
+}
+
+// TestReplicatorPartitionHealConvergence runs a three-daemon mesh at the
+// library level: distinct pairs published to each daemon, one daemon
+// partitioned during the first sync round, then healed — after one more full
+// round every daemon holds the union.
+func TestReplicatorPartitionHealConvergence(t *testing.T) {
+	const n = 3
+	mems := make([]*Memory, n)
+	gates := make([]*swapServer, n)
+	for i := range mems {
+		mems[i] = NewMemory("TSVD", nil)
+		gates[i] = newSwapServer(NewHandler(mems[i], HandlerOptions{}))
+		defer gates[i].srv.Close()
+	}
+	fast := HTTPConfig{Attempts: 2, BackoffBase: 1, BackoffMax: 2}
+	repls := make([]*Replicator, n)
+	for i := range repls {
+		var peers []string
+		for j := range gates {
+			if j != i {
+				peers = append(peers, gates[j].srv.URL)
+			}
+		}
+		repls[i] = NewReplicator(mems[i], ReplicatorConfig{Peers: peers, HTTP: fast})
+		defer repls[i].Close()
+	}
+
+	for i, m := range mems {
+		m.merge(trapfile.File{Tool: "TSVD", Pairs: pairs(
+			fmt.Sprintf("d%d.go:1", i), fmt.Sprintf("d%d.go:2", i))})
+	}
+
+	// Round 1 with daemon 2 partitioned: 0 and 1 converge, 2 stays behind.
+	gates[2].setDown(true)
+	for i := 0; i < 2; i++ {
+		for _, res := range repls[i].SyncOnce() {
+			if strings.Contains(res.Peer, gates[2].srv.URL) {
+				continue // the partitioned peer is expected to fail
+			}
+			if res.PullErr != nil || res.PushErr != nil {
+				t.Fatalf("daemon %d sync against healthy peer failed: pull=%v push=%v", i, res.PullErr, res.PushErr)
+			}
+		}
+	}
+	if mems[0].PairCount() != 2 || mems[1].PairCount() != 2 {
+		t.Fatalf("healthy pair did not converge: %d vs %d pairs", mems[0].PairCount(), mems[1].PairCount())
+	}
+	if mems[2].PairCount() != 1 {
+		t.Fatalf("partitioned daemon gained pairs: %d", mems[2].PairCount())
+	}
+
+	// Heal; one full round over the mesh converges everyone.
+	gates[2].setDown(false)
+	for _, r := range repls {
+		r.SyncOnce()
+	}
+	want := keySet(pairs("d0.go:1", "d0.go:2", "d1.go:1", "d1.go:2", "d2.go:1", "d2.go:2"))
+	for i, m := range mems {
+		f, _ := m.Snapshot()
+		got := keySet(f.Pairs)
+		if len(got) != len(want) {
+			t.Fatalf("daemon %d holds %d pairs after heal+sync, want %d: %v", i, len(got), len(want), f.Pairs)
+		}
+		for p := range want {
+			if !got[p] {
+				t.Fatalf("daemon %d is missing %v after heal+sync", i, p)
+			}
+		}
+	}
+}

@@ -99,8 +99,12 @@ type instr struct {
 	fetches, publishes, fallbacks atomic.Int64
 	// notModified counts fetches served from the conditional-GET cache (the
 	// daemon answered 304); retries counts extra attempts after a first
-	// failure. Both stay zero for stores without those notions.
-	notModified, retries atomic.Int64
+	// failure. deltaFetches counts successful fetches served as an O(delta)
+	// incremental body rather than a full snapshot, and fetchBytes sums the
+	// response body bytes of successful fetches (the wire-economy series —
+	// delta sync exists to shrink it). All stay zero for stores without
+	// those notions.
+	notModified, retries, deltaFetches, fetchBytes atomic.Int64
 	// fetchDur/publishDur are set by register; nil (no-op) without a
 	// registry, so the accounting paths need no branches.
 	fetchDur, publishDur *metrics.Histogram
@@ -133,9 +137,13 @@ func (i *instr) register(reg *metrics.Registry) {
 		{"publish", &i.publishes},
 		{"not_modified", &i.notModified},
 		{"retry", &i.retries},
+		{"delta", &i.deltaFetches},
 	} {
 		reg.CounterFunc(opsName, opsHelp, load(e.c), metrics.Label{Name: "op", Value: e.op})
 	}
+	reg.CounterFunc("tsvd_store_fetch_bytes_total",
+		"Response body bytes of successful trap-store fetches (delta sync shrinks this).",
+		load(&i.fetchBytes))
 	const durName = "tsvd_store_op_duration_seconds"
 	const durHelp = "Trap-store operation latency (successful operations)."
 	bounds := metrics.ExpBounds(int64(500*time.Microsecond), 2, 13) // 500µs..~2s
@@ -167,6 +175,30 @@ func (i *instr) fellBack() {
 func (i *instr) sawNotModified() { i.notModified.Add(1) }
 
 func (i *instr) retried() { i.retries.Add(1) }
+
+func (i *instr) sawDelta() { i.deltaFetches.Add(1) }
+
+func (i *instr) countFetchBytes(n int) { i.fetchBytes.Add(int64(n)) }
+
+// WireStats is a point-in-time view of a client's wire accounting, exposed
+// for smoke tests and experiments that assert polls really are delta-sized.
+type WireStats struct {
+	// Fetches counts successful Fetch calls; DeltaFetches how many of those
+	// were served as O(delta) incremental bodies; NotModified how many were
+	// answered 304 from the conditional-GET cache.
+	Fetches, DeltaFetches, NotModified int64
+	// FetchBytes sums the response body bytes of successful fetches.
+	FetchBytes int64
+}
+
+func (i *instr) wireStats() WireStats {
+	return WireStats{
+		Fetches:      i.fetches.Load(),
+		DeltaFetches: i.deltaFetches.Load(),
+		NotModified:  i.notModified.Load(),
+		FetchBytes:   i.fetchBytes.Load(),
+	}
+}
 
 func (i *instr) totals() trace.StoreTotals {
 	return trace.StoreTotals{
