@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench trace-smoke fleet-smoke metrics-smoke chaos-smoke docs-check
+.PHONY: check vet build test race bench bench-gate trace-smoke fleet-smoke metrics-smoke chaos-smoke docs-check
 
-check: vet build test race trace-smoke fleet-smoke metrics-smoke chaos-smoke docs-check
+check: vet build test race trace-smoke fleet-smoke metrics-smoke chaos-smoke docs-check bench-gate
 
 vet:
 	$(GO) vet ./...
@@ -63,3 +63,9 @@ docs-check:
 # OnCall hot-path cost (see docs/PERFORMANCE.md for interpretation).
 bench:
 	GOMAXPROCS=8 $(GO) test -bench BenchmarkOnCallContention -benchtime 1s -run '^$$' .
+
+# OnCall fast-path regression gate: BenchmarkOnCallUncontended/TSVD must stay
+# under the ns/op threshold committed in bench_gate.json (best of N runs; see
+# cmd/tsvd-bench-gate for why the minimum is the estimator).
+bench-gate:
+	$(GO) run ./cmd/tsvd-bench-gate

@@ -302,7 +302,8 @@ func benchOnCall(b *testing.B, algo config.Algorithm) {
 	}
 	a := core.Access{
 		Thread: ids.CurrentThreadID(), Obj: 1, Op: 42,
-		Kind: core.KindRead, Class: "Dictionary", Method: "ContainsKey",
+		Site: det.Sites().Register(42, "Dictionary", "ContainsKey", false),
+		Kind: core.KindRead,
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -314,6 +315,18 @@ func benchOnCall(b *testing.B, algo config.Algorithm) {
 func BenchmarkOnCall_TSVD(b *testing.B)   { benchOnCall(b, config.AlgoTSVD) }
 func BenchmarkOnCall_TSVDHB(b *testing.B) { benchOnCall(b, config.AlgoTSVDHB) }
 func BenchmarkOnCall_Nop(b *testing.B)    { benchOnCall(b, config.AlgoNop) }
+
+// BenchmarkOnCallUncontended is the regression-gated figure: one goroutine,
+// one object, the lock-free single-writer fast path end to end (TSC read,
+// cached thread and ring probes, publication CAS). cmd/tsvd-bench-gate runs
+// the TSVD case against the threshold committed in bench_gate.json; `make
+// bench-gate` (part of `make check`) fails the build when the fast path
+// regresses past it.
+func BenchmarkOnCallUncontended(b *testing.B) {
+	for _, algo := range []config.Algorithm{config.AlgoTSVD, config.AlgoTSVDHB, config.AlgoNop} {
+		b.Run(algo.String(), func(b *testing.B) { benchOnCall(b, algo) })
+	}
+}
 
 // --- OnCall contention: many goroutines, conflict-free workload ---
 //
@@ -362,13 +375,13 @@ func benchContention(b *testing.B, algo config.Algorithm, goroutines int, shared
 			Thread: ids.ThreadID(1000 + w),
 			Obj:    ids.ObjectID(1000 + w),
 			Op:     ids.OpID(1000 + w),
+			Site:   det.Sites().Register(ids.OpID(1000+w), "Dictionary", "Add", true),
 			Kind:   core.KindWrite,
-			Class:  "Dictionary", Method: "Add",
 		}
 		if shared {
-			a.Obj = 7 // every goroutine on one object ⇒ one shard
+			a.Obj = 7 // every goroutine on one object ⇒ one object lock
 			a.Kind = core.KindRead
-			a.Method = "ContainsKey"
+			a.Site = det.Sites().Register(a.Op, "Dictionary", "ContainsKey", false)
 		}
 		for pb.Next() {
 			det.OnCall(a)

@@ -1,0 +1,128 @@
+// Command tsvd-bench-gate is the OnCall fast-path performance gate: it runs
+// the gated microbenchmark (BenchmarkOnCallUncontended/TSVD by default)
+// several times and fails when the best observed ns/op exceeds the threshold
+// committed in bench_gate.json.
+//
+// The minimum across runs is the gate's estimator on purpose: the benchmark
+// VM's run-to-run noise is one-sided (preemption and frequency excursions
+// only ever make a run slower), so the minimum tracks the code's actual cost
+// while the mean tracks the machine's mood. A structural regression — a new
+// lock, map probe, allocation, or string materialization on the hot path —
+// raises the minimum too and is exactly what the gate exists to catch.
+//
+// Exit status: 0 when the gate passes, 1 when it fails, 2 on configuration
+// or execution errors. `make bench-gate` runs it from the repository root;
+// it is part of `make check`.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// gateConfig is the committed threshold file (bench_gate.json).
+type gateConfig struct {
+	// Benchmark is the full sub-benchmark name to gate.
+	Benchmark string `json:"benchmark"`
+	// MaxNsPerOp fails the gate when the best run exceeds it.
+	MaxNsPerOp float64 `json:"max_ns_per_op"`
+	// Runs is how many -count repetitions feed the minimum.
+	Runs int `json:"runs"`
+	// Benchtime is the per-run -benchtime value.
+	Benchtime string `json:"benchtime"`
+	// Note documents the threshold's provenance; the gate ignores it.
+	Note string `json:"note"`
+}
+
+func main() {
+	cfgPath := flag.String("config", "bench_gate.json", "threshold file")
+	goBin := flag.String("go", "go", "go tool to invoke")
+	flag.Parse()
+
+	data, err := os.ReadFile(*cfgPath)
+	if err != nil {
+		fail(2, "read config: %v", err)
+	}
+	var cfg gateConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fail(2, "parse %s: %v", *cfgPath, err)
+	}
+	if cfg.Benchmark == "" || cfg.MaxNsPerOp <= 0 {
+		fail(2, "%s: benchmark and max_ns_per_op are required", *cfgPath)
+	}
+	if cfg.Runs <= 0 {
+		cfg.Runs = 3
+	}
+	if cfg.Benchtime == "" {
+		cfg.Benchtime = "300ms"
+	}
+
+	// Anchor every slash segment: go's -bench matching is per-segment
+	// substring, so a bare "TSVD" would also run "TSVDHB".
+	segs := strings.Split(cfg.Benchmark, "/")
+	for i, s := range segs {
+		segs[i] = "^" + regexp.QuoteMeta(s) + "$"
+	}
+	pattern := strings.Join(segs, "/")
+
+	cmd := exec.Command(*goBin, "test", "-run", "^$",
+		"-bench", pattern,
+		"-benchtime", cfg.Benchtime,
+		"-count", strconv.Itoa(cfg.Runs),
+		".")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		fail(2, "benchmark run failed: %v\n%s", err, out)
+	}
+
+	ns, runs, err := minNsPerOp(string(out), cfg.Benchmark)
+	if err != nil {
+		fail(2, "%v\n%s", err, out)
+	}
+	if ns > cfg.MaxNsPerOp {
+		fail(1, "%s: best of %d runs = %.2f ns/op, gate = %.2f ns/op — the fast path regressed",
+			cfg.Benchmark, runs, ns, cfg.MaxNsPerOp)
+	}
+	fmt.Printf("tsvd-bench-gate: ok — %s best of %d runs = %.2f ns/op (gate %.2f)\n",
+		cfg.Benchmark, runs, ns, cfg.MaxNsPerOp)
+}
+
+// benchLine matches one `go test -bench` result line:
+// "BenchmarkName-8   1234567   41.2 ns/op ...".
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+// minNsPerOp extracts the minimum ns/op across the result lines for the
+// named benchmark and the number of lines observed.
+func minNsPerOp(out, name string) (float64, int, error) {
+	best := 0.0
+	runs := 0
+	for _, line := range strings.Split(out, "\n") {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil || m[1] != name {
+			continue
+		}
+		v, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return 0, 0, fmt.Errorf("parse ns/op in %q: %v", line, err)
+		}
+		runs++
+		if runs == 1 || v < best {
+			best = v
+		}
+	}
+	if runs == 0 {
+		return 0, 0, fmt.Errorf("no result lines for %s", name)
+	}
+	return best, runs, nil
+}
+
+func fail(code int, format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "tsvd-bench-gate: "+format+"\n", args...)
+	os.Exit(code)
+}

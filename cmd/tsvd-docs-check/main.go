@@ -9,6 +9,10 @@
 //     renamed or removed knobs cannot survive in prose;
 //   - every `tsvd.X` symbol the docs mention is an exported package-level
 //     declaration of the public tsvd package;
+//   - no doc references the string fields the site-id redesign removed from
+//     core.Access (`Access.Class` / `Access.Method`); migration notes must
+//     name them through the compatibility shim (`AccessLegacy.Class`),
+//     which still has them;
 //   - every exported identifier in the tsvd root package, internal/config,
 //     internal/sampler, and internal/chaos carries a doc comment (the godoc
 //     audit), including methods on exported types, exported struct fields,
@@ -83,6 +87,9 @@ func main() {
 			if !publicSymbols[s] {
 				report("%s: tsvd.%s is not an exported symbol of the tsvd package", rel, s)
 			}
+		}
+		for _, f := range referenced(text, removedAccessRef) {
+			report("%s: Access.%s was removed by the site-id redesign — metadata lives in the site registry; refer to the shim field AccessLegacy.%s in migration prose", rel, f, f)
 		}
 	}
 
@@ -239,6 +246,10 @@ func slugify(title string) string {
 var (
 	configRef = regexp.MustCompile(`(?:^|[^A-Za-z0-9_.])Config\.([A-Z][A-Za-z0-9_]*)`)
 	tsvdRef   = regexp.MustCompile(`(?:^|[^A-Za-z0-9_.])tsvd\.([A-Z][A-Za-z0-9_]*)`)
+	// removedAccessRef matches references to the Access string fields the
+	// site-id redesign removed. The left boundary keeps AccessLegacy.Class —
+	// the sanctioned way migration notes name the old fields — from matching.
+	removedAccessRef = regexp.MustCompile(`(?:^|[^A-Za-z0-9_.])Access\.(Class|Method)\b`)
 )
 
 func referenced(text string, re *regexp.Regexp) []string {

@@ -19,9 +19,10 @@ import (
 
 func main() {
 	var (
-		dir   = flag.String("dir", ".", "directory tree to instrument")
-		write = flag.Bool("w", false, "rewrite files in place (default: dry run)")
-		det   = flag.String("det", "", "detector expression for constructors (default tsvd.Default())")
+		dir       = flag.String("dir", ".", "directory tree to instrument")
+		write     = flag.Bool("w", false, "rewrite files in place (default: dry run)")
+		det       = flag.String("det", "", "detector expression for constructors (default tsvd.Default())")
+		sitesPath = flag.String("sites", "", "write the instrumented site table (JSON) to this path")
 	)
 	flag.Parse()
 
@@ -33,6 +34,21 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tsvd-instrument: %v\n", err)
 		os.Exit(1)
+	}
+	if *sitesPath != "" {
+		f, err := os.Create(*sitesPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tsvd-instrument: %v\n", err)
+			os.Exit(1)
+		}
+		if err := instrument.EmitSiteTable(f, res.Sites); err != nil {
+			fmt.Fprintf(os.Stderr, "tsvd-instrument: site table: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "tsvd-instrument: site table: %v\n", err)
+			os.Exit(1)
+		}
 	}
 
 	mode := "would instrument (dry run; use -w to write)"

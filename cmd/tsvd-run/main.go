@@ -278,7 +278,7 @@ func writeTrace(dir, tool string, modules, runs int, out *harness.Outcome,
 	}
 	var drained int64
 	for _, mt := range out.Traces {
-		if err := trace.WriteJSONL(events, mt); err != nil {
+		if err := trace.WriteJSONL(events, mt, out.Sites); err != nil {
 			events.Close()
 			return nil, err
 		}
@@ -312,6 +312,7 @@ func writeTrace(dir, tool string, modules, runs int, out *harness.Outcome,
 		ByKind:  trace.CountByKind(out.Traces),
 		Stats:   out.TraceStatTotals(),
 		Store:   storeTotals,
+		Sites:   trace.SiteTable(out.Sites),
 	}
 	sf, err := os.Create(filepath.Join(dir, "summary.json"))
 	if err != nil {

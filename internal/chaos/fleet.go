@@ -367,7 +367,7 @@ func (f *fleet) runShard(act int, a action, m *model) *Violation {
 	})
 	var buf bytes.Buffer
 	for _, mt := range traces {
-		if err := trace.WriteJSONL(&buf, mt); err != nil {
+		if err := trace.WriteJSONL(&buf, mt, out.Sites); err != nil {
 			return violation(act, "trace-schema", fmt.Sprintf("serializing trace: %v", err), nil)
 		}
 	}

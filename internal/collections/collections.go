@@ -12,20 +12,29 @@ package collections
 import (
 	"repro/internal/core"
 	"repro/internal/ids"
+	"repro/internal/sites"
 )
 
 // Detector is the runtime interface containers report to; see core.Detector.
 type Detector = core.Detector
 
-// instrumented is the common prologue state every container embeds.
+// instrumented is the common prologue state every container embeds. The
+// detector's site registry is cached at construction so the prologue interns
+// its site directly — after the first call per call site that is one
+// lock-free probe, with no strings materialized on the access itself.
 type instrumented struct {
 	det   core.Detector
+	reg   *sites.Registry
 	id    ids.ObjectID
 	class string
 }
 
 func newInstrumented(det core.Detector, class string) instrumented {
-	return instrumented{det: det, id: ids.NewObjectID(), class: class}
+	b := instrumented{det: det, id: ids.NewObjectID(), class: class}
+	if det != nil {
+		b.reg = det.Sites()
+	}
+	return b
 }
 
 // onCall reports the imminent API call to the detector. It may block the
@@ -35,13 +44,13 @@ func (b *instrumented) onCall(method string, kind core.Kind) {
 	if b.det == nil {
 		return
 	}
+	op := ids.CallerOp(1)
 	b.det.OnCall(core.Access{
 		Thread: ids.CurrentThreadID(),
 		Obj:    b.id,
-		Op:     ids.CallerOp(1),
+		Op:     op,
+		Site:   b.reg.ForCall(op, b.class, method, kind == core.KindWrite),
 		Kind:   kind,
-		Class:  b.class,
-		Method: method,
 	})
 }
 

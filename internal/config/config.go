@@ -4,13 +4,15 @@
 //
 // In the pipeline, config is the single source of truth consumed by
 // internal/core when a detector is built: algorithm selection, the paper's
-// detection parameters, time scaling for fast tests, and the runtime-
-// scalability knobs (ShardCount) of the striped OnCall hot path.
+// detection parameters, time scaling for fast tests, and the shared site
+// registry (Sites) the detector interns instrumentation sites into.
 package config
 
 import (
 	"runtime"
 	"time"
+
+	"repro/internal/sites"
 )
 
 // Algorithm selects which detection variant the runtime executes (§3).
@@ -170,13 +172,20 @@ type Config struct {
 	// --- Runtime scalability (docs/PERFORMANCE.md) ---
 
 	// ShardCount is the number of stripes the detector's per-object state
-	// (trap tables, near-miss histories) is split into. Accesses to the
-	// same object always meet in the same shard — which preserves the
-	// red-handed reporting guarantee — while accesses to unrelated
-	// objects contend only on hash collisions. 0 (the default) derives
-	// the count from GOMAXPROCS at detector construction; any positive
-	// value is rounded up to the next power of two.
+	// was split into before the per-object runtime made striping moot:
+	// every object now carries its own state and lock, so accesses to
+	// unrelated objects share nothing at all.
+	//
+	// Deprecated: the knob is accepted and validated for compatibility but
+	// no longer affects the detector.
 	ShardCount int
+
+	// Sites is the site registry the detector interns instrumentation
+	// sites into and resolves report metadata from. Sharing one registry
+	// across detectors (the harness does this per suite) keeps SiteIDs
+	// consistent in merged outputs; nil makes core.New create a private
+	// registry.
+	Sites *sites.Registry
 
 	// --- Production sampling tier (docs/SAMPLING.md) ---
 

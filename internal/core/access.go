@@ -17,12 +17,12 @@
 // internal/ids tokens, timed by an internal/clock.Clock, and emitting
 // internal/report violations.
 //
-// OnCall is the hot path and is deliberately near-contention-free: detector
-// state is striped across ObjectID-keyed shards, counters and the
-// concurrent-phase ring are atomics, and only small cold-path locks
-// (trap set, finished-delay log) are shared. The shard count is the
-// config.Config.ShardCount knob; docs/PERFORMANCE.md documents the cost
-// model lock by lock.
+// OnCall is the hot path and is deliberately near-contention-free: accesses
+// carry dense interned site ids (internal/sites) so per-site state lives in
+// plain arrays, per-object and per-thread state hang off lock-free
+// integer-keyed registries, counters are per-thread or atomic, and only
+// small cold-path locks (trap set, finished-delay log) are shared.
+// docs/PERFORMANCE.md documents the cost model layer by layer.
 package core
 
 import (
@@ -33,6 +33,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/ids"
 	"repro/internal/report"
+	"repro/internal/sites"
 	"repro/internal/trace"
 )
 
@@ -51,16 +52,55 @@ const (
 // contract when concurrent: at least one of them must be a write.
 func Conflicts(a, b Kind) bool { return a == KindWrite || b == KindWrite }
 
-// Access describes one instrumented thread-unsafe call, the (thread_id,
-// obj_id, op_id) triple of §3.1 plus reporting metadata.
+// Access describes one instrumented thread-unsafe call: the (thread_id,
+// obj_id, op_id) triple of §3.1 plus the interned site handle. It carries no
+// strings — API metadata (class, method) lives in the detector's site
+// registry, interned once at registration time, and is resolved back only
+// when a report is built. Site may be zero for accesses fabricated without a
+// registry (tests, legacy callers); the detector then falls back to the
+// registry's op-keyed resolution. Migrating string-keyed callers go through
+// AccessLegacy / OnCallLegacy instead.
 type Access struct {
 	Thread ids.ThreadID
 	Obj    ids.ObjectID
 	Op     ids.OpID
+	// Site is the dense handle of the interned (location, class, method,
+	// kind) tuple, from the detector's sites.Registry.
+	Site ids.SiteID
+	Kind Kind
+}
+
+// AccessLegacy is the pre-site-registry access shape: API metadata carried
+// as strings on every call. It exists so string-keyed instrumentation can
+// migrate mechanically — build the same struct, call OnCallLegacy — while
+// the hot path underneath runs on interned site ids.
+//
+// Deprecated: intern a site once via Detector.Sites().ForCall (or
+// tsvd.RegisterSite) and pass Access with the SiteID instead; the string
+// path pays an intern probe with two string compares on every call.
+type AccessLegacy struct {
+	Thread ids.ThreadID
+	Obj    ids.ObjectID
+	Op     ids.OpID
 	Kind   Kind
-	// Class and Method name the API for reports, e.g. "Dictionary", "Add".
+	// Class and Method name the API, e.g. "Dictionary", "Add".
 	Class  string
 	Method string
+}
+
+// OnCallLegacy is the compatibility shim for string-keyed instrumentation:
+// it interns the (op, class, method, kind) tuple in d's site registry — one
+// lock-free probe plus two string compares after the first call per site —
+// and forwards the interned Access to d.OnCall. Detection behavior is
+// identical to the SiteID path; only the per-call intern probe differs.
+func OnCallLegacy(d Detector, a AccessLegacy) {
+	d.OnCall(Access{
+		Thread: a.Thread,
+		Obj:    a.Obj,
+		Op:     a.Op,
+		Site:   d.Sites().ForCall(a.Op, a.Class, a.Method, a.Kind == KindWrite),
+		Kind:   a.Kind,
+	})
 }
 
 // Detector is the runtime interface instrumented programs call into.
@@ -83,6 +123,11 @@ type Detector interface {
 	OnLockAcquire(t ids.ThreadID, lock ids.ObjectID)
 	// OnLockRelease records that t released lock.
 	OnLockRelease(t ids.ThreadID, lock ids.ObjectID)
+
+	// Sites returns the detector's site registry — the intern table Access
+	// site ids resolve through. Instrumentation prologues use it to intern
+	// sites; report/trace serialization uses it to resolve metadata.
+	Sites() *sites.Registry
 
 	// Reports returns the violations collected so far.
 	Reports() *report.Collector
@@ -271,11 +316,12 @@ var errUnknownAlgo = coreError("unknown algorithm")
 // synchronization hooks they ignore.
 type NopDetector struct {
 	reports *report.Collector
+	sites   *sites.Registry
 }
 
 // NewNop returns a detector that does nothing.
 func NewNop() *NopDetector {
-	return &NopDetector{reports: report.NewCollector()}
+	return &NopDetector{reports: report.NewCollector(), sites: sites.New()}
 }
 
 // OnCall implements Detector.
@@ -292,6 +338,9 @@ func (*NopDetector) OnLockAcquire(t ids.ThreadID, lock ids.ObjectID) {}
 
 // OnLockRelease implements Detector.
 func (*NopDetector) OnLockRelease(t ids.ThreadID, lock ids.ObjectID) {}
+
+// Sites implements Detector; the registry interns but drives nothing.
+func (n *NopDetector) Sites() *sites.Registry { return n.sites }
 
 // Reports implements Detector.
 func (n *NopDetector) Reports() *report.Collector { return n.reports }

@@ -1,0 +1,253 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/ids"
+	"repro/internal/report"
+)
+
+// equivSite is one entry of the small API surface the equivalence workload
+// exercises; both detector paths see the same tuples.
+type equivSite struct {
+	op     ids.OpID
+	class  string
+	method string
+	kind   Kind
+}
+
+func equivSites() []equivSite {
+	classes := []string{"Dictionary", "List", "Queue", "HashSet"}
+	methods := []string{"Add", "Remove", "ContainsKey", "get_Item"}
+	var out []equivSite
+	for i := 0; i < 16; i++ {
+		out = append(out, equivSite{
+			op:     ids.InternKey(fmt.Sprintf("equiv.go:%d", 100+i)),
+			class:  classes[i%len(classes)],
+			method: methods[(i/4)%len(methods)],
+			kind:   Kind(i % 2),
+		})
+	}
+	return out
+}
+
+// equivConfig is a fully deterministic detector setup: seeded rng, no
+// happens-before inference (its deadline bookkeeping is wall-clock driven),
+// no near-miss windowing (gap checks are wall-clock driven), and
+// observe-only mode so no thread ever actually sleeps — the decision
+// sequence is then a pure function of the access stream.
+func equivConfig() config.Config {
+	cfg := testConfig(config.AlgoTSVD)
+	cfg.Seed = 42
+	cfg.Mode = config.ModeObserveOnly
+	cfg.DisableHBInference = true
+	cfg.DisableNearMissWindow = true
+	return cfg
+}
+
+// normalizeStats clears the wall-clock-derived fields two otherwise
+// identical runs legitimately disagree on: the near-miss gap histogram
+// buckets by real elapsed time, and TotalDelay accumulates real sleeps.
+func normalizeStats(st Stats) Stats {
+	st.NearMissGaps = GapHistogram{}
+	st.TotalDelay = 0
+	return st
+}
+
+func sortedKeys(bugs []report.Bug) []report.PairKey {
+	keys := make([]report.PairKey, len(bugs))
+	for i, b := range bugs {
+		keys[i] = b.Key
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].A != keys[j].A {
+			return keys[i].A < keys[j].A
+		}
+		return keys[i].B < keys[j].B
+	})
+	return keys
+}
+
+// TestLegacySiteIDEquivalence is the API-migration contract: an identical
+// access stream driven through the interned-SiteID path (OnCall) and
+// through the string-keyed compatibility shim (OnCallLegacy) must leave the
+// two detectors in identical observable states — same Stats, same bug-key
+// sets, same interned site tables. The stream mixes threads, objects, and
+// kinds aggressively enough to exercise near misses, pair admission, the
+// decay ladder, and sequential-phase suppression.
+func TestLegacySiteIDEquivalence(t *testing.T) {
+	tab := equivSites()
+
+	dSite := mustNew(t, equivConfig())
+	dLegacy := mustNew(t, equivConfig())
+
+	// Pre-intern the whole table on the SiteID path, in table order — the
+	// registries end up with the same tuple set even though the legacy path
+	// interns lazily in stream order.
+	siteIDs := make([]ids.SiteID, len(tab))
+	for i, s := range tab {
+		siteIDs[i] = dSite.Sites().ForCall(s.op, s.class, s.method, s.kind == KindWrite)
+	}
+
+	// A deterministic pseudo-random stream; both detectors see exactly this
+	// sequence from one driving goroutine (fabricated thread ids stand in
+	// for real goroutines, as throughout the core tests).
+	rng := uint64(0x9E3779B97F4A7C15)
+	next := func(n int) int {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return int(rng % uint64(n))
+	}
+	type step struct {
+		thread ids.ThreadID
+		obj    ids.ObjectID
+		site   int
+	}
+	const steps = 6000
+	stream := make([]step, steps)
+	for i := range stream {
+		// Runs of one thread interleaved with mixed segments, so the phase
+		// ring sees both sequential and concurrent stretches.
+		th := ids.ThreadID(1 + next(4))
+		if i/200%3 == 0 {
+			th = 1
+		}
+		stream[i] = step{thread: th, obj: ids.ObjectID(1 + next(6)), site: next(len(tab))}
+	}
+
+	for _, s := range stream {
+		e := tab[s.site]
+		dSite.OnCall(Access{
+			Thread: s.thread, Obj: s.obj, Op: e.op,
+			Site: siteIDs[s.site], Kind: e.kind,
+		})
+	}
+	for _, s := range stream {
+		e := tab[s.site]
+		OnCallLegacy(dLegacy, AccessLegacy{
+			Thread: s.thread, Obj: s.obj, Op: e.op,
+			Kind: e.kind, Class: e.class, Method: e.method,
+		})
+	}
+
+	stSite := normalizeStats(dSite.Stats())
+	stLegacy := normalizeStats(dLegacy.Stats())
+	if stSite != stLegacy {
+		t.Errorf("stats diverge:\n  site:   %+v\n  legacy: %+v", stSite, stLegacy)
+	}
+	// The workload must have actually exercised the machinery for the
+	// equality above to mean anything.
+	if stSite.NearMisses == 0 || stSite.PairsAdded == 0 || stSite.DelaysSuppressed == 0 {
+		t.Errorf("workload too tame to validate equivalence: %+v", stSite)
+	}
+	if stSite.SequentialSkips == 0 {
+		t.Errorf("workload never hit a sequential phase: %+v", stSite)
+	}
+
+	kSite, kLegacy := sortedKeys(dSite.Reports().Bugs()), sortedKeys(dLegacy.Reports().Bugs())
+	if len(kSite) != len(kLegacy) {
+		t.Fatalf("bug sets diverge: %v vs %v", kSite, kLegacy)
+	}
+	for i := range kSite {
+		if kSite[i] != kLegacy[i] {
+			t.Fatalf("bug sets diverge at %d: %v vs %v", i, kSite, kLegacy)
+		}
+	}
+
+	// Both registries interned the same tuple set (ids may differ — the
+	// paths intern in different orders — so compare tuples, not ids).
+	type tuple struct {
+		op            ids.OpID
+		class, method string
+		write         bool
+	}
+	tuplesOf := func(d Detector) map[tuple]bool {
+		m := map[tuple]bool{}
+		for _, s := range d.Sites().Snapshot() {
+			m[tuple{s.Op, s.Class, s.Method, s.Write}] = true
+		}
+		return m
+	}
+	tSite, tLegacy := tuplesOf(dSite), tuplesOf(dLegacy)
+	if len(tSite) != len(tLegacy) {
+		t.Fatalf("registries diverge: %d vs %d sites", len(tSite), len(tLegacy))
+	}
+	for k := range tSite {
+		if !tLegacy[k] {
+			t.Fatalf("legacy registry missing tuple %+v", k)
+		}
+	}
+
+	// The trap sets (the state a second run would be seeded from) agree.
+	eSite, eLegacy := dSite.ExportTraps(), dLegacy.ExportTraps()
+	if len(eSite) != len(eLegacy) {
+		t.Fatalf("exported traps diverge: %d vs %d", len(eSite), len(eLegacy))
+	}
+	inLegacy := map[report.PairKey]bool{}
+	for _, k := range eLegacy {
+		inLegacy[k] = true
+	}
+	for _, k := range eSite {
+		if !inLegacy[k] {
+			t.Fatalf("trap %v only on the SiteID path", k)
+		}
+	}
+}
+
+// TestLegacyViolationEquivalence checks the red-handed path end to end on
+// both APIs: the same seeded-trap rendezvous (one thread traps, the other
+// lands inside the delay) must yield the same single bug on either path,
+// and the legacy path's report must carry the site metadata its strings
+// described, resolved through the registry rather than from the access.
+func TestLegacyViolationEquivalence(t *testing.T) {
+	op1 := ids.InternKey("equiv_violation.go:1")
+	op2 := ids.InternKey("equiv_violation.go:2")
+	const obj = ids.ObjectID(77)
+
+	run := func(drive func(d Detector, th ids.ThreadID, op ids.OpID)) Detector {
+		cfg := config.Defaults(config.AlgoTSVD) // full 100ms delay window
+		cfg.DisableHBInference = true
+		d := mustNew(t, cfg, WithInitialTraps([]report.PairKey{report.KeyOf(op1, op2)}))
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			drive(d, 1, op1) // traps: the pair is seeded
+		}()
+		time.Sleep(cfg.EffectiveDelay() / 4) // land inside the delay
+		drive(d, 2, op2)
+		<-done
+		return d
+	}
+
+	viaSite := run(func(d Detector, th ids.ThreadID, op ids.OpID) {
+		site := d.Sites().ForCall(op, "Dictionary", "Add", true)
+		d.OnCall(Access{Thread: th, Obj: obj, Op: op, Site: site, Kind: KindWrite})
+	})
+	viaLegacy := run(func(d Detector, th ids.ThreadID, op ids.OpID) {
+		OnCallLegacy(d, AccessLegacy{
+			Thread: th, Obj: obj, Op: op, Kind: KindWrite,
+			Class: "Dictionary", Method: "Add",
+		})
+	})
+
+	for name, d := range map[string]Detector{"site": viaSite, "legacy": viaLegacy} {
+		bugs := d.Reports().Bugs()
+		if len(bugs) != 1 || bugs[0].Key != report.KeyOf(op1, op2) {
+			t.Fatalf("%s path: bugs = %+v, want exactly (op1, op2)", name, bugs)
+		}
+		v := d.Reports().Violations()[0]
+		for _, side := range []report.Side{v.Trapped, v.Conflicting} {
+			if side.Site == 0 {
+				t.Fatalf("%s path: report side carries no site id: %+v", name, side)
+			}
+			if side.Class != "Dictionary" || side.Method != "Add" {
+				t.Fatalf("%s path: metadata not resolved from registry: %+v", name, side)
+			}
+		}
+	}
+}

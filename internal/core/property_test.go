@@ -180,7 +180,8 @@ func TestHBInferenceWindowWidth(t *testing.T) {
 	// Fabricate detector state directly: thread 2 had a previous access,
 	// and a delay by thread 1 at op 900 recently finished.
 	now := d.rt.now()
-	*d.threadStateFor(2) = threadState{lastAccess: now - delay, hasAccess: true}
+	st := d.rt.threadStateFor(2)
+	st.lastAccess = now - delay
 	d.delayMu.Lock()
 	d.recentDelays = append(d.recentDelays, delayRecord{
 		thread: 1, op: 900, start: now - delay, end: now - delay/4,
@@ -214,11 +215,9 @@ func TestHBInferenceIgnoresOwnDelay(t *testing.T) {
 	delay := cfg.EffectiveDelay()
 
 	now := d.rt.now()
-	*d.threadStateFor(1) = threadState{
-		lastAccess: now - 2*delay,
-		hasAccess:  true,
-		ownDelay:   2 * delay, // the whole gap was its own delay
-	}
+	st := d.rt.threadStateFor(1)
+	st.lastAccess = now - 2*delay
+	st.ownDelay = 2 * delay // the whole gap was its own delay
 	d.delayMu.Lock()
 	d.recentDelays = append(d.recentDelays, delayRecord{
 		thread: 1, op: 910, start: now - 2*delay, end: now - delay,

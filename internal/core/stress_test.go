@@ -64,13 +64,19 @@ func TestHBHistoryNewestFirst(t *testing.T) {
 	}
 }
 
-// TestShardedStress hammers one detector from GOMAXPROCS-scaled goroutine
-// counts on a conflict-free workload (each worker owns disjoint objects and
-// locations). It must produce zero reports, and the counters that have exact
-// expected values — OnCalls, LocationsSeen, Violations — must come out exact
-// despite every worker updating them concurrently. Run under -race this is
-// the synchronization audit of the striped runtime.
-func TestShardedStress(t *testing.T) {
+// TestDenseRuntimeStress hammers one detector from GOMAXPROCS-scaled
+// goroutine counts on a conflict-free workload (each worker owns disjoint
+// objects and locations). It must produce zero reports, and the counters
+// that have exact expected values — OnCalls, LocationsSeen, Violations —
+// must come out exact despite every worker updating them concurrently
+// through the per-thread counter tallies, the dense coverage table and the
+// site registry's growth path. Run under -race this is the synchronization
+// audit of the per-object runtime.
+//
+// The "presites" variants pre-register every site through the registry (the
+// instrumented-prologue shape, exercising concurrent registration and dense
+// growth); the others leave Site zero and take the op-keyed fallback.
+func TestDenseRuntimeStress(t *testing.T) {
 	workers := 2 * goruntime.GOMAXPROCS(0)
 	if workers < 4 {
 		workers = 4
@@ -85,13 +91,10 @@ func TestShardedStress(t *testing.T) {
 		config.AlgoTSVD, config.AlgoTSVDHB,
 		config.AlgoDynamicRandom, config.AlgoStaticRandom,
 	}
-	// ShardCount 0 exercises the GOMAXPROCS-derived default; 1 forces every
-	// object into a single shard so the collision path gets the same traffic.
-	for _, shards := range []int{0, 1} {
+	for _, presites := range []bool{false, true} {
 		for _, algo := range algos {
-			t.Run(fmt.Sprintf("%v/shards=%d", algo, shards), func(t *testing.T) {
+			t.Run(fmt.Sprintf("%v/presites=%v", algo, presites), func(t *testing.T) {
 				cfg := config.Defaults(algo).Scaled(0.001) // 100µs delays
-				cfg.ShardCount = shards
 				d := mustNew(t, cfg)
 
 				var wg sync.WaitGroup
@@ -106,7 +109,12 @@ func TestShardedStress(t *testing.T) {
 								Obj:    ids.ObjectID(1000 + w*objsPerWorker + i%objsPerWorker),
 								Op:     ids.OpID(5000 + w*opsPerWorker + i%opsPerWorker),
 								Kind:   KindWrite,
-								Class:  "Test", Method: "Op",
+							}
+							if presites {
+								// Interning every call (not caching the id)
+								// deliberately stresses the registry's
+								// concurrent fast path and growth.
+								a.Site = d.Sites().Register(a.Op, "Test", "Op", true)
 							}
 							d.OnCall(a)
 						}
@@ -127,17 +135,22 @@ func TestShardedStress(t *testing.T) {
 				if st.Violations != 0 {
 					t.Fatalf("Violations = %d on a conflict-free workload", st.Violations)
 				}
+				if want := workers * opsPerWorker; d.Sites().Len() != want {
+					t.Fatalf("Sites().Len() = %d, want %d", d.Sites().Len(), want)
+				}
 			})
 		}
 	}
 }
 
-// TestShardedStressWithConflicts drives real cross-thread conflicts through
-// the striped runtime at full parallelism: every worker writes the same small
-// object set. The point is not detection counts (timing-dependent) but that
-// the detector stays data-race-free (-race) and every reported violation is
-// a genuine same-object write-write pair.
-func TestShardedStressWithConflicts(t *testing.T) {
+// TestDenseRuntimeStressWithConflicts drives real cross-thread conflicts at
+// full parallelism: every worker writes the same small object set, so the
+// single-writer scan skip, the mixed transition, the object spin locks and
+// trap registration all see heavy cross-thread traffic. The point is not
+// detection counts (timing-dependent) but that the detector stays
+// data-race-free (-race) and every reported violation is a genuine
+// same-object write-write pair with its site metadata resolved.
+func TestDenseRuntimeStressWithConflicts(t *testing.T) {
 	workers := 2 * goruntime.GOMAXPROCS(0)
 	if workers < 4 {
 		workers = 4
@@ -146,6 +159,7 @@ func TestShardedStressWithConflicts(t *testing.T) {
 
 	cfg := config.Defaults(config.AlgoTSVD).Scaled(0.001)
 	d := mustNew(t, cfg)
+	site := d.Sites().Register(9000, "Test", "Op", true)
 
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -154,13 +168,16 @@ func TestShardedStressWithConflicts(t *testing.T) {
 			defer wg.Done()
 			thread := ids.ThreadID(200 + w)
 			for i := 0; i < callsPerWorker; i++ {
-				// Four shared objects, distinct op per worker parity.
+				// Four shared objects, distinct op per worker parity; even
+				// workers carry the interned site, odd ones resolve by op.
 				a := Access{
 					Thread: thread,
 					Obj:    ids.ObjectID(1 + i%4),
 					Op:     ids.OpID(9000 + w%2),
 					Kind:   KindWrite,
-					Class:  "Test", Method: "Op",
+				}
+				if w%2 == 0 {
+					a.Site = site
 				}
 				d.OnCall(a)
 			}
@@ -178,6 +195,9 @@ func TestShardedStressWithConflicts(t *testing.T) {
 		}
 		if !v.Trapped.Write && !v.Conflicting.Write {
 			t.Fatalf("report with no write side: %+v", v)
+		}
+		if v.Trapped.Op == 9000 && v.Trapped.Site == site && v.Trapped.Class != "Test" {
+			t.Fatalf("interned side lost its class metadata: %+v", v)
 		}
 	}
 }

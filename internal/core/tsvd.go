@@ -5,9 +5,11 @@ import (
 	"time"
 
 	"repro/internal/config"
+	"repro/internal/fasttime"
 	"repro/internal/ids"
 	"repro/internal/report"
 	"repro/internal/sampler"
+	"repro/internal/sites"
 	"repro/internal/trace"
 )
 
@@ -17,12 +19,16 @@ import (
 // unproductive delay locations, and performs planning and injection in the
 // same run.
 //
-// State ownership after sharding (docs/PERFORMANCE.md has the full model):
+// State ownership (docs/PERFORMANCE.md has the full model):
 //
 //   - per-object state (near-miss rings, parked traps) lives in the
-//     runtime's shards, keyed by ObjectID;
-//   - per-thread HB-inference state is thread-local (each entry in threads
-//     is only ever touched by its own goroutine);
+//     runtime's lock-free object registry, one entry and one spin lock per
+//     ObjectID;
+//   - per-thread state — HB inference, the sampling RNG, the hot counters —
+//     is thread-local (each runtime.threads entry is only ever touched by
+//     its own goroutine, except the atomic counters snapshots read);
+//   - per-site state (coverage, sampler admission) is indexed by dense
+//     SiteIDs in plain arrays;
 //   - the trap set and the finished-delay log keep small cold-path locks.
 type TSVD struct {
 	nopSyncHooks // TSVD is oblivious to synchronization by design
@@ -30,12 +36,6 @@ type TSVD struct {
 	rt    runtime
 	phase *phaseRing
 	set   trapSet
-
-	// threads tracks each thread's previous access for HB inference.
-	// Entries are created once and then read and written exclusively by
-	// the owning thread, so they carry no lock; the map itself has
-	// lock-free integer-keyed lookups.
-	threads atomicMap[threadState]
 
 	// delayMu guards recentDelays, the finished-delay log for gap
 	// attribution (§3.4.4) — the only cross-thread HB-inference state. It
@@ -52,9 +52,9 @@ type histEntry struct {
 	at     time.Duration
 }
 
-// objHistory is a fixed-capacity ring of the most recent accesses. It lives
-// inside the object's shard (§3.4.2 keeps "a global hash table" — ours is
-// striped) and is only touched under that shard's mutex.
+// objHistory is a fixed-capacity ring of the most recent accesses (§3.4.2
+// keeps "a global hash table" of these — ours hangs one off each object's
+// state). Only touched under the object's lock.
 type objHistory struct {
 	entries []histEntry
 	next    int
@@ -78,6 +78,7 @@ func (h *objHistory) add(e histEntry) {
 // wants the most recent conflicting access preferred: it is the one whose
 // gap is smallest and therefore the sighting most likely to reflect a real
 // interleaving opportunity (and the one the gap histogram should measure).
+// (OnCall inlines this walk; each remains for tests and cold callers.)
 func (h *objHistory) each(fn func(histEntry)) {
 	n := len(h.entries)
 	if !h.full {
@@ -90,23 +91,6 @@ func (h *objHistory) each(fn func(histEntry)) {
 		}
 		fn(h.entries[idx])
 	}
-}
-
-type threadState struct {
-	lastAccess time.Duration
-	hasAccess  bool
-	// rng is the thread's private xorshift state for the sampling gate
-	// (docs/SAMPLING.md). Owner-thread-only like the rest of the struct, so
-	// admission draws cost a few register ops and no shared RNG lock.
-	rng uint64
-	// ownDelay accumulates delay injected into this thread since its last
-	// access, so a self-inflicted gap is not attributed to another
-	// thread's delay during HB inference.
-	ownDelay time.Duration
-	// inherits carries the k_hb-access happens-after windows (§3.4.4:
-	// "the next k_hb accesses in thread Thd2 are also considered as
-	// likely happens-after loc1").
-	inherits []inheritance
 }
 
 type inheritance struct {
@@ -139,32 +123,44 @@ func newTSVD(cfg config.Config, o options) *TSVD {
 	return d
 }
 
-// threadStateFor returns the calling thread's state, creating it on first
-// use. The returned pointer is only ever dereferenced by t's goroutine.
-func (d *TSVD) threadStateFor(t ids.ThreadID) *threadState {
-	st, _ := d.threads.getOrCreate(int64(t), func() *threadState {
-		return &threadState{rng: sampler.SeedRand(d.rt.cfg.Seed, int64(t))}
-	})
-	return st
-}
-
 // OnCall implements Detector; it is the OnCall of Figure 5 with TSVD's
-// should_delay (§3.4.1–§3.4.6). The hot path takes exactly one mutex — the
-// object's shard — and only while scanning/updating that object's history;
-// everything else is atomics, thread-local state and lock-free reads.
+// should_delay (§3.4.1–§3.4.6). While the object has only ever been touched
+// by the calling thread — the overwhelmingly common case in the paper's
+// workloads — the path is lock-free end to end: the timestamp is one TSC
+// read, per-thread and per-object state are cached probes, the near-miss
+// scan is skipped outright (every entry would fail the different-thread
+// test), and recording the access is plain stores plus one publication CAS
+// that doubles as the OnCalls counter. Contended objects funnel through
+// recordSlow under the object's spin lock.
 func (d *TSVD) OnCall(a Access) {
-	t := d.rt.now()
-	sh := d.rt.shardFor(a.Obj)
-	st := d.threadStateFor(a.Thread)
+	rt := &d.rt
+	// rt.now(), thread-state lookup and markSeen below are expanded inline:
+	// each is a leaf the inliner rejects only because of its cold branch,
+	// and on a path this hot the call overhead alone is measurable.
+	st, fastOK := rt.threads.GetFast(int64(a.Thread))
+	if !fastOK {
+		st = rt.threadStateFor(a.Thread)
+	}
+	rt.resolveSite(&a)
+
+	// The object state is resolved lazily: the lock-free publication path
+	// below reaches it through the thread's ring cache, so os is only
+	// needed by the trap check (parked traps exist) and the recordSlow
+	// fallback.
+	var os *objState
 
 	// check_for_trap: catch conflicting parked threads red-handed. A pair
 	// with a reported violation leaves the trap set for good. While no
 	// trap is parked anywhere (the common case) the scan is skipped via
 	// one atomic load.
-	if d.rt.parked.Load() > 0 {
-		sh.mu.Lock()
-		found := d.rt.checkForTraps(sh, a, ids.Stack)
-		sh.mu.Unlock()
+	if rt.parked.Load() > 0 {
+		os = st.cachedState
+		if os == nil || st.cachedObj != a.Obj {
+			os = rt.objStateFor(st, a.Obj)
+		}
+		os.mu.Lock()
+		found := rt.checkForTraps(os, a, ids.Stack)
+		os.mu.Unlock()
 		for _, key := range found {
 			d.set.suppress(key)
 		}
@@ -175,86 +171,111 @@ func (d *TSVD) OnCall(a Access) {
 	// conflicts with, so red-handed catching keeps its soundness regardless
 	// of the admission probability — sampling only sheds the analysis and
 	// planning cost below. The draw is a thread-local xorshift plus one
-	// lock-free per-site threshold compare.
-	if d.rt.samp != nil && !d.rt.samp.Admit(int64(a.Op), sampler.Rand(&st.rng)) {
-		sh.onCalls.Add(1)
-		sh.sampledOut.Add(1)
+	// array-indexed per-site threshold compare.
+	if rt.samp != nil && !rt.samp.Admit(a.Site, sampler.Rand(&st.rng)) {
+		st.onCalls.Add(1)
+		st.sampledOut.Add(1)
 		// While the interval budget is exhausted, Admit refuses everything
 		// and the admitted-path tick hook below is unreachable — the skip
 		// path must offer the controller its tick or admission would stay
 		// suspended forever. One atomic load when not capped.
-		if d.rt.samp.Capped() {
-			d.rt.sampleTick(d.rt.now())
+		if rt.samp.Capped() {
+			rt.sampleTick(rt.now())
 		}
 		return
 	}
+	// No OnCalls counter here: the admitted path is counted by the ring
+	// publication below (snapshotStats sums publications across objects).
+
+	// Concurrent-phase inference (lock-free ring) and coverage marking
+	// (markSeen's fully-marked fast case, expanded inline). The phase ring's
+	// steady sequential case is expanded too: the ring's packed word equal
+	// to this thread's steady value means run == count == window — one load,
+	// one compare, no store. Thread switches and warm-up fall back to
+	// observe.
+	concurrent := true
+	if p := d.phase; p != nil {
+		if p.state.Load() == st.phaseSteady {
+			concurrent = false
+		} else {
+			concurrent = p.observe(a.Thread)
+			st.phaseSteady = uint64(uint32(a.Thread))<<32 | p.steady
+		}
+	}
+	cwant := uint32(coverSeen)
+	if concurrent {
+		cwant |= coverConcurrent
+	}
+	if ct := rt.cover.Load(); ct == nil || int(a.Site) >= len(*ct) || (*ct)[a.Site].Load()&cwant != cwant {
+		rt.markSeenSlow(a.Site, a.Op, cwant)
+	}
+
+	// The timestamp is read here, after every piece of work that does not
+	// need it: on this VM the TSC read quasi-serializes the pipeline, so
+	// instructions placed after it pay its full latency while instructions
+	// before it run free. The few-ns shift in what "arrival time" means is
+	// uniform across calls and cancels out of every inter-access gap.
+	var t time.Duration
+	if rt.fastClock {
+		t = fasttime.SinceTicks(rt.startTicks)
+	} else {
+		t = rt.nowSlow()
+	}
 
 	// Happens-before inference on this thread's inter-access gap, plus
-	// consumption of any pending k_hb inheritance windows. Must run
-	// before lastAccess is overwritten below.
-	if !d.rt.cfg.DisableHBInference {
-		d.inferHB(st, a, t)
+	// consumption of any pending k_hb inheritance windows. Must run before
+	// lastAccess is overwritten below. The guard is inlined so the
+	// steady-state call — window empty, gap under δ_hb — costs two compares
+	// and no function call.
+	if !rt.cfg.DisableHBInference {
+		if len(st.inherits) != 0 || t >= st.hbDeadline {
+			d.inferHB(st, a, t)
+		}
 	}
-
-	// Concurrent-phase inference (lock-free ring).
-	concurrent := true
-	if d.phase != nil {
-		concurrent = d.phase.observe(a.Thread)
-	}
-	d.rt.markSeen(a.Op, concurrent)
 
 	// Near-miss tracking over the object's recent accesses, newest first,
-	// and recording of this access — one shard critical section. Pair
-	// insertion happens after the lock is dropped: the trap set has its
-	// own lock and nothing orders it with the shard.
-	var nearKeys []report.PairKey
-	sh.mu.Lock()
-	sh.onCalls.Add(1) // counted here, on a cache line this path already owns
-	h := sh.hist[a.Obj]
-	if h == nil {
-		if sh.hist == nil {
-			sh.hist = map[ids.ObjectID]*objHistory{}
+	// and recording of this access. While this thread owns the object's
+	// publication ring (cached on the thread state, so the probe is two
+	// loads from a line already hot), recording is plain entry stores plus
+	// one CAS; everything else (first sighting, ring rotation, the takeover
+	// by a second thread, shared-mode scans) funnels through recordSlow
+	// under the object's lock. Pair insertion happens outside any object
+	// lock: the trap set has its own lock and nothing orders the two.
+	published := false
+	if rg := st.cachedRing; rg != nil && st.cachedRingObj == a.Obj {
+		// The length test subsumes the closed-bit test: a closed counter has
+		// ringClosed (1<<63) set, far beyond any entry count.
+		if n := rg.pub.Load(); n < uint64(len(rg.entries)) {
+			rg.entries[n] = histEntry{thread: a.Thread, op: a.Op, kind: a.Kind, at: t}
+			published = rg.pub.CompareAndSwap(n, n+1)
 		}
-		h = newObjHistory(d.rt.cfg.ObjHistory)
-		sh.hist[a.Obj] = h
 	}
-	h.each(func(e histEntry) {
-		if e.thread == a.Thread || !Conflicts(e.kind, a.Kind) {
-			return
+	if !published {
+		if os == nil {
+			os = st.cachedState
+			if os == nil || st.cachedObj != a.Obj {
+				os = rt.objStateFor(st, a.Obj)
+			}
 		}
-		if !d.rt.cfg.DisableNearMissWindow && t-e.at > d.rt.nearMissWindow {
-			return
-		}
-		if !concurrent {
-			d.rt.stats.sequentialSkips.Add(1)
-			return
-		}
-		d.rt.stats.nearMisses.Add(1)
-		d.rt.stats.observeGap(t - e.at)
-		d.rt.met.observeGap(t - e.at)
-		d.rt.tr.Emit(trace.KindNearMiss, a.Thread, a.Obj, e.op, a.Op, t, t-e.at)
-		nearKeys = append(nearKeys, report.KeyOf(e.op, a.Op))
-	})
-	h.add(histEntry{thread: a.Thread, op: a.Op, kind: a.Kind, at: t})
-	sh.mu.Unlock()
-	for _, key := range nearKeys {
-		if d.set.add(key, &d.rt.stats, d.rt.met) {
-			d.rt.tr.Emit(trace.KindPairAdded, a.Thread, a.Obj, key.A, key.B, t, 0)
+		for _, key := range d.recordSlow(st, os, a, t, concurrent) {
+			if d.set.add(key, &rt.stats, rt.met) {
+				rt.tr.Emit(trace.KindPairAdded, a.Thread, a.Obj, key.A, key.B, t, 0)
+			}
 		}
 	}
 
 	// Record this access in the thread-local HB state.
 	st.lastAccess = t
-	st.hasAccess = true
 	st.ownDelay = 0
+	st.hbDeadline = t + rt.hbThreshold
 
 	// Charge the analysis time of this admitted call to the overhead
 	// controller and give it a chance to tick. Sleep time is charged
 	// separately inside injectDelay, so nothing is counted twice.
-	if d.rt.samp != nil {
-		now := d.rt.now()
-		d.rt.samp.ObserveCost(now - t)
-		d.rt.sampleTick(now)
+	if rt.samp != nil {
+		now := rt.now()
+		rt.samp.ObserveCost(now - t)
+		rt.sampleTick(now)
 	}
 
 	// should_delay: the location must participate in a live dangerous
@@ -264,18 +285,18 @@ func (d *TSVD) OnCall(a Access) {
 		return
 	}
 	prob, ok := d.set.eligible(a.Op)
-	if !ok || d.rt.randFloat() >= prob {
+	if !ok || rt.randFloat() >= prob {
 		return
 	}
-	if d.rt.cfg.AvoidOverlappingDelays && d.rt.anyTrapSet() {
+	if rt.cfg.AvoidOverlappingDelays && rt.anyTrapSet() {
 		return
 	}
-	d.rt.tr.Emit(trace.KindDelayPlanned, a.Thread, a.Obj, a.Op, 0, t, d.rt.delayTime)
-	trap, slept := d.rt.injectDelay(a, d.rt.delayTime) // sleeps unlocked
+	rt.tr.Emit(trace.KindDelayPlanned, a.Thread, a.Obj, a.Op, 0, t, rt.delayTime)
+	trap, slept := rt.injectDelay(a, rt.delayTime) // sleeps unlocked
 	if trap == nil {
 		return
 	}
-	end := d.rt.now()
+	end := rt.now()
 	d.delayMu.Lock()
 	d.recentDelays = append(d.recentDelays, delayRecord{
 		thread: a.Thread, op: a.Op, start: t, end: end,
@@ -285,10 +306,137 @@ func (d *TSVD) OnCall(a Access) {
 	}
 	d.delayMu.Unlock()
 	st.ownDelay += slept
+	st.hbDeadline += slept
 	if !trap.conflict {
-		d.set.decayAfterFailedDelay(a.Op, d.rt.cfg.DecayFactor,
-			d.rt.cfg.PruneProbability, &d.rt.stats, d.rt.tr, end)
+		d.set.decayAfterFailedDelay(a.Op, rt.cfg.DecayFactor,
+			rt.cfg.PruneProbability, &rt.stats, rt.tr, end)
 	}
+}
+
+// recordSlow is everything the lock-free publication path cannot do, under
+// the object's spin lock: claiming an untouched object for single-writer
+// mode, re-arming the thread's ring cache after it was evicted (the thread
+// touched another object in between), rotating a full publication ring in
+// place, taking over a single-writer object for shared mode (the sticky
+// mixed transition, which closes and drains the publication ring), and the
+// shared-mode near-miss scan plus append. Every admitted call that lands
+// here is counted into os.retired, keeping OnCalls exact alongside the fast
+// path's publication counter. It returns the near-miss pair keys found; the
+// caller inserts them into the trap set outside the lock.
+func (d *TSVD) recordSlow(st *threadState, os *objState, a Access, t time.Duration, concurrent bool) []report.PairKey {
+	rt := &d.rt
+	var nearKeys []report.PairKey
+	os.mu.Lock()
+	w := os.writer.Load()
+	switch {
+	case w == 0:
+		// First access to this object: claim single-writer mode and arm the
+		// thread's ring cache.
+		rg := newPubRing(rt.cfg.ObjHistory)
+		rg.entries[0] = histEntry{thread: a.Thread, op: a.Op, kind: a.Kind, at: t}
+		rg.pub.Store(1)
+		os.fast.Store(rg)
+		os.writer.Store(int64(a.Thread))
+		st.cachedRing, st.cachedRingObj = rg, a.Obj
+	case w == int64(a.Thread):
+		// Still the single writer: the fast path failed because the ring
+		// filled up, or because this thread's ring cache points at another
+		// object it touched in between (a takeover would have left
+		// writerShared behind — transitions complete under the mutex we now
+		// hold). Rotate when full — fold the published count into retired
+		// and keep the newest scan-window entries — then record under the
+		// mutex and re-arm the cache. No other thread can be touching the
+		// entry array: takeover and rotation both require mu, and the
+		// lock-free writer is this thread.
+		rg := os.fast.Load()
+		n := int(rg.pub.Load() &^ ringClosed)
+		if n == len(rg.entries) {
+			keep := rt.cfg.ObjHistory
+			if keep > n {
+				keep = n
+			}
+			os.retired.Add(int64(n) - rg.base.Load())
+			copy(rg.entries[:keep], rg.entries[n-keep:n])
+			rg.base.Store(int64(keep))
+			n = keep
+		}
+		rg.entries[n] = histEntry{thread: a.Thread, op: a.Op, kind: a.Kind, at: t}
+		rg.pub.Store(uint64(n) + 1)
+		st.cachedRing, st.cachedRingObj = rg, a.Obj
+	default:
+		// Shared mode. If this thread's ring cache still points at this
+		// object, the ring it caches is closed (that is the only way
+		// ownership ends) — drop it so the fast path stops probing it.
+		if st.cachedRingObj == a.Obj {
+			st.cachedRing = nil
+		}
+		if w != writerShared {
+			// Takeover: a second thread reached a single-writer object.
+			// Close the publication ring — the CAS loop races at most the
+			// owner's one in-flight publication, and once the closed bit
+			// lands every later publication CAS fails onto this mutex path —
+			// then fold its count, drain the newest window of entries into
+			// the shared mutex ring, and go shared for good. The drained
+			// entries are immutable: they sit strictly below the closed
+			// publication count.
+			rg := os.fast.Load()
+			var n uint64
+			for {
+				n = rg.pub.Load()
+				if rg.pub.CompareAndSwap(n, n|ringClosed) {
+					break
+				}
+			}
+			os.retired.Add(int64(n) - rg.base.Load())
+			if os.hist == nil {
+				os.hist = newObjHistory(rt.cfg.ObjHistory)
+			}
+			start := 0
+			if int(n) > len(os.hist.entries) {
+				start = int(n) - len(os.hist.entries)
+			}
+			for i := start; i < int(n); i++ {
+				os.hist.add(rg.entries[i])
+			}
+			os.fast.Store(nil)
+			os.writer.Store(writerShared)
+		}
+		h := os.hist
+		if h == nil {
+			h = newObjHistory(rt.cfg.ObjHistory)
+			os.hist = h
+		}
+		n := len(h.entries)
+		if !h.full {
+			n = h.next
+		}
+		for i := 0; i < n; i++ {
+			idx := h.next - 1 - i
+			if idx < 0 {
+				idx += len(h.entries)
+			}
+			e := &h.entries[idx]
+			if e.thread == a.Thread || !Conflicts(e.kind, a.Kind) {
+				continue
+			}
+			if !rt.cfg.DisableNearMissWindow && t-e.at > rt.nearMissWindow {
+				continue
+			}
+			if !concurrent {
+				rt.stats.sequentialSkips.Add(1)
+				continue
+			}
+			rt.stats.nearMisses.Add(1)
+			rt.stats.observeGap(t - e.at)
+			rt.met.observeGap(t - e.at)
+			rt.tr.Emit(trace.KindNearMiss, a.Thread, a.Obj, e.op, a.Op, t, t-e.at)
+			nearKeys = append(nearKeys, report.KeyOf(e.op, a.Op))
+		}
+		h.add(histEntry{thread: a.Thread, op: a.Op, kind: a.Kind, at: t})
+		os.retired.Add(1)
+	}
+	os.mu.Unlock()
+	return nearKeys
 }
 
 // inferHB implements §3.4.4. st is a.Thread's own state, so everything here
@@ -309,9 +457,8 @@ func (d *TSVD) inferHB(st *threadState, a Access, t time.Duration) {
 		st.inherits = kept
 	}
 
-	if !st.hasAccess {
-		return
-	}
+	// A noAccessYet sentinel in lastAccess makes this hugely negative, so
+	// threads reject inference until their first recorded access.
 	gap := t - st.lastAccess - st.ownDelay
 	if gap < d.rt.hbThreshold {
 		return
@@ -359,6 +506,9 @@ func (d *TSVD) pruneHB(from ids.OpID, a Access, t time.Duration) {
 		d.rt.tr.Emit(trace.KindPairPrunedHB, a.Thread, a.Obj, key.A, key.B, t, 0)
 	}
 }
+
+// Sites implements Detector.
+func (d *TSVD) Sites() *sites.Registry { return d.rt.sites }
 
 // Reports implements Detector.
 func (d *TSVD) Reports() *report.Collector { return d.rt.reports }

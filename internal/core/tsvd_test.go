@@ -26,7 +26,7 @@ func mustNew(t *testing.T, cfg config.Config, opts ...Option) Detector {
 }
 
 func acc(thread ids.ThreadID, obj ids.ObjectID, op ids.OpID, kind Kind) Access {
-	return Access{Thread: thread, Obj: obj, Op: op, Kind: kind, Class: "Test", Method: "Op"}
+	return Access{Thread: thread, Obj: obj, Op: op, Kind: kind}
 }
 
 // hammer runs fn in its own goroutine n times with the given pacing and

@@ -1,13 +1,14 @@
 package core
 
 import (
-	"sync/atomic"
 	"time"
 
 	"repro/internal/config"
 	"repro/internal/ids"
+	"repro/internal/intmap"
 	"repro/internal/report"
 	"repro/internal/sampler"
+	"repro/internal/sites"
 	"repro/internal/trace"
 	"repro/internal/vclock"
 )
@@ -27,86 +28,20 @@ import (
 //  3. join-message receives use a reference-equality fast path before the
 //     O(n) element-wise max.
 //
-// The immutability of the clocks is also what lets the sharded runtime keep
-// them outside any global lock: each thread owns one threadClock slot whose
-// own component is a plain atomic counter (optimization 1 taken to its
-// conclusion: a TSVD point ticks the counter and allocates nothing at all),
-// while the components learned from other threads live in an immutable tree
-// swapped only at synchronization operations. Every clock handover is a
-// pointer-sized store and every reader works on an immutable snapshot. The
-// slot registries are insert-only maps with lock-free integer-keyed lookups.
-// The per-object epoch rings live in the runtime's shards, like TSVD's
-// near-miss rings.
+// The immutability of the clocks is also what lets the runtime keep them
+// outside any global lock: each thread's clock lives in its shared
+// threadState slot (traps.go) whose own component is a plain atomic counter
+// (optimization 1 taken to its conclusion: a TSVD point ticks the counter
+// and allocates nothing at all), while the components learned from other
+// threads live in an immutable tree swapped only at synchronization
+// operations. Every clock handover is a pointer-sized store and every reader
+// works on an immutable snapshot. The per-object epoch rings hang off the
+// runtime's object registry, like TSVD's near-miss rings.
 type TSVDHB struct {
 	rt  runtime
 	set trapSet
 
-	threadVC atomicMap[threadClock]   // ids.ThreadID → clock slot
-	lockVC   atomicMap[vclock.Atomic] // ids.ObjectID → clock slot
-}
-
-// threadClock is one thread's vector-clock state, split so the per-TSVD-point
-// tick is allocation-free:
-//
-//   - epoch is the thread's own component, advanced with one atomic add;
-//   - rest holds every component learned from other threads (it may also
-//     contain a stale copy of the own component from an earlier handover);
-//   - memo caches the last materialized full clock so repeated handovers
-//     without intervening ticks reuse one tree reference, preserving the
-//     O(1) reference-equality fast path on joins.
-//
-// Ticks and adoptions happen only on the owning thread. Cross-thread readers
-// (a join materializing the finished task's clock) see an immutable snapshot
-// that is at worst a few events stale — the same tolerance the trap check
-// already has for a not-yet-registered trap, and never a source of false
-// reports: a missed HB edge only leaves a spurious pair in the trap set.
-type threadClock struct {
-	epoch atomic.Uint64
-	rest  vclock.Atomic
-	memo  atomic.Pointer[clockMemo]
-	// rng is the thread's private xorshift state for the sampling gate;
-	// owner-thread-only like the tick path (docs/SAMPLING.md).
-	rng uint64
-}
-
-type clockMemo struct {
-	epoch uint64
-	tree  vclock.Tree
-}
-
-// tick advances the own component and returns the new epoch.
-func (c *threadClock) tick() uint64 { return c.epoch.Add(1) }
-
-// known returns the components learned from other threads. This is all the
-// OnCall epoch test needs (entries from the own thread are skipped), so the
-// hot path never materializes a full clock.
-func (c *threadClock) known() vclock.Tree { return c.rest.Load() }
-
-// treeFor materializes the full clock of thread `own`: rest overlaid with
-// the current epoch. Called at synchronization operations only.
-func (c *threadClock) treeFor(own int64) vclock.Tree {
-	e := c.epoch.Load()
-	t := c.rest.Load()
-	if t.Get(own) == e {
-		return t
-	}
-	if m := c.memo.Load(); m != nil && m.epoch == e {
-		return m.tree
-	}
-	full := t.Set(own, e)
-	c.memo.Store(&clockMemo{epoch: e, tree: full})
-	return full
-}
-
-// adopt merges an incoming clock (a fork/join/lock handover) into the
-// thread's learned components. Runs on the owning thread.
-func (c *threadClock) adopt(own int64, incoming vclock.Tree) {
-	cur := c.treeFor(own)
-	if vclock.SameRef(cur, incoming) {
-		return
-	}
-	c.memo.Store(nil)
-	c.rest.Store(vclock.Join(cur, incoming))
+	lockVC intmap.Map[vclock.Atomic] // ids.ObjectID → clock slot
 }
 
 type hbEntry struct {
@@ -139,6 +74,7 @@ func (h *hbHistory) add(e hbEntry) {
 }
 
 // each visits the recorded entries newest first, mirroring objHistory.
+// (OnCall inlines this walk; each remains for tests and cold callers.)
 func (h *hbHistory) each(fn func(hbEntry)) {
 	n := len(h.entries)
 	if !h.full {
@@ -164,26 +100,18 @@ func newTSVDHB(cfg config.Config, o options) *TSVDHB {
 	return d
 }
 
-// threadSlot returns t's clock slot, creating it on first use.
-func (d *TSVDHB) threadSlot(t ids.ThreadID) *threadClock {
-	slot, _ := d.threadVC.getOrCreate(int64(t), func() *threadClock {
-		return &threadClock{rng: sampler.SeedRand(d.rt.cfg.Seed, int64(t))}
-	})
-	return slot
-}
-
 // threadTree returns t's current full clock (the zero clock if t has none
 // yet).
 func (d *TSVDHB) threadTree(t ids.ThreadID) vclock.Tree {
-	if slot := d.threadVC.get(int64(t)); slot != nil {
-		return slot.treeFor(int64(t))
+	if st := d.rt.threads.Get(int64(t)); st != nil {
+		return st.treeFor(int64(t))
 	}
 	return vclock.Tree{}
 }
 
 // lockTree returns the lock's current clock.
 func (d *TSVDHB) lockTree(lock ids.ObjectID) vclock.Tree {
-	if slot := d.lockVC.get(int64(lock)); slot != nil {
+	if slot := d.lockVC.Get(int64(lock)); slot != nil {
 		return slot.Load()
 	}
 	return vclock.Tree{}
@@ -194,128 +122,142 @@ func (d *TSVDHB) lockTree(lock ids.ObjectID) vclock.Tree {
 // yet, so no one races the writes.
 func (d *TSVDHB) OnFork(parent, child ids.ThreadID) {
 	p := d.threadTree(parent)
-	slot := d.threadSlot(child)
-	slot.memo.Store(nil)
-	slot.rest.Store(p)
-	slot.epoch.Store(p.Get(int64(child)))
+	st := d.rt.threadStateFor(child)
+	st.memo.Store(nil)
+	st.rest.Store(p)
+	st.epoch.Store(p.Get(int64(child)))
 }
 
 // OnJoin implements Detector: the waiter receives the finished task's clock.
 // When the task passed through no TSVD point since fork, both clocks are the
 // identical tree and the max is skipped entirely (inside adopt).
 func (d *TSVDHB) OnJoin(waiter, done ids.ThreadID) {
-	d.threadSlot(waiter).adopt(int64(waiter), d.threadTree(done))
+	d.rt.threadStateFor(waiter).adopt(int64(waiter), d.threadTree(done))
 }
 
 // OnLockAcquire implements Detector: the thread receives the lock's clock.
 func (d *TSVDHB) OnLockAcquire(t ids.ThreadID, lock ids.ObjectID) {
-	d.threadSlot(t).adopt(int64(t), d.lockTree(lock))
+	d.rt.threadStateFor(t).adopt(int64(t), d.lockTree(lock))
 }
 
 // OnLockRelease implements Detector: the lock stores the thread's clock by
 // reference.
 func (d *TSVDHB) OnLockRelease(t ids.ThreadID, lock ids.ObjectID) {
-	slot, _ := d.lockVC.getOrCreate(int64(lock), func() *vclock.Atomic { return &vclock.Atomic{} })
+	slot, _ := d.lockVC.GetOrCreate(int64(lock), func() *vclock.Atomic { return &vclock.Atomic{} })
 	slot.Store(d.threadTree(t))
 }
 
 // OnCall implements Detector.
 func (d *TSVDHB) OnCall(a Access) {
-	sh := d.rt.shardFor(a.Obj)
+	rt := &d.rt
+	st, fastOK := rt.threads.GetFast(int64(a.Thread))
+	if !fastOK {
+		st = rt.threadStateFor(a.Thread)
+	}
+	rt.resolveSite(&a)
+	os := rt.objStateFor(st, a.Obj)
 	var t0 time.Duration
-	if d.rt.samp != nil {
-		t0 = d.rt.now()
+	if rt.samp != nil {
+		t0 = rt.now()
 	}
 
-	if d.rt.parked.Load() > 0 {
-		sh.mu.Lock()
-		found := d.rt.checkForTraps(sh, a, ids.Stack)
-		sh.mu.Unlock()
+	if rt.parked.Load() > 0 {
+		os.mu.Lock()
+		found := rt.checkForTraps(os, a, ids.Stack)
+		os.mu.Unlock()
 		for _, key := range found {
 			d.set.suppress(key)
 		}
 	}
 
-	slot := d.threadSlot(a.Thread)
-
 	// Sampling gate (ModeSampled, docs/SAMPLING.md) — after the trap check,
 	// so red-handed catching is never sampled out. Skipping the epoch tick
 	// for a sampled-out call is sound: history entries are only recorded for
 	// admitted calls, so HB comparisons stay conservative.
-	if d.rt.samp != nil && !d.rt.samp.Admit(int64(a.Op), sampler.Rand(&slot.rng)) {
-		sh.onCalls.Add(1)
-		sh.sampledOut.Add(1)
+	if rt.samp != nil && !rt.samp.Admit(a.Site, sampler.Rand(&st.rng)) {
+		st.onCalls.Add(1)
+		st.sampledOut.Add(1)
 		// Liveness: while capped, only the skip path runs — it must offer
 		// the controller its tick (see the TSVD gate for the full note).
-		if d.rt.samp.Capped() {
-			d.rt.sampleTick(d.rt.now())
+		if rt.samp.Capped() {
+			rt.sampleTick(rt.now())
 		}
 		return
 	}
+	st.onCalls.Add(1)
 
 	// Local timestamp increments happen here, at the (relatively rare)
 	// TSVD points — not at synchronization operations. The tick is one
 	// atomic add on the thread's own epoch counter; no clock tree is
 	// built, so the hot path performs no allocation.
-	epoch := slot.tick()
-	known := slot.known()
-	d.rt.markSeen(a.Op, true)
+	epoch := st.tick()
+	known := st.known()
+	rt.markSeen(a.Site, a.Op, true)
 
 	// Precise concurrency check against the object's recent accesses,
-	// under the object's shard mutex.
+	// under the object's own lock; skipped while the object is
+	// single-writer (every entry would fail the different-thread test).
 	var nearKeys []report.PairKey
-	sh.mu.Lock()
-	sh.onCalls.Add(1) // counted here, on a cache line this path already owns
-	h := sh.hb[a.Obj]
+	os.mu.Lock()
+	h := os.hb
 	if h == nil {
-		if sh.hb == nil {
-			sh.hb = map[ids.ObjectID]*hbHistory{}
-		}
-		h = newHBHistory(d.rt.cfg.ObjHistory)
-		sh.hb[a.Obj] = h
+		h = newHBHistory(rt.cfg.ObjHistory)
+		os.hb = h
 	}
-	h.each(func(e hbEntry) {
-		if e.thread == a.Thread || !Conflicts(e.kind, a.Kind) {
-			return
+	scan := os.noteWriterLocked(a.Thread)
+	if scan {
+		n := len(h.entries)
+		if !h.full {
+			n = h.next
 		}
-		// The entry's thread differs from ours, so its component in our
-		// clock lives entirely in the learned tree — no need to
-		// materialize the full clock.
-		if known.Get(int64(e.thread)) >= e.epoch {
-			// The previous access happens-before this one: not a
-			// dangerous pair. The clock read for the event is taken only
-			// when tracing is on and a prune actually fires — the
-			// conflict-free fast path never reads the clock at all.
-			d.rt.stats.pairsPrunedHB.Add(1)
-			if d.rt.tr != nil {
-				key := report.KeyOf(e.op, a.Op)
-				d.rt.tr.Emit(trace.KindPairPrunedHB, a.Thread, a.Obj, key.A, key.B, d.rt.now(), 0)
+		for i := 0; i < n; i++ {
+			idx := h.next - 1 - i
+			if idx < 0 {
+				idx += len(h.entries)
 			}
-			return
+			e := &h.entries[idx]
+			if e.thread == a.Thread || !Conflicts(e.kind, a.Kind) {
+				continue
+			}
+			// The entry's thread differs from ours, so its component in our
+			// clock lives entirely in the learned tree — no need to
+			// materialize the full clock.
+			if known.Get(int64(e.thread)) >= e.epoch {
+				// The previous access happens-before this one: not a
+				// dangerous pair. The clock read for the event is taken only
+				// when tracing is on and a prune actually fires — the
+				// conflict-free fast path never reads the clock at all.
+				rt.stats.pairsPrunedHB.Add(1)
+				if rt.tr != nil {
+					key := report.KeyOf(e.op, a.Op)
+					rt.tr.Emit(trace.KindPairPrunedHB, a.Thread, a.Obj, key.A, key.B, rt.now(), 0)
+				}
+				continue
+			}
+			rt.stats.nearMisses.Add(1)
+			rt.met.observeGap(0) // no gap notion: clocks, not time windows
+			if rt.tr != nil {
+				// TSVDHB has no gap notion (concurrency is proven by clocks,
+				// not time windows); the near-miss event carries Dur 0.
+				rt.tr.Emit(trace.KindNearMiss, a.Thread, a.Obj, e.op, a.Op, rt.now(), 0)
+			}
+			nearKeys = append(nearKeys, report.KeyOf(e.op, a.Op))
 		}
-		d.rt.stats.nearMisses.Add(1)
-		d.rt.met.observeGap(0) // no gap notion: clocks, not time windows
-		if d.rt.tr != nil {
-			// TSVDHB has no gap notion (concurrency is proven by clocks,
-			// not time windows); the near-miss event carries Dur 0.
-			d.rt.tr.Emit(trace.KindNearMiss, a.Thread, a.Obj, e.op, a.Op, d.rt.now(), 0)
-		}
-		nearKeys = append(nearKeys, report.KeyOf(e.op, a.Op))
-	})
+	}
 	h.add(hbEntry{thread: a.Thread, op: a.Op, kind: a.Kind, epoch: epoch})
-	sh.mu.Unlock()
+	os.mu.Unlock()
 	for _, key := range nearKeys {
-		if d.set.add(key, &d.rt.stats, d.rt.met) && d.rt.tr != nil {
-			d.rt.tr.Emit(trace.KindPairAdded, a.Thread, a.Obj, key.A, key.B, d.rt.now(), 0)
+		if d.set.add(key, &rt.stats, rt.met) && rt.tr != nil {
+			rt.tr.Emit(trace.KindPairAdded, a.Thread, a.Obj, key.A, key.B, rt.now(), 0)
 		}
 	}
 
 	// Charge this admitted call's analysis time to the overhead controller
 	// (sleep time is charged separately inside injectDelay).
-	if d.rt.samp != nil {
-		now := d.rt.now()
-		d.rt.samp.ObserveCost(now - t0)
-		d.rt.sampleTick(now)
+	if rt.samp != nil {
+		now := rt.now()
+		rt.samp.ObserveCost(now - t0)
+		rt.sampleTick(now)
 	}
 
 	// Injection and decay are identical to TSVD (§3.5 "When to inject").
@@ -323,21 +265,24 @@ func (d *TSVDHB) OnCall(a Access) {
 		return
 	}
 	prob, ok := d.set.eligible(a.Op)
-	if !ok || d.rt.randFloat() >= prob {
+	if !ok || rt.randFloat() >= prob {
 		return
 	}
-	if d.rt.cfg.AvoidOverlappingDelays && d.rt.anyTrapSet() {
+	if rt.cfg.AvoidOverlappingDelays && rt.anyTrapSet() {
 		return
 	}
-	if d.rt.tr != nil {
-		d.rt.tr.Emit(trace.KindDelayPlanned, a.Thread, a.Obj, a.Op, 0, d.rt.now(), d.rt.delayTime)
+	if rt.tr != nil {
+		rt.tr.Emit(trace.KindDelayPlanned, a.Thread, a.Obj, a.Op, 0, rt.now(), rt.delayTime)
 	}
-	trap, _ := d.rt.injectDelay(a, d.rt.delayTime) // sleeps unlocked
+	trap, _ := rt.injectDelay(a, rt.delayTime) // sleeps unlocked
 	if trap != nil && !trap.conflict {
-		d.set.decayAfterFailedDelay(a.Op, d.rt.cfg.DecayFactor,
-			d.rt.cfg.PruneProbability, &d.rt.stats, d.rt.tr, d.rt.now())
+		d.set.decayAfterFailedDelay(a.Op, rt.cfg.DecayFactor,
+			rt.cfg.PruneProbability, &rt.stats, rt.tr, rt.now())
 	}
 }
+
+// Sites implements Detector.
+func (d *TSVDHB) Sites() *sites.Registry { return d.rt.sites }
 
 // Reports implements Detector.
 func (d *TSVDHB) Reports() *report.Collector { return d.rt.reports }

@@ -6,6 +6,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/ids"
 	"repro/internal/report"
+	"repro/internal/sites"
 	"repro/internal/trace"
 )
 
@@ -28,25 +29,27 @@ func newDynamicRandom(cfg config.Config, o options) *DynamicRandom {
 // OnCall implements Detector.
 func (d *DynamicRandom) OnCall(a Access) {
 	d.rt.stats.onCalls.Add(1)
+	d.rt.resolveSite(&a)
 	if d.rt.parked.Load() > 0 {
-		sh := d.rt.shardFor(a.Obj)
-		sh.mu.Lock()
-		d.rt.checkForTraps(sh, a, ids.Stack)
-		sh.mu.Unlock()
+		if os := d.rt.objs.Get(int64(a.Obj)); os != nil {
+			os.mu.Lock()
+			d.rt.checkForTraps(os, a, ids.Stack)
+			os.mu.Unlock()
+		}
 	}
 	// Sampling gate (ModeSampled, docs/SAMPLING.md) — after the trap check.
 	// The random variants already pay a shared-RNG draw per call, so the
 	// gate reuses that source rather than per-thread state. The controller
 	// tick runs before the delay branch: delay time is charged separately
 	// inside injectDelay, so nothing is counted twice.
-	if d.rt.samp != nil && !d.rt.samp.Admit(int64(a.Op), d.rt.randUint64()) {
+	if d.rt.samp != nil && !d.rt.samp.Admit(a.Site, d.rt.randUint64()) {
 		d.rt.stats.callsSampledOut.Add(1)
 		if d.rt.samp.Capped() {
 			d.rt.sampleTick(d.rt.now())
 		}
 		return
 	}
-	d.rt.markSeen(a.Op, false)
+	d.rt.markSeen(a.Site, a.Op, false)
 	if d.rt.samp != nil {
 		d.rt.sampleTick(d.rt.now())
 	}
@@ -60,6 +63,9 @@ func (d *DynamicRandom) OnCall(a Access) {
 		d.rt.injectDelay(a, dur)
 	}
 }
+
+// Sites implements Detector.
+func (d *DynamicRandom) Sites() *sites.Registry { return d.rt.sites }
 
 // Reports implements Detector.
 func (d *DynamicRandom) Reports() *report.Collector { return d.rt.reports }
@@ -86,7 +92,7 @@ func (d *DynamicRandom) Tracer() *trace.Tracer { return d.rt.tr }
 // no analysis" corner of Figure 2 — rather than with execution counts.
 //
 // The armed table is the variant's own cross-thread state and keeps its own
-// small lock; the shared runtime underneath is the striped one.
+// small lock; the shared runtime underneath is the lock-free one.
 type StaticRandom struct {
 	nopSyncHooks
 	rt runtime
@@ -108,21 +114,23 @@ func newStaticRandom(cfg config.Config, o options) *StaticRandom {
 // OnCall implements Detector.
 func (s *StaticRandom) OnCall(a Access) {
 	s.rt.stats.onCalls.Add(1)
+	s.rt.resolveSite(&a)
 	if s.rt.parked.Load() > 0 {
-		sh := s.rt.shardFor(a.Obj)
-		sh.mu.Lock()
-		s.rt.checkForTraps(sh, a, ids.Stack)
-		sh.mu.Unlock()
+		if os := s.rt.objs.Get(int64(a.Obj)); os != nil {
+			os.mu.Lock()
+			s.rt.checkForTraps(os, a, ids.Stack)
+			os.mu.Unlock()
+		}
 	}
 	// Sampling gate, mirroring DynamicRandom.
-	if s.rt.samp != nil && !s.rt.samp.Admit(int64(a.Op), s.rt.randUint64()) {
+	if s.rt.samp != nil && !s.rt.samp.Admit(a.Site, s.rt.randUint64()) {
 		s.rt.stats.callsSampledOut.Add(1)
 		if s.rt.samp.Capped() {
 			s.rt.sampleTick(s.rt.now())
 		}
 		return
 	}
-	s.rt.markSeen(a.Op, false)
+	s.rt.markSeen(a.Site, a.Op, false)
 	if s.rt.samp != nil {
 		s.rt.sampleTick(s.rt.now())
 	}
@@ -152,6 +160,9 @@ func (s *StaticRandom) OnCall(a Access) {
 		s.rt.injectDelay(a, s.rt.delayTime)
 	}
 }
+
+// Sites implements Detector.
+func (s *StaticRandom) Sites() *sites.Registry { return s.rt.sites }
 
 // Reports implements Detector.
 func (s *StaticRandom) Reports() *report.Collector { return s.rt.reports }

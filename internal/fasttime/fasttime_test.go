@@ -1,0 +1,64 @@
+package fasttime
+
+import (
+	"testing"
+	"time"
+)
+
+// TestSinceTicksTracksWallClock: when the TSC path is enabled, its measured
+// durations must agree with the standard clock to within a few percent. When
+// disabled the test is vacuous — the detector falls back to time.Since.
+func TestSinceTicksTracksWallClock(t *testing.T) {
+	if !Enabled() {
+		t.Skip("fasttime disabled on this host")
+	}
+	start := Ticks()
+	t0 := time.Now()
+	time.Sleep(20 * time.Millisecond)
+	wall := time.Since(t0)
+	got := SinceTicks(start)
+	diff := got - wall
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > wall/20 {
+		t.Fatalf("SinceTicks = %v, wall = %v (>5%% apart)", got, wall)
+	}
+}
+
+// TestSinceTicksMonotone: repeated reads never go backwards.
+func TestSinceTicksMonotone(t *testing.T) {
+	if !Enabled() {
+		t.Skip("fasttime disabled on this host")
+	}
+	start := Ticks()
+	prev := SinceTicks(start)
+	for i := 0; i < 100000; i++ {
+		d := SinceTicks(start)
+		if d < prev {
+			t.Fatalf("duration went backwards: %v -> %v", prev, d)
+		}
+		prev = d
+	}
+}
+
+func BenchmarkSinceTicks(b *testing.B) {
+	if !Enabled() {
+		b.Skip("fasttime disabled on this host")
+	}
+	start := Ticks()
+	var sink time.Duration
+	for i := 0; i < b.N; i++ {
+		sink += SinceTicks(start)
+	}
+	_ = sink
+}
+
+func BenchmarkTimeSince(b *testing.B) {
+	start := time.Now()
+	var sink time.Duration
+	for i := 0; i < b.N; i++ {
+		sink += time.Since(start)
+	}
+	_ = sink
+}

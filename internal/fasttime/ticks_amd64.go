@@ -1,0 +1,8 @@
+//go:build amd64
+
+package fasttime
+
+const haveTicks = true
+
+// ticks is implemented in ticks_amd64.s.
+func ticks() uint64

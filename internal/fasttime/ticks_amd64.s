@@ -1,0 +1,15 @@
+#include "textflag.h"
+
+// func ticks() uint64
+//
+// Plain RDTSC, no serialization: the detector wants a cheap monotonic-ish
+// stamp, and the kernel-validated invariant TSC (see fasttime.go's gating)
+// already guarantees cross-CPU consistency. Out-of-order skew is bounded by
+// the pipeline depth — nanoseconds — which the consumers tolerate (gap
+// buckets clamp at zero).
+TEXT ·ticks(SB), NOSPLIT, $0-8
+	RDTSC
+	SHLQ	$32, DX
+	ORQ	DX, AX
+	MOVQ	AX, ret+0(FP)
+	RET

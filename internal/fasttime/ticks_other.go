@@ -1,0 +1,9 @@
+//go:build !amd64
+
+package fasttime
+
+const haveTicks = false
+
+// ticks has no implementation on this architecture; calibrate never runs it
+// because haveTicks is false.
+func ticks() uint64 { return 0 }

@@ -16,7 +16,9 @@ import (
 
 	"repro/internal/config"
 	"repro/internal/core"
+	"repro/internal/ids"
 	"repro/internal/report"
+	"repro/internal/sites"
 	"repro/internal/task"
 	"repro/internal/trace"
 	"repro/internal/trapfile"
@@ -138,6 +140,10 @@ type Outcome struct {
 	// TraceTotals.Dropped must be zero for the trace to reconcile with
 	// Stats.
 	TraceTotals trace.Totals
+	// Sites is the suite-wide site registry every module detector interned
+	// into (Run ensures one shared registry when Config.Sites is nil), so
+	// trace serialization resolves consistent site ids across modules.
+	Sites *sites.Registry
 }
 
 // TraceStatTotals extracts the Stats counters that have exact event-count
@@ -200,10 +206,17 @@ func Baseline(suite *workload.Suite, opts Options) time.Duration {
 // carrying each module's trap set forward between runs.
 func Run(suite *workload.Suite, opts Options) *Outcome {
 	opts = opts.withDefaults()
+	if opts.Config.Sites == nil {
+		// One registry for the whole suite: module detectors intern into the
+		// same table, so merged traces and reports resolve one consistent
+		// set of site ids.
+		opts.Config.Sites = sites.New()
+	}
 	out := &Outcome{
 		Algo:      opts.Config.Algorithm,
 		FoundBugs: map[report.PairKey]int{},
 		Reports:   report.NewCollector(),
+		Sites:     opts.Config.Sites,
 	}
 	planted := suite.PlantedPairs()
 	modulesWithFound := map[string]bool{}
@@ -223,10 +236,18 @@ func Run(suite *workload.Suite, opts Options) *Outcome {
 			f, err := opts.Store.Fetch()
 			if err != nil {
 				out.StoreErr = errors.Join(out.StoreErr, err)
-			} else if len(f.Pairs) > 0 {
-				seed := trapfile.ToKeys(f.Pairs)
-				for mi := range traps {
-					traps[mi] = unionKeys(traps[mi], seed)
+			} else {
+				// Re-intern the fetched site table so this run resolves
+				// API metadata for pairs whose sites it has not executed
+				// yet (the trap-file analogue of trapfile.LoadSeed).
+				for _, r := range f.Sites {
+					opts.Config.Sites.Register(ids.InternKey(r.Loc), r.Class, r.Method, r.Write)
+				}
+				if len(f.Pairs) > 0 {
+					seed := trapfile.ToKeys(f.Pairs)
+					for mi := range traps {
+						traps[mi] = unionKeys(traps[mi], seed)
+					}
 				}
 			}
 		}
@@ -260,8 +281,10 @@ func Run(suite *workload.Suite, opts Options) *Outcome {
 		out.NewBugsByRun = append(out.NewBugsByRun, newBugs)
 
 		if opts.Store != nil {
-			// Hand this run's discoveries to the fleet.
-			f := trapfile.New(opts.Config.Algorithm.String(), unionTraps(traps))
+			// Hand this run's discoveries to the fleet, site table included,
+			// so a shard seeded from the store can resolve API metadata for
+			// call sites it has not executed yet.
+			f := trapfile.NewWithSites(opts.Config.Algorithm.String(), unionTraps(traps), opts.Config.Sites)
 			if err := opts.Store.Publish(f); err != nil {
 				out.StoreErr = errors.Join(out.StoreErr, err)
 			}

@@ -33,6 +33,15 @@ type OpID uint64
 // and GC-safe (no pointer-to-integer conversions).
 type ObjectID uint64
 
+// SiteID is a dense small-integer handle for one instrumentation site: an
+// interned (location, class, method, kind) tuple registered with a
+// sites.Registry. Unlike OpID (a sparse interned token that survives only as
+// its string key), SiteIDs are allocated sequentially from 1, so detector
+// state keyed by site fits in plain arrays indexed by the id itself — the
+// layout the OnCall fast path is built on. 0 is reserved for "unregistered";
+// the detector resolves it through the registry's op-keyed fallback.
+type SiteID uint32
+
 var objectCounter atomic.Uint64
 
 // NewObjectID returns a fresh, process-unique object identifier.

@@ -1,0 +1,212 @@
+package intmap
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestGetOrCreateBasics: insertion round-trips through every lookup path,
+// creation happens exactly once per key, and absent keys stay absent.
+func TestGetOrCreateBasics(t *testing.T) {
+	var m Map[int]
+	if m.Get(1) != nil {
+		t.Fatal("empty map returned a value")
+	}
+	if v, ok := m.GetFast(1); v != nil || ok {
+		t.Fatal("empty map GetFast returned a value or claimed a conclusive miss")
+	}
+
+	v1, created := m.GetOrCreate(1, func() *int { x := 11; return &x })
+	if !created || *v1 != 11 {
+		t.Fatalf("first GetOrCreate: created=%v v=%v", created, v1)
+	}
+	v2, created := m.GetOrCreate(1, func() *int { x := 99; return &x })
+	if created || v2 != v1 {
+		t.Fatalf("second GetOrCreate: created=%v, pointer changed=%v", created, v2 != v1)
+	}
+	if got := m.Get(1); got != v1 {
+		t.Fatalf("Get(1) = %v, want %v", got, v1)
+	}
+	if got := m.Get(2); got != nil {
+		t.Fatalf("Get(2) = %v, want nil", got)
+	}
+	if m.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", m.Len())
+	}
+}
+
+// TestGetFastConsistentWithGet: GetFast either agrees with Get or returns
+// ok == false — it may not fabricate a hit or a conclusive miss. Exercised
+// across enough keys to cover both home-slot hits and probe-chain misses.
+func TestGetFastConsistentWithGet(t *testing.T) {
+	var m Map[int64]
+	const n = 500
+	for k := int64(0); k < n; k++ {
+		k := k
+		m.GetOrCreate(k, func() *int64 { return &k })
+	}
+	for k := int64(0); k < 2*n; k++ {
+		want := m.Get(k)
+		got, ok := m.GetFast(k)
+		if ok && got != want {
+			t.Fatalf("GetFast(%d) = %v conclusive, Get = %v", k, got, want)
+		}
+		if want != nil && *want != k {
+			t.Fatalf("Get(%d) holds %d", k, *want)
+		}
+	}
+	// At least some keys must hit the inlinable fast path, or the detector's
+	// cheap path would silently always fall back to the full probe.
+	hits := 0
+	for k := int64(0); k < n; k++ {
+		if _, ok := m.GetFast(k); ok {
+			hits++
+		}
+	}
+	if hits < n/2 {
+		t.Fatalf("only %d/%d keys conclusive in GetFast — home-slot rate collapsed", hits, n)
+	}
+}
+
+// TestGrowthPreservesEntries inserts far past the initial table size and
+// growth threshold, then verifies every key through both lookup paths and
+// an Each sweep.
+func TestGrowthPreservesEntries(t *testing.T) {
+	var m Map[int64]
+	const n = 10_000
+	for k := int64(1); k <= n; k++ {
+		k := k
+		_, created := m.GetOrCreate(k, func() *int64 { return &k })
+		if !created {
+			t.Fatalf("key %d reported pre-existing", k)
+		}
+	}
+	if m.Len() != n {
+		t.Fatalf("Len = %d, want %d", m.Len(), n)
+	}
+	for k := int64(1); k <= n; k++ {
+		v := m.Get(k)
+		if v == nil || *v != k {
+			t.Fatalf("Get(%d) = %v after growth", k, v)
+		}
+	}
+	seen := map[int64]bool{}
+	m.Each(func(k int64, v *int64) {
+		if seen[k] {
+			t.Fatalf("Each visited key %d twice", k)
+		}
+		if *v != k {
+			t.Fatalf("Each: key %d holds %d", k, *v)
+		}
+		seen[k] = true
+	})
+	if len(seen) != n {
+		t.Fatalf("Each visited %d entries, want %d", len(seen), n)
+	}
+}
+
+// TestNegativeAndLargeKeys: the map is keyed by int64s that include packed
+// (op<<1|kind) keys and fabricated test ids — sign and magnitude must not
+// matter (only the slotEmpty sentinel, MinInt64, is reserved).
+func TestNegativeAndLargeKeys(t *testing.T) {
+	var m Map[int64]
+	keys := []int64{-1, -7, 0, 1, 1 << 40, -(1 << 40), (1 << 62) + 3}
+	for _, k := range keys {
+		k := k
+		m.GetOrCreate(k, func() *int64 { return &k })
+	}
+	for _, k := range keys {
+		if v := m.Get(k); v == nil || *v != k {
+			t.Fatalf("Get(%d) = %v", k, v)
+		}
+		if v, ok := m.GetFast(k); ok && *v != k {
+			t.Fatalf("GetFast(%d) fabricated %v", k, v)
+		}
+	}
+}
+
+// TestConcurrentGetOrCreate: racing creators for one key agree on a single
+// winner, and exactly one observes created == true.
+func TestConcurrentGetOrCreate(t *testing.T) {
+	var m Map[int]
+	const goroutines = 16
+	const keys = 100
+
+	var wg sync.WaitGroup
+	winners := make([]int, keys) // updated only by created==true observers, one per key
+	ptrs := make([][]*int, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			out := make([]*int, keys)
+			for k := 0; k < keys; k++ {
+				v, created := m.GetOrCreate(int64(k), func() *int { x := g; return &x })
+				if created {
+					winners[k]++ // safe: one winner per key, distinct slots
+				}
+				out[k] = v
+			}
+			ptrs[g] = out
+		}(g)
+	}
+	wg.Wait()
+
+	for k := 0; k < keys; k++ {
+		if winners[k] != 1 {
+			t.Fatalf("key %d had %d creators", k, winners[k])
+		}
+		for g := 1; g < goroutines; g++ {
+			if ptrs[g][k] != ptrs[0][k] {
+				t.Fatalf("key %d: goroutines hold different values", k)
+			}
+		}
+	}
+	if m.Len() != keys {
+		t.Fatalf("Len = %d, want %d", m.Len(), keys)
+	}
+}
+
+// TestConcurrentReadDuringGrowth hammers Get/GetFast while an inserter
+// forces repeated table growth; readers must never see a wrong value, and
+// keys inserted before the readers started must never go missing.
+func TestConcurrentReadDuringGrowth(t *testing.T) {
+	var m Map[int64]
+	const preInserted = 256
+	for k := int64(0); k < preInserted; k++ {
+		k := k
+		m.GetOrCreate(k, func() *int64 { return &k })
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for k := int64(0); k < preInserted; k++ {
+					if v := m.Get(k); v == nil || *v != k {
+						t.Errorf("Get(%d) = %v during growth", k, v)
+						return
+					}
+					if v, ok := m.GetFast(k); ok && *v != k {
+						t.Errorf("GetFast(%d) fabricated %v during growth", k, v)
+						return
+					}
+				}
+			}
+		}()
+	}
+	for k := int64(preInserted); k < preInserted+20_000; k++ {
+		k := k
+		m.GetOrCreate(k, func() *int64 { return &k })
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -8,8 +8,14 @@ import (
 // jsonBug is the stable wire form of a deduplicated bug, suitable for CI
 // integration (the paper's deployment files these into the bug tracker).
 type jsonBug struct {
-	LocationA   string   `json:"location_a"`
-	LocationB   string   `json:"location_b"`
+	LocationA string `json:"location_a"`
+	LocationB string `json:"location_b"`
+	// SiteA/SiteB are the interned site ids the two accesses carried
+	// (0 when the access had none). They are process-local handles; the
+	// durable identity remains the location pair plus the class/method
+	// strings resolved below.
+	SiteA       uint64   `json:"site_a,omitempty"`
+	SiteB       uint64   `json:"site_b,omitempty"`
 	Class       string   `json:"class"`
 	Methods     []string `json:"methods"`
 	ReadWrite   bool     `json:"read_write"`
@@ -46,6 +52,8 @@ func (c *Collector) WriteJSON(w io.Writer, tool string, withStacks bool) error {
 		jb := jsonBug{
 			LocationA: v.Trapped.Op.Location(),
 			LocationB: v.Conflicting.Op.Location(),
+			SiteA:     uint64(v.Trapped.Site),
+			SiteB:     uint64(v.Conflicting.Site),
 			Class:     v.Trapped.Class,
 			Methods: []string{
 				v.Trapped.Class + "." + v.Trapped.Method,

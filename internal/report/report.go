@@ -20,6 +20,10 @@ import (
 type Side struct {
 	Thread ids.ThreadID
 	Op     ids.OpID
+	// Site is the interned site handle the access carried (stable only
+	// within the producing process; serialized outputs pair it with a site
+	// table). Class and Method are resolved from it at report time.
+	Site ids.SiteID
 	// Write is true when this side is a write-API call.
 	Write bool
 	// Class and Method describe the thread-unsafe API, e.g. Dictionary.Add.

@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"repro/internal/clock"
+	"repro/internal/ids"
 )
 
 // thresholdBits is the fixed-point resolution of admission thresholds: a
@@ -71,6 +72,12 @@ type site struct {
 	hits      atomic.Int64
 }
 
+// siteTable is the dense per-site state store, indexed directly by
+// ids.SiteID. Entries are pointers so growth copies only pointer words —
+// never a live site's atomics — and a reader holding the old table keeps
+// operating on the same site objects the new table references.
+type siteTable []atomic.Pointer[site]
+
 // Sampler is the admission gate plus its adaptive controller. All methods
 // are safe for concurrent use; Admit, ObserveCost and ObserveDelay are
 // lock-free.
@@ -79,8 +86,14 @@ type Sampler struct {
 
 	// globalP is the current global probability (float64 bits).
 	globalP atomic.Uint64
-	// sites maps int64 site ids (ids.OpID) to *site.
-	sites sync.Map
+	// states is the dense per-site admission table indexed by ids.SiteID
+	// (grow-by-doubling, republished via atomic pointer swap). Lookups are
+	// one bounds check and two loads — no hashing, no interface boxing.
+	states atomic.Pointer[siteTable]
+	// stateMu serializes first-sighting inserts and table growth.
+	stateMu sync.Mutex
+	// nSites counts distinct sites seen, for Snapshot.
+	nSites atomic.Int64
 	// capped is set when the interval's hard budget is exhausted; Admit
 	// refuses everything until the next Tick resets it.
 	capped atomic.Bool
@@ -138,12 +151,12 @@ func thresholdFor(p float64) uint64 {
 }
 
 // Admit decides whether this access enters the detector. siteID is the
-// access's static location (ids.OpID) and rnd a fresh 64-bit random from the
-// calling thread's Rand state. Hits are counted per site per interval so the
-// controller can flatten coverage across hot and cold sites; while the
+// access's dense registry id (ids.SiteID) and rnd a fresh 64-bit random from
+// the calling thread's Rand state. Hits are counted per site per interval so
+// the controller can flatten coverage across hot and cold sites; while the
 // interval's hard budget is exhausted Admit refuses everything without
 // touching the site table.
-func (s *Sampler) Admit(siteID int64, rnd uint64) bool {
+func (s *Sampler) Admit(siteID ids.SiteID, rnd uint64) bool {
 	if s.capped.Load() {
 		return false
 	}
@@ -153,16 +166,45 @@ func (s *Sampler) Admit(siteID int64, rnd uint64) bool {
 }
 
 // siteFor returns the site state, creating it at the current global
-// probability on first sight.
-func (s *Sampler) siteFor(siteID int64) *site {
-	if v, ok := s.sites.Load(siteID); ok {
-		return v.(*site)
+// probability on first sight. The steady-state path is one table-pointer
+// load, one bounds check and one entry load.
+func (s *Sampler) siteFor(siteID ids.SiteID) *site {
+	if t := s.states.Load(); t != nil && int(siteID) < len(*t) {
+		if st := (*t)[siteID].Load(); st != nil {
+			return st
+		}
+	}
+	return s.siteForSlow(siteID)
+}
+
+func (s *Sampler) siteForSlow(siteID ids.SiteID) *site {
+	s.stateMu.Lock()
+	defer s.stateMu.Unlock()
+	t := s.states.Load()
+	if t == nil || int(siteID) >= len(*t) {
+		size := 64
+		if t != nil {
+			size = len(*t)
+		}
+		for size <= int(siteID) {
+			size *= 2
+		}
+		nt := make(siteTable, size)
+		if t != nil {
+			for i := range *t {
+				nt[i].Store((*t)[i].Load())
+			}
+		}
+		s.states.Store(&nt)
+		t = &nt
+	}
+	if st := (*t)[siteID].Load(); st != nil {
+		return st
 	}
 	st := &site{}
 	st.threshold.Store(thresholdFor(s.Probability()))
-	if v, loaded := s.sites.LoadOrStore(siteID, st); loaded {
-		return v.(*site)
-	}
+	(*t)[siteID].Store(st)
+	s.nSites.Add(1)
 	return st
 }
 
@@ -293,18 +335,26 @@ func (s *Sampler) Tick(now time.Duration) (Adjustment, bool) {
 // so the budget spreads across the program instead of pooling on one hot
 // loop. Hit counts reset for the next interval.
 func (s *Sampler) rebalanceSites(p float64) {
+	t := s.states.Load()
+	if t == nil {
+		return
+	}
 	var totalHits, n int64
-	s.sites.Range(func(_, v any) bool {
-		totalHits += v.(*site).hits.Load()
-		n++
-		return true
-	})
+	for i := range *t {
+		if st := (*t)[i].Load(); st != nil {
+			totalHits += st.hits.Load()
+			n++
+		}
+	}
 	var mean float64
 	if n > 0 {
 		mean = float64(totalHits) / float64(n)
 	}
-	s.sites.Range(func(_, v any) bool {
-		st := v.(*site)
+	for i := range *t {
+		st := (*t)[i].Load()
+		if st == nil {
+			continue
+		}
 		hits := float64(st.hits.Swap(0))
 		sp := p
 		if mean > 0 && hits > mean {
@@ -314,8 +364,7 @@ func (s *Sampler) rebalanceSites(p float64) {
 			}
 		}
 		st.threshold.Store(thresholdFor(sp))
-		return true
-	})
+	}
 }
 
 // Probability returns the current global admission probability.
@@ -350,8 +399,7 @@ type Snapshot struct {
 
 // Snapshot returns the sampler's current state.
 func (s *Sampler) Snapshot() Snapshot {
-	var n int
-	s.sites.Range(func(_, _ any) bool { n++; return true })
+	n := int(s.nSites.Load())
 	s.tickMu.Lock()
 	ticks := s.ticks
 	s.tickMu.Unlock()

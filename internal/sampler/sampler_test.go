@@ -3,10 +3,12 @@ package sampler
 import (
 	"testing"
 	"time"
+
+	"repro/internal/ids"
 )
 
 // admitRate measures the empirical admission rate of one site over n trials.
-func admitRate(s *Sampler, siteID int64, n int) float64 {
+func admitRate(s *Sampler, siteID ids.SiteID, n int) float64 {
 	state := SeedRand(1, 7)
 	admitted := 0
 	for i := 0; i < n; i++ {

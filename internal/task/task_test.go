@@ -250,13 +250,13 @@ func TestSqrtCacheScenario(t *testing.T) {
 			const dictObj = ids.ObjectID(77)
 			getSqrt := func(x float64) *Task[float64] {
 				return Run(s, func() float64 {
-					det.OnCall(core.Access{
+					core.OnCallLegacy(det, core.AccessLegacy{
 						Thread: ids.CurrentThreadID(), Obj: dictObj,
 						Op: 7701, Kind: core.KindRead,
 						Class: "Dictionary", Method: "ContainsKey",
 					})
 					time.Sleep(time.Millisecond)
-					det.OnCall(core.Access{
+					core.OnCallLegacy(det, core.AccessLegacy{
 						Thread: ids.CurrentThreadID(), Obj: dictObj,
 						Op: 7702, Kind: core.KindWrite,
 						Class: "Dictionary", Method: "Add",

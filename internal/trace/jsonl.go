@@ -7,6 +7,7 @@ import (
 	"io"
 
 	"repro/internal/ids"
+	"repro/internal/sites"
 )
 
 // SchemaVersion guards trace consumers against incompatible producers; it is
@@ -14,13 +15,20 @@ import (
 // concatenated or split. Version 2 added the trap-store event kinds
 // (store_fetch, store_publish, store_fallback) and the summary's store
 // totals. Version 3 added the sampling-tier kinds (delay_suppressed,
-// sampler_throttle) and their stat totals (docs/SAMPLING.md).
-const SchemaVersion = 3
+// sampler_throttle) and their stat totals (docs/SAMPLING.md). Version 4
+// added interned site references: events carry site_a/site_b ids and the
+// summary carries the sidecar site table resolving each id to its
+// (location, class, method, kind) tuple, so traces survive renames of the
+// API strings and cross-process comparison goes through stable tuples
+// rather than process-local ids.
+const SchemaVersion = 4
 
 // JSONEvent is the wire form of one event: one JSON object per line
 // (docs/OBSERVABILITY.md documents the schema field by field). Locations are
 // resolved to their stable interned keys at serialization time — never on the
-// emission path — so traces from different processes are comparable.
+// emission path — so traces from different processes are comparable. Site
+// references (schema v4) resolve through the producing detector's site
+// registry the same way; 0 means the op had no registered site.
 type JSONEvent struct {
 	V      int    `json:"v"`
 	Ev     string `json:"ev"`
@@ -33,11 +41,14 @@ type JSONEvent struct {
 	OpB    uint64 `json:"op_b,omitempty"`
 	LocA   string `json:"loc_a,omitempty"`
 	LocB   string `json:"loc_b,omitempty"`
+	SiteA  uint64 `json:"site_a,omitempty"`
+	SiteB  uint64 `json:"site_b,omitempty"`
 	DurUS  int64  `json:"dur_us,omitempty"`
 }
 
-// jsonEventOf converts one drained event.
-func jsonEventOf(module string, run int, e Event) JSONEvent {
+// jsonEventOf converts one drained event, resolving site references through
+// reg (nil reg leaves them zero).
+func jsonEventOf(module string, run int, e Event, reg *sites.Registry) JSONEvent {
 	je := JSONEvent{
 		V:      SchemaVersion,
 		Ev:     e.Kind.String(),
@@ -52,23 +63,66 @@ func jsonEventOf(module string, run int, e Event) JSONEvent {
 	}
 	if e.OpA != 0 {
 		je.LocA = e.OpA.Key()
+		if reg != nil {
+			if s, ok := reg.SiteForOp(e.OpA); ok {
+				je.SiteA = uint64(s.ID)
+			}
+		}
 	}
 	if e.OpB != 0 {
 		je.LocB = e.OpB.Key()
+		if reg != nil {
+			if s, ok := reg.SiteForOp(e.OpB); ok {
+				je.SiteB = uint64(s.ID)
+			}
+		}
 	}
 	return je
 }
 
-// WriteJSONL serializes one module trace, one event per line.
-func WriteJSONL(w io.Writer, mt ModuleTrace) error {
+// WriteJSONL serializes one module trace, one event per line. reg is the
+// producing detector's site registry, used to resolve the v4 site references;
+// nil emits events without site ids (legacy producers, fabricated tests).
+func WriteJSONL(w io.Writer, mt ModuleTrace, reg *sites.Registry) error {
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
 	for _, e := range mt.Events {
-		if err := enc.Encode(jsonEventOf(mt.Module, mt.Run, e)); err != nil {
+		if err := enc.Encode(jsonEventOf(mt.Module, mt.Run, e, reg)); err != nil {
 			return fmt.Errorf("trace: encode event: %w", err)
 		}
 	}
 	return bw.Flush()
+}
+
+// SiteRecord is one row of the summary's sidecar site table: the stable
+// tuple a process-local site id resolves to. Consumers joining traces from
+// different processes must match on the tuple, not the id.
+type SiteRecord struct {
+	ID     uint64 `json:"id"`
+	Loc    string `json:"loc"`
+	Class  string `json:"class,omitempty"`
+	Method string `json:"method,omitempty"`
+	Write  bool   `json:"write,omitempty"`
+}
+
+// SiteTable renders reg's registered sites in id order for the summary
+// sidecar (nil for a nil registry).
+func SiteTable(reg *sites.Registry) []SiteRecord {
+	if reg == nil {
+		return nil
+	}
+	snap := reg.Snapshot()
+	out := make([]SiteRecord, 0, len(snap))
+	for _, s := range snap {
+		out = append(out, SiteRecord{
+			ID:     uint64(s.ID),
+			Loc:    s.Op.Key(),
+			Class:  s.Class,
+			Method: s.Method,
+			Write:  s.Write,
+		})
+	}
+	return out
 }
 
 // pairKinds require both locations on the wire.
@@ -203,6 +257,10 @@ type Summary struct {
 	// Store is the trap-store client's own operation accounting, mirrored by
 	// the store_* events (zero-valued when the run used no trap store).
 	Store StoreTotals `json:"store"`
+	// Sites is the sidecar site table (schema v4): every site id referenced
+	// by the events resolves to its stable (location, class, method, kind)
+	// tuple here. Empty when the producer had no site registry.
+	Sites []SiteRecord `json:"sites,omitempty"`
 }
 
 // WriteSummary serializes the sidecar.

@@ -26,6 +26,7 @@ import (
 
 	"repro/internal/ids"
 	"repro/internal/report"
+	"repro/internal/sites"
 )
 
 // FormatVersion guards against reading files from incompatible builds. The
@@ -45,12 +46,63 @@ type File struct {
 	Version int    `json:"version"`
 	Tool    string `json:"tool"`
 	Pairs   []Pair `json:"pairs"`
+	// Sites is the optional site table: the API metadata for the locations
+	// the pairs reference, keyed by the same stable location keys. A file
+	// carrying it seeds the next process's site registry (LoadSeed), so
+	// reports in run 2 resolve class/method names before the renamed or
+	// not-yet-executed call site runs. Files written by older builds simply
+	// have none — pairs alone remain a complete seed.
+	Sites []SiteRecord `json:"sites,omitempty"`
 }
 
 // Pair is one dangerous pair, identified by location keys.
 type Pair struct {
 	A string `json:"a"`
 	B string `json:"b"`
+}
+
+// SiteRecord is one site-table row: the stable tuple for an interned site.
+// Unlike the in-memory sites.Site it carries no dense id — ids are
+// process-local, and cross-process identity is exactly this tuple.
+type SiteRecord struct {
+	Loc    string `json:"loc"`
+	Class  string `json:"class,omitempty"`
+	Method string `json:"method,omitempty"`
+	Write  bool   `json:"write,omitempty"`
+}
+
+func (s SiteRecord) less(t SiteRecord) bool {
+	if s.Loc != t.Loc {
+		return s.Loc < t.Loc
+	}
+	if s.Class != t.Class {
+		return s.Class < t.Class
+	}
+	if s.Method != t.Method {
+		return s.Method < t.Method
+	}
+	return !s.Write && t.Write
+}
+
+// normalizeSites canonicalizes a site table the same way normalize does
+// pairs: rows without a location key are dropped (nothing to re-intern
+// against), duplicates collapse, and the result sorts by the full tuple so
+// equal tables serialize to equal bytes.
+func normalizeSites(recs []SiteRecord) []SiteRecord {
+	out := make([]SiteRecord, 0, len(recs))
+	seen := make(map[SiteRecord]bool, len(recs))
+	for _, r := range recs {
+		if r.Loc == "" || seen[r] {
+			continue
+		}
+		seen[r] = true
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].less(out[j]) })
+	if len(out) == 0 {
+		return nil
+	}
+	return out
 }
 
 // less orders pairs lexicographically by (A, B) — the canonical order every
@@ -96,10 +148,32 @@ func New(tool string, pairs []report.PairKey) File {
 	return File{Version: FormatVersion, Tool: tool, Pairs: FromKeys(pairs)}
 }
 
+// NewWithSites is New plus the site table: reg's registered sites serialized
+// by stable tuple, so the file carries the metadata to seed the next run's
+// registry (LoadSeed). A nil registry degrades to New.
+func NewWithSites(tool string, pairs []report.PairKey, reg *sites.Registry) File {
+	f := New(tool, pairs)
+	if reg == nil {
+		return f
+	}
+	snap := reg.Snapshot()
+	recs := make([]SiteRecord, 0, len(snap))
+	for _, s := range snap {
+		recs = append(recs, SiteRecord{
+			Loc: s.Op.Key(), Class: s.Class, Method: s.Method, Write: s.Write,
+		})
+	}
+	f.Sites = normalizeSites(recs)
+	return f
+}
+
 // Merge unions two trap sets deterministically: both sides are normalized,
 // the union is sorted by (A, B), and the newer side's Tool label wins when
-// it has one. Merge is commutative up to the Tool label and associative, so
-// a daemon merging shard publishes in any arrival order, and a shard merging
+// it has one. Site tables union by stable tuple, so a legacy string-keyed
+// file (pairs only, no table) merges losslessly with a site-aware one: its
+// pairs survive on their location keys and simply contribute no metadata
+// rows. Merge is commutative up to the Tool label and associative, so a
+// daemon merging shard publishes in any arrival order, and a shard merging
 // a daemon snapshot into local seeds, reach identical pair lists.
 func Merge(older, newer File) File {
 	merged := File{Version: FormatVersion, Tool: newer.Tool}
@@ -107,6 +181,7 @@ func Merge(older, newer File) File {
 		merged.Tool = older.Tool
 	}
 	merged.Pairs = normalize(append(append([]Pair(nil), older.Pairs...), newer.Pairs...))
+	merged.Sites = normalizeSites(append(append([]SiteRecord(nil), older.Sites...), newer.Sites...))
 	return merged
 }
 
@@ -153,6 +228,7 @@ func SetTestHookAfterWrite(fn func(tmpPath string) error) { testHookAfterWrite =
 func Save(path string, f File) error {
 	f.Version = FormatVersion
 	f.Pairs = normalize(f.Pairs)
+	f.Sites = normalizeSites(f.Sites)
 	data, err := json.MarshalIndent(f, "", "  ")
 	if err != nil {
 		return fmt.Errorf("trapfile: marshal: %w", err)
@@ -225,6 +301,7 @@ func LoadFile(path string) (File, error) {
 			path, f.Version, FormatVersion, ErrCorrupt)
 	}
 	f.Pairs = normalize(f.Pairs)
+	f.Sites = normalizeSites(f.Sites)
 	return f, nil
 }
 
@@ -238,6 +315,27 @@ func Load(path string) ([]report.PairKey, error) {
 	f, err := LoadFile(path)
 	if err != nil {
 		return nil, err
+	}
+	if len(f.Pairs) == 0 {
+		return nil, nil
+	}
+	return ToKeys(f.Pairs), nil
+}
+
+// LoadSeed is Load plus site-registry seeding: the file's site table is
+// registered into reg (interning each row's location key into this process's
+// OpID space), so run 2 resolves the API metadata of seeded pairs before —
+// or without — the corresponding call sites executing. reg may be nil to
+// skip seeding; legacy files without a table seed nothing.
+func LoadSeed(path string, reg *sites.Registry) ([]report.PairKey, error) {
+	f, err := LoadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if reg != nil {
+		for _, r := range f.Sites {
+			reg.Register(ids.InternKey(r.Loc), r.Class, r.Method, r.Write)
+		}
 	}
 	if len(f.Pairs) == 0 {
 		return nil, nil

@@ -168,10 +168,12 @@ type site struct {
 }
 
 // call reports the access and performs a small unit of work standing in for
-// the container operation.
+// the container operation. It deliberately goes through the string-keyed
+// compatibility shim rather than pre-interned SiteIDs: the scenario suite is
+// what proves the legacy path detects exactly what the native path does.
 func (e *Env) call(s site, obj ids.ObjectID) {
 	if e.Det != nil {
-		e.Det.OnCall(core.Access{
+		core.OnCallLegacy(e.Det, core.AccessLegacy{
 			Thread: ids.CurrentThreadID(),
 			Obj:    obj,
 			Op:     s.op,

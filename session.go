@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/report"
+	"repro/internal/sites"
 	"repro/internal/trapfile"
 )
 
@@ -58,9 +59,15 @@ func Install(cfg Config, opts ...core.Option) (*Session, error) {
 }
 
 // InstallWithTrapFile is Install seeded from a previous run's trap file
-// (§3.4.6); a missing file is not an error.
+// (§3.4.6); a missing file is not an error. The file's site table (if it has
+// one) seeds the session's site registry, so reports on seeded pairs resolve
+// API metadata from run 1's interning rather than waiting for the call site
+// to execute again.
 func InstallWithTrapFile(cfg Config, path string, opts ...core.Option) (*Session, error) {
-	pairs, err := trapfile.Load(path)
+	if cfg.Sites == nil {
+		cfg.Sites = sites.New()
+	}
+	pairs, err := trapfile.LoadSeed(path, cfg.Sites)
 	if err != nil {
 		return nil, err
 	}
@@ -127,11 +134,17 @@ func (s *Session) Snapshot() Snapshot {
 func (s *Session) ExportTraps() []report.PairKey { return s.det.ExportTraps() }
 
 // SaveTraps persists this session's dangerous pairs to a trap file for the
-// next run. It works on a closed session too: a superseded or finished run
-// may still hand its discoveries forward.
+// next run, with the session's site table alongside so the next process can
+// resolve the pairs' API metadata up front. It works on a closed session
+// too: a superseded or finished run may still hand its discoveries forward.
 func (s *Session) SaveTraps(path string) error {
-	return trapfile.Save(path, trapfile.New("TSVD", s.det.ExportTraps()))
+	return trapfile.Save(path, trapfile.NewWithSites("TSVD", s.det.ExportTraps(), s.det.Sites()))
 }
+
+// Sites returns the session's site registry: the intern table instrumented
+// call sites register into (RegisterSite) and reports resolve API metadata
+// from.
+func (s *Session) Sites() *SiteRegistry { return s.det.Sites() }
 
 // Closed reports whether the session has been closed or superseded.
 func (s *Session) Closed() bool { return s.closed.Load() }

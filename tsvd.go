@@ -31,7 +31,9 @@ import (
 	"repro/internal/collections"
 	"repro/internal/config"
 	"repro/internal/core"
+	"repro/internal/ids"
 	"repro/internal/metrics"
+	"repro/internal/sites"
 	"repro/internal/syncx"
 	"repro/internal/task"
 )
@@ -92,6 +94,38 @@ func DefaultConfig() Config { return config.Defaults(config.AlgoTSVD) }
 // Install instead.
 func NewDetector(cfg Config, opts ...core.Option) (Detector, error) {
 	return core.New(cfg, opts...)
+}
+
+// --- Interned instrumentation sites ---
+
+// SiteID is the dense handle of an interned instrumentation site; Access
+// values carry it instead of API metadata strings, and the detector's
+// per-site state is indexed by it. 0 means "unregistered".
+type SiteID = ids.SiteID
+
+// Site is one interned site: its location plus the (class, method, write)
+// API tuple resolved from the registry at report time.
+type Site = sites.Site
+
+// SiteRegistry interns (location, class, method, kind) tuples into dense
+// SiteIDs; see internal/sites. Share one registry across detectors (via
+// Config.Sites) to keep ids consistent in merged output.
+type SiteRegistry = sites.Registry
+
+// NewSiteRegistry returns an empty site registry, for callers that pre-
+// register a site table (tsvd-instrument -sites) and share it across
+// sessions via Config.Sites.
+func NewSiteRegistry() *SiteRegistry { return sites.New() }
+
+// RegisterSite interns one instrumentation site in the installed session's
+// registry and returns its dense id, for instrumented code that registers
+// its sites up front (e.g. from a tsvd-instrument site table) and then
+// passes the SiteID on every access instead of strings. loc is the stable
+// location key ("file:line"); registering the same tuple again returns the
+// same id. Without an installed session the site lands in the no-op
+// detector's registry and the returned id is only meaningful there.
+func RegisterSite(loc, class, method string, write bool) SiteID {
+	return Default().Sites().Register(ids.InternKey(loc), class, method, write)
 }
 
 // --- Live metrics (Prometheus exposition) ---
