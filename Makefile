@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench bench-gate trace-smoke fleet-smoke metrics-smoke chaos-smoke docs-check
+.PHONY: check vet build test race bench bench-gate trace-smoke fleet-smoke metrics-smoke chaos-smoke triage-smoke docs-check
 
-check: vet build test race trace-smoke fleet-smoke metrics-smoke chaos-smoke docs-check bench-gate
+check: vet build test race trace-smoke fleet-smoke metrics-smoke chaos-smoke triage-smoke docs-check bench-gate
 
 vet:
 	$(GO) vet ./...
@@ -53,6 +53,13 @@ chaos-smoke:
 	$(GO) run -race ./cmd/tsvd-chaos -seed 11 -actions 20 -shards 2 -daemons 3
 	$(GO) run -race ./cmd/tsvd-chaos -replay internal/chaos/regression_seeds.json
 
+# End-to-end triage gate: a K=4×R=3 fleet with planted duplicate bugs across
+# shards must fold into exactly one ranked, explained cluster per planted
+# bug, and the tsvd-triage CLI must dedup two same-seed tsvd-run trace shards
+# the same way (see docs/OBSERVABILITY.md, "Triage").
+triage-smoke:
+	$(GO) run ./cmd/tsvd-triage-smoke
+
 # Docs gate: intra-docs links must resolve, every Config field and tsvd.*
 # symbol the docs mention must exist in source, and every exported
 # identifier in the public package, internal/config, and internal/sampler
@@ -64,8 +71,9 @@ docs-check:
 bench:
 	GOMAXPROCS=8 $(GO) test -bench BenchmarkOnCallContention -benchtime 1s -run '^$$' .
 
-# OnCall fast-path regression gate: BenchmarkOnCallUncontended/TSVD must stay
-# under the ns/op threshold committed in bench_gate.json (best of N runs; see
-# cmd/tsvd-bench-gate for why the minimum is the estimator).
+# Hot-path regression gates: BenchmarkOnCallUncontended/TSVD and the trace
+# BenchmarkEmit must stay under the ns/op thresholds committed in
+# bench_gate.json (best of N runs; see cmd/tsvd-bench-gate for why the
+# minimum is the estimator).
 bench-gate:
 	$(GO) run ./cmd/tsvd-bench-gate

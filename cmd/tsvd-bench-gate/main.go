@@ -1,7 +1,10 @@
-// Command tsvd-bench-gate is the OnCall fast-path performance gate: it runs
-// the gated microbenchmark (BenchmarkOnCallUncontended/TSVD by default)
-// several times and fails when the best observed ns/op exceeds the threshold
-// committed in bench_gate.json.
+// Command tsvd-bench-gate is the hot-path performance gate: for every gate
+// committed in bench_gate.json it runs the gated microbenchmark in its own
+// package several times and fails when the best observed ns/op exceeds the
+// gate's threshold. Two paths are gated today: the detector OnCall fast path
+// (BenchmarkOnCallUncontended/TSVD in the root package) and the trace
+// ring-buffer Emit path (BenchmarkEmit in internal/trace) that the triage
+// explanation slices depend on.
 //
 // The minimum across runs is the gate's estimator on purpose: the benchmark
 // VM's run-to-run noise is one-sided (preemption and frequency excursions
@@ -10,9 +13,9 @@
 // lock, map probe, allocation, or string materialization on the hot path —
 // raises the minimum too and is exactly what the gate exists to catch.
 //
-// Exit status: 0 when the gate passes, 1 when it fails, 2 on configuration
-// or execution errors. `make bench-gate` runs it from the repository root;
-// it is part of `make check`.
+// Exit status: 0 when every gate passes, 1 when any fails, 2 on
+// configuration or execution errors. `make bench-gate` runs it from the
+// repository root; it is part of `make check`.
 package main
 
 import (
@@ -28,8 +31,17 @@ import (
 
 // gateConfig is the committed threshold file (bench_gate.json).
 type gateConfig struct {
+	// Gates lists every benchmark threshold to enforce.
+	Gates []gate `json:"gates"`
+}
+
+// gate is one benchmark threshold.
+type gate struct {
 	// Benchmark is the full sub-benchmark name to gate.
 	Benchmark string `json:"benchmark"`
+	// Package is the package directory the benchmark lives in ("." for
+	// the repository root).
+	Package string `json:"package"`
 	// MaxNsPerOp fails the gate when the best run exceeds it.
 	MaxNsPerOp float64 `json:"max_ns_per_op"`
 	// Runs is how many -count repetitions feed the minimum.
@@ -53,44 +65,69 @@ func main() {
 	if err := json.Unmarshal(data, &cfg); err != nil {
 		fail(2, "parse %s: %v", *cfgPath, err)
 	}
-	if cfg.Benchmark == "" || cfg.MaxNsPerOp <= 0 {
-		fail(2, "%s: benchmark and max_ns_per_op are required", *cfgPath)
-	}
-	if cfg.Runs <= 0 {
-		cfg.Runs = 3
-	}
-	if cfg.Benchtime == "" {
-		cfg.Benchtime = "300ms"
+	if len(cfg.Gates) == 0 {
+		fail(2, "%s: at least one gate is required", *cfgPath)
 	}
 
+	failed := false
+	for _, g := range cfg.Gates {
+		if g.Benchmark == "" || g.MaxNsPerOp <= 0 {
+			fail(2, "%s: benchmark and max_ns_per_op are required on every gate", *cfgPath)
+		}
+		if g.Package == "" {
+			g.Package = "."
+		}
+		if g.Runs <= 0 {
+			g.Runs = 3
+		}
+		if g.Benchtime == "" {
+			g.Benchtime = "300ms"
+		}
+
+		ns, runs, err := runGate(*goBin, g)
+		if err != nil {
+			fail(2, "%s: %v", g.Benchmark, err)
+		}
+		if ns > g.MaxNsPerOp {
+			fmt.Fprintf(os.Stderr,
+				"tsvd-bench-gate: %s (%s): best of %d runs = %.2f ns/op, gate = %.2f ns/op — the fast path regressed\n",
+				g.Benchmark, g.Package, runs, ns, g.MaxNsPerOp)
+			failed = true
+			continue
+		}
+		fmt.Printf("tsvd-bench-gate: ok — %s (%s) best of %d runs = %.2f ns/op (gate %.2f)\n",
+			g.Benchmark, g.Package, runs, ns, g.MaxNsPerOp)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// runGate executes one gate's benchmark in its package and returns the best
+// ns/op and the number of runs observed.
+func runGate(goBin string, g gate) (float64, int, error) {
 	// Anchor every slash segment: go's -bench matching is per-segment
 	// substring, so a bare "TSVD" would also run "TSVDHB".
-	segs := strings.Split(cfg.Benchmark, "/")
+	segs := strings.Split(g.Benchmark, "/")
 	for i, s := range segs {
 		segs[i] = "^" + regexp.QuoteMeta(s) + "$"
 	}
 	pattern := strings.Join(segs, "/")
 
-	cmd := exec.Command(*goBin, "test", "-run", "^$",
+	cmd := exec.Command(goBin, "test", "-run", "^$",
 		"-bench", pattern,
-		"-benchtime", cfg.Benchtime,
-		"-count", strconv.Itoa(cfg.Runs),
-		".")
+		"-benchtime", g.Benchtime,
+		"-count", strconv.Itoa(g.Runs),
+		g.Package)
 	out, err := cmd.CombinedOutput()
 	if err != nil {
-		fail(2, "benchmark run failed: %v\n%s", err, out)
+		return 0, 0, fmt.Errorf("benchmark run failed: %v\n%s", err, out)
 	}
-
-	ns, runs, err := minNsPerOp(string(out), cfg.Benchmark)
+	ns, runs, err := minNsPerOp(string(out), g.Benchmark)
 	if err != nil {
-		fail(2, "%v\n%s", err, out)
+		return 0, 0, fmt.Errorf("%v\n%s", err, out)
 	}
-	if ns > cfg.MaxNsPerOp {
-		fail(1, "%s: best of %d runs = %.2f ns/op, gate = %.2f ns/op — the fast path regressed",
-			cfg.Benchmark, runs, ns, cfg.MaxNsPerOp)
-	}
-	fmt.Printf("tsvd-bench-gate: ok — %s best of %d runs = %.2f ns/op (gate %.2f)\n",
-		cfg.Benchmark, runs, ns, cfg.MaxNsPerOp)
+	return ns, runs, nil
 }
 
 // benchLine matches one `go test -bench` result line:

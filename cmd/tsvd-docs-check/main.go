@@ -13,10 +13,15 @@
 //     core.Access (`Access.Class` / `Access.Method`); migration notes must
 //     name them through the compatibility shim (`AccessLegacy.Class`),
 //     which still has them;
+//   - no non-test Go file outside internal/core references the deprecated
+//     legacy interning shims (`core.OnCallLegacy` / `core.AccessLegacy`):
+//     production callers must use the interned fast path (OnCall with a
+//     site-registry SiteID); the shims exist only for migration tests and
+//     the equivalence suite that pins their behaviour;
 //   - every exported identifier in the tsvd root package, internal/config,
-//     internal/sampler, and internal/chaos carries a doc comment (the godoc
-//     audit), including methods on exported types, exported struct fields,
-//     and exported interface methods.
+//     internal/sampler, internal/chaos, and internal/triage carries a doc
+//     comment (the godoc audit), including methods on exported types,
+//     exported struct fields, and exported interface methods.
 //
 // Exit status: 0 when everything reconciles, 1 with one line per finding
 // otherwise, 2 on usage or I/O errors. `make docs-check` runs it from the
@@ -93,8 +98,17 @@ func main() {
 		}
 	}
 
+	banned, scanned, err := banLegacyCalls(*root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tsvd-docs-check: legacy-shim scan: %v\n", err)
+		os.Exit(2)
+	}
+	for _, b := range banned {
+		report("%s", b)
+	}
+
 	audited := 0
-	for _, dir := range []string{".", "internal/config", "internal/sampler", "internal/chaos"} {
+	for _, dir := range []string{".", "internal/config", "internal/sampler", "internal/chaos", "internal/triage"} {
 		n, missing, err := auditGodoc(filepath.Join(*root, dir))
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "tsvd-docs-check: %s: %v\n", dir, err)
@@ -113,8 +127,60 @@ func main() {
 		fmt.Fprintf(os.Stderr, "tsvd-docs-check: %d finding(s)\n", len(findings))
 		os.Exit(1)
 	}
-	fmt.Printf("tsvd-docs-check: ok — %d files, %d links, %d Config fields, %d tsvd symbols, %d exported identifiers documented\n",
-		len(docs), links, fields, symbols, audited)
+	fmt.Printf("tsvd-docs-check: ok — %d files, %d links, %d Config fields, %d tsvd symbols, %d exported identifiers documented, %d Go files clear of legacy shims\n",
+		len(docs), links, fields, symbols, audited, scanned)
+}
+
+// legacyShims are the deprecated string-keyed interning entry points that the
+// site-id redesign replaced. They live on in internal/core for migration
+// tests and the legacy-equivalence suite, but nothing else may call them.
+var legacyShims = map[string]bool{"OnCallLegacy": true, "AccessLegacy": true}
+
+// banLegacyCalls walks every non-test Go file in the repository outside
+// internal/core (the shims' defining package) and reports any identifier
+// reference to a legacy shim. Matching is on AST identifiers, so comments and
+// string literals — including this file's own prose — never trip it. Returns
+// the findings and the number of files scanned.
+func banLegacyCalls(root string) ([]string, int, error) {
+	var findings []string
+	scanned := 0
+	fset := token.NewFileSet()
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == ".git" || name == "testdata" || relTo(root, path) == filepath.Join("internal", "core") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		f, err := parser.ParseFile(fset, path, nil, 0)
+		if err != nil {
+			return err
+		}
+		scanned++
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok || !legacyShims[id.Name] {
+				return true
+			}
+			pos := fset.Position(id.Pos())
+			findings = append(findings, fmt.Sprintf(
+				"%s:%d: deprecated legacy interning shim %s referenced outside internal/core — use the interned OnCall fast path",
+				relTo(root, pos.Filename), pos.Line, id.Name))
+			return true
+		})
+		return nil
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	return findings, scanned, nil
 }
 
 // docFiles returns every markdown file at the repository root and under

@@ -30,6 +30,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/harness"
 	"repro/internal/metrics"
+	"repro/internal/trace"
 	"repro/internal/trapfile"
 	"repro/internal/trapstore"
 	"repro/internal/workload"
@@ -94,13 +95,17 @@ func run() int {
 	defer store.Close()
 
 	suite := workload.GenerateSuite(*seed, *modules)
-	out := harness.Run(suite, harness.Options{
+	opts := harness.Options{
 		Config:      config.Defaults(config.AlgoTSVD).Scaled(*scale),
 		Runs:        *runs,
 		RunSeedBase: harness.Seed(1234),
 		Store:       store,
 		Metrics:     core.NewDetectorMetrics(clientReg),
-	})
+	}
+	// Tracing on: the tsvd_trace_* counters must reconcile against the same
+	// accounting the trace summary sidecar carries.
+	opts.Config.Trace = true
+	out := harness.Run(suite, opts)
 	if out.StoreErr != nil {
 		c.failf("suite store error: %v", out.StoreErr)
 		return 1
@@ -160,6 +165,21 @@ func run() int {
 		"tsvd_detector_instances":                      float64(*runs * len(suite.Modules)),
 		"tsvd_detector_parked_threads":                 0, // nothing runs anymore
 	}
+	// The trace-loss counters must mirror the summary sidecar a tsvd-run
+	// -trace invocation would write from this same outcome: emitted equals
+	// the sidecar's emitted, and dropped must be zero both ways (a drop
+	// silently corrupts triage explanation slices, so it must be visible).
+	sidecar := trace.Summary{
+		Version: trace.SchemaVersion,
+		Emitted: out.TraceTotals.Emitted,
+		Dropped: out.TraceTotals.Dropped,
+	}
+	if sidecar.Emitted == 0 {
+		c.failf("traced suite emitted no events; trace counters unexercised")
+	}
+	det["tsvd_trace_emitted_total"] = float64(sidecar.Emitted)
+	det["tsvd_trace_dropped_total"] = float64(sidecar.Dropped)
+	c.eq("trace sidecar", "tsvd_trace_dropped_total", got, 0)
 	for series, want := range det {
 		c.eq("detector", series, got, want)
 	}
@@ -264,6 +284,10 @@ func run() int {
 	c.eq("session", "tsvd_detector_on_calls_total", sgot, sessOps)
 	c.eq("session", "tsvd_detector_near_misses_total", sgot, 0)
 	c.eq("session", "tsvd_detector_instances", sgot, 1)
+	// An untraced session has no tracer at all: both trace counters must
+	// read zero, not merely "no drops".
+	c.eq("session", "tsvd_trace_emitted_total", sgot, 0)
+	c.eq("session", "tsvd_trace_dropped_total", sgot, 0)
 	sess.Close()
 
 	// --- Sampled mode at p=0 on the public API, exactly ---

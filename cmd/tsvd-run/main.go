@@ -9,6 +9,7 @@
 //	tsvd-run -scenarios
 //	tsvd-run -modules 20 -algo tsvdhb -v
 //	tsvd-run -modules 5 -trace /tmp/trace-out
+//	tsvd-run -modules 20 -triage /tmp/bugs-out
 //	tsvd-run -modules 30 -trapfile traps.json -trap-server http://127.0.0.1:8321
 //	tsvd-run -modules 50 -mode observe-only
 //	tsvd-run -modules 50 -mode sampled -overhead-target 0.01
@@ -48,6 +49,7 @@ import (
 	"repro/internal/report"
 	"repro/internal/trace"
 	"repro/internal/trapstore"
+	"repro/internal/triage"
 	"repro/internal/workload"
 )
 
@@ -68,6 +70,7 @@ func run() int {
 		trapsFile  = flag.String("trapfile", "", "local trap file to seed each run from and publish to (§3.4.6)")
 		trapServer = flag.String("trap-server", "", "tsvd-trapd base URL to share traps with across shards (fleet mode)")
 		traceDir   = flag.String("trace", "", "directory to write the detector event trace (events.jsonl, metrics.json, summary.json)")
+		triageDir  = flag.String("triage", "", "directory to write the clustered bug-triage report (bugs.json, bugs.md); implies tracing")
 		modeName   = flag.String("mode", "full", "sampling mode: full, sampled, observe-only (docs/SAMPLING.md)")
 		sampleProb = flag.Float64("sample-probability", 1.0, "per-site admission probability in sampled mode")
 		overhead   = flag.Float64("overhead-target", 0, "overhead fraction the sampler auto-throttles toward (0 = fixed probability)")
@@ -129,6 +132,15 @@ func run() int {
 	if *traceDir != "" {
 		opts.Config.Trace = true
 	}
+	var tri *triage.Triage
+	if *triageDir != "" {
+		// Triage needs the drained events for opportunity accounting and
+		// explanation slices, so -triage implies tracing even without -trace.
+		opts.Config.Trace = true
+		tri = triage.New()
+		opts.Triage = tri
+		opts.TriageProvenance = triage.Provenance{Source: "tsvd-run"}
+	}
 	if *verbose {
 		// Live heartbeat on stderr while the suite runs; the harness emits a
 		// final update on completion, so the last line always shows the full
@@ -176,6 +188,12 @@ func run() int {
 		var err error
 		metrics, err = writeTrace(*traceDir, algo.String(), *modules, *runs, out, storeTotals)
 		if err != nil {
+			fmt.Fprintf(os.Stderr, "tsvd-run: %v\n", err)
+			return 1
+		}
+	}
+	if tri != nil {
+		if err := triage.WriteDir(*triageDir, algo.String(), tri.Units(), tri.Clusters()); err != nil {
 			fmt.Fprintf(os.Stderr, "tsvd-run: %v\n", err)
 			return 1
 		}
@@ -232,6 +250,10 @@ func run() int {
 	if metrics != nil {
 		report.TraceSummary(os.Stdout, metrics, 15)
 		fmt.Printf("  trace written to %s\n", *traceDir)
+	}
+	if tri != nil {
+		fmt.Printf("  triage: %d cluster(s) from %d firing(s), written to %s\n",
+			len(tri.Clusters()), tri.FiringsFolded(), *triageDir)
 	}
 	if *verbose {
 		for _, bug := range out.Reports.Bugs() {

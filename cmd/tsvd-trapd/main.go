@@ -12,7 +12,9 @@
 //
 // The daemon speaks the trapstore wire schema on /v1/traps (GET snapshot
 // with an epoch-qualified ETag and O(delta) ?since= incremental responses,
-// POST merge), answers liveness probes on /healthz (JSON: status,
+// POST merge), serves a read-only triage view of the merged set on /v1/bugs
+// (one cluster per distinct dangerous pair, same ETag protocol; see
+// docs/OBSERVABILITY.md "Triage"), answers liveness probes on /healthz (JSON: status,
 // generation, epoch, pairs, uptime_seconds), and exposes Prometheus metrics
 // on /metrics (tsvd_trapd_* series; see docs/OBSERVABILITY.md). With -pprof
 // the standard net/http/pprof profiling endpoints are additionally mounted

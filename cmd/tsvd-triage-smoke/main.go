@@ -1,0 +1,284 @@
+// Command tsvd-triage-smoke is the end-to-end gate for the triage layer
+// (`make triage-smoke`). It enforces the headline triage contract on two
+// deployment surfaces:
+//
+//  1. In-process fleet: RunFleet with K=4 shards × R=3 rounds over one
+//     shared trap store, with tracing and one shared Triage attached. The
+//     planted bugs fire from multiple shards; triage must fold every firing
+//     into exactly one cluster per distinct planted bug (zero duplicates),
+//     every cluster must carry a reproducibility rank, and every cluster's
+//     explanation slice must name the victim object's access pair, the
+//     injected delay, and the absent happens-before ordering. The triage
+//     metric counters must agree with the cluster report.
+//  2. Real binaries: two same-seed `tsvd-run -trace` shards (the same bugs
+//     twice over) folded by `tsvd-triage` into one report whose cluster
+//     count equals the number of distinct sprung pairs across both traces —
+//     the cross-process dedup path CI dashboards consume.
+//
+// Exit status: 0 when every assertion holds, 1 otherwise.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/config"
+	"repro/internal/harness"
+	"repro/internal/metrics"
+	"repro/internal/trace"
+	"repro/internal/trapstore"
+	"repro/internal/triage"
+	"repro/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "tsvd-triage-smoke: FAIL: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("tsvd-triage-smoke: ok")
+}
+
+func run() error {
+	if err := fleetScenario(); err != nil {
+		return fmt.Errorf("fleet scenario: %w", err)
+	}
+	if err := cliScenario(); err != nil {
+		return fmt.Errorf("cli scenario: %w", err)
+	}
+	return nil
+}
+
+// fleetScenario runs the K×R in-process fleet and checks the one-cluster-
+// per-bug contract plus rank and explanation completeness.
+func fleetScenario() error {
+	const shards, rounds = 4, 3
+	suite := workload.GenerateSuite(2019, 12)
+	base := harness.Options{Config: config.Defaults(config.AlgoTSVD).Scaled(0.02)}
+	base.Config.Trace = true
+	tri := triage.New()
+	base.Triage = tri
+	reg := metrics.NewRegistry()
+	tri.RegisterMetrics(reg)
+	shared := trapstore.NewMemory("TSVD", nil)
+
+	out := harness.RunFleet(suite, shards, rounds, base, shared)
+	if out.StoreErr != nil {
+		return fmt.Errorf("store error: %v", out.StoreErr)
+	}
+	if len(out.Found) == 0 {
+		return fmt.Errorf("fleet caught no planted bugs; nothing to triage")
+	}
+
+	// Ground truth: the unordered loc-pair of every planted bug the fleet
+	// caught. Exactly one cluster per member, no cluster outside the set.
+	wantPairs := map[[2]string]bool{}
+	for key := range out.Found {
+		wantPairs[sortedPair(key.A.Key(), key.B.Key())] = true
+	}
+	clusters := tri.Clusters()
+	gotPairs := map[[2]string]int{}
+	for _, c := range clusters {
+		gotPairs[sortedPair(c.Sig.A.Loc, c.Sig.B.Loc)]++
+	}
+	for p, n := range gotPairs {
+		if n > 1 {
+			return fmt.Errorf("pair %v reported as %d clusters (duplicate reports)", p, n)
+		}
+		if !wantPairs[p] {
+			return fmt.Errorf("cluster pair %v is not a caught planted bug", p)
+		}
+	}
+	if len(gotPairs) != len(wantPairs) {
+		return fmt.Errorf("%d clusters for %d caught planted bugs", len(gotPairs), len(wantPairs))
+	}
+	fmt.Printf("fleet: %d firings folded into %d clusters, one per caught planted bug\n",
+		tri.FiringsFolded(), len(clusters))
+
+	multi := 0
+	for _, c := range clusters {
+		if c.Rank.Opportunities < c.Rank.FiringUnits || c.Rank.FiringUnits < 1 {
+			return fmt.Errorf("cluster %s: malformed rank %+v", c.ID, c.Rank)
+		}
+		if c.Rank.Low <= 0 || c.Rank.High > 1 {
+			return fmt.Errorf("cluster %s: confidence interval [%v, %v] out of range",
+				c.ID, c.Rank.Low, c.Rank.High)
+		}
+		if c.First.Shard == 0 || c.First.Round == 0 || c.First.Mode == "" {
+			return fmt.Errorf("cluster %s: missing fleet provenance %+v", c.ID, c.First)
+		}
+		if c.First.Shard != c.Last.Shard {
+			multi++
+		}
+		ex := c.Explanation
+		if ex == nil {
+			return fmt.Errorf("cluster %s: no explanation slice", c.ID)
+		}
+		pair := sortedPair(c.Sig.A.Loc, c.Sig.B.Loc)
+		if sortedPair(ex.TrappedLoc, ex.ConflictingLoc) != pair {
+			return fmt.Errorf("cluster %s: explanation names pair %s/%s, cluster is %v",
+				c.ID, ex.TrappedLoc, ex.ConflictingLoc, pair)
+		}
+		if ex.Object == 0 {
+			return fmt.Errorf("cluster %s: explanation names no victim object", c.ID)
+		}
+		if ex.GrantedDelayUS <= 0 && ex.InjectedDelayUS <= 0 {
+			return fmt.Errorf("cluster %s: explanation names no injected delay", c.ID)
+		}
+		if ex.HBOrdered {
+			return fmt.Errorf("cluster %s: sprung pair claims a happens-before ordering", c.ID)
+		}
+		if !strings.Contains(ex.Verdict, "no happens-before") {
+			return fmt.Errorf("cluster %s: verdict omits the absent HB ordering: %s", c.ID, ex.Verdict)
+		}
+	}
+	fmt.Printf("fleet: %d cluster(s) seen from more than one shard\n", multi)
+
+	// The metric counters must agree with the cluster report.
+	got := scrape(reg)
+	if got["tsvd_triage_clusters_total"] != float64(len(clusters)) {
+		return fmt.Errorf("tsvd_triage_clusters_total = %v, want %d",
+			got["tsvd_triage_clusters_total"], len(clusters))
+	}
+	if got["tsvd_triage_firings_folded_total"] != float64(tri.FiringsFolded()) {
+		return fmt.Errorf("tsvd_triage_firings_folded_total = %v, want %d",
+			got["tsvd_triage_firings_folded_total"], tri.FiringsFolded())
+	}
+	return nil
+}
+
+// cliScenario drives the real tsvd-run and tsvd-triage binaries: two
+// same-seed shards produce duplicate bugs; the CLI must fold them.
+func cliScenario() error {
+	dir, err := os.MkdirTemp("", "tsvd-triage-smoke-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	runBin := filepath.Join(dir, "tsvd-run")
+	triageBin := filepath.Join(dir, "tsvd-triage")
+	for bin, pkg := range map[string]string{runBin: "./cmd/tsvd-run", triageBin: "./cmd/tsvd-triage"} {
+		if out, err := exec.Command("go", "build", "-o", bin, pkg).CombinedOutput(); err != nil {
+			return fmt.Errorf("go build %s: %v\n%s", pkg, err, out)
+		}
+	}
+
+	traceDirs := []string{filepath.Join(dir, "shard1"), filepath.Join(dir, "shard2")}
+	for _, td := range traceDirs {
+		// Same seed in both shards: the same planted bugs fire twice across
+		// "machines", the duplicate-heavy case dedup exists for.
+		cmd := exec.Command(runBin, "-modules", "10", "-runs", "1", "-seed", "2019", "-trace", td)
+		if out, err := cmd.CombinedOutput(); err != nil {
+			return fmt.Errorf("%s: %v\n%s", td, err, out)
+		}
+	}
+
+	// Ground truth from the traces themselves: distinct sprung pairs.
+	sprung := map[[2]string]int{}
+	for _, td := range traceDirs {
+		f, err := os.Open(filepath.Join(td, "events.jsonl"))
+		if err != nil {
+			return err
+		}
+		jes, err := trace.ReadJSONL(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		for _, je := range jes {
+			if je.Ev == trace.KindTrapSprung.String() {
+				sprung[sortedPair(je.LocA, je.LocB)]++
+			}
+		}
+	}
+	if len(sprung) == 0 {
+		return fmt.Errorf("no trap_sprung events in either trace; nothing to triage")
+	}
+
+	outDir := filepath.Join(dir, "bugs")
+	cmd := exec.Command(triageBin, "-out", outDir, traceDirs[0], traceDirs[1])
+	if out, err := cmd.CombinedOutput(); err != nil {
+		return fmt.Errorf("tsvd-triage: %v\n%s", err, out)
+	}
+
+	raw, err := os.ReadFile(filepath.Join(outDir, "bugs.json"))
+	if err != nil {
+		return err
+	}
+	var rep struct {
+		Clusters int   `json:"clusters"`
+		Firings  int64 `json:"firings_folded"`
+		Bugs     []struct {
+			ID    string `json:"id"`
+			SiteA struct {
+				Loc string `json:"loc"`
+			} `json:"site_a"`
+			SiteB struct {
+				Loc string `json:"loc"`
+			} `json:"site_b"`
+		} `json:"bugs"`
+	}
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return fmt.Errorf("parse bugs.json: %w", err)
+	}
+	if rep.Clusters != len(sprung) {
+		return fmt.Errorf("%d clusters for %d distinct sprung pairs (duplicates not folded)",
+			rep.Clusters, len(sprung))
+	}
+	var firings int64
+	for _, n := range sprung {
+		firings += int64(n)
+	}
+	if rep.Firings != firings {
+		return fmt.Errorf("folded %d firings, traces contain %d springs", rep.Firings, firings)
+	}
+	seen := map[string]bool{}
+	for _, b := range rep.Bugs {
+		if seen[b.ID] {
+			return fmt.Errorf("duplicate cluster id %s in bugs.json", b.ID)
+		}
+		seen[b.ID] = true
+		if sprung[sortedPair(b.SiteA.Loc, b.SiteB.Loc)] == 0 {
+			return fmt.Errorf("cluster %s pair (%s, %s) never sprang in the traces",
+				b.ID, b.SiteA.Loc, b.SiteB.Loc)
+		}
+	}
+	fmt.Printf("cli: 2 same-seed shards, %d springs folded into %d clusters\n",
+		firings, rep.Clusters)
+	return nil
+}
+
+// sortedPair orders a loc pair for set membership.
+func sortedPair(a, b string) [2]string {
+	if b < a {
+		a, b = b, a
+	}
+	return [2]string{a, b}
+}
+
+// scrape reads every counter family from reg into a name → value map
+// (single-series families only, which is all triage exports).
+func scrape(reg *metrics.Registry) map[string]float64 {
+	var buf strings.Builder
+	reg.WritePrometheus(&buf)
+	out := map[string]float64{}
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, val, ok := strings.Cut(line, " ")
+		if !ok {
+			continue
+		}
+		var f float64
+		if _, err := fmt.Sscanf(val, "%g", &f); err == nil {
+			out[name] = f
+		}
+	}
+	return out
+}

@@ -111,6 +111,12 @@ func NewDetectorMetrics(reg *metrics.Registry) *DetectorMetrics {
 	counter("tsvd_sampler_throttles_total",
 		"Adaptive-sampling controller adjustments toward the overhead target.",
 		func(s Stats) float64 { return float64(s.SamplerThrottles) })
+	reg.CounterFunc("tsvd_trace_emitted_total",
+		"Trace events accepted into the per-detector ring buffers.",
+		func() float64 { e, _ := m.traceTotals(); return float64(e) })
+	reg.CounterFunc("tsvd_trace_dropped_total",
+		"Trace events lost to ring overflow (non-zero corrupts explanation slices; see docs/OBSERVABILITY.md).",
+		func() float64 { _, d := m.traceTotals(); return float64(d) })
 	reg.GaugeFunc("tsvd_sampler_probability",
 		"Minimum current global admission probability across attached sampled-mode detectors (1 when none).",
 		func() float64 { return m.samplerProbability() })
@@ -182,6 +188,19 @@ func (m *DetectorMetrics) samplerProbability() float64 {
 		}
 	}
 	return p
+}
+
+// traceTotals sums the attached tracers' cumulative emit/drop counters.
+// Detectors without tracing attach a nil tracer, whose Totals are zero.
+func (m *DetectorMetrics) traceTotals() (emitted, dropped int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, r := range m.rts {
+		t := r.tr.Totals()
+		emitted += t.Emitted
+		dropped += t.Dropped
+	}
+	return emitted, dropped
 }
 
 func (m *DetectorMetrics) parked() int64 {

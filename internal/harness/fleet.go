@@ -6,6 +6,7 @@ import (
 	"repro/internal/report"
 	"repro/internal/trace"
 	"repro/internal/trapstore"
+	"repro/internal/triage"
 	"repro/internal/workload"
 )
 
@@ -104,6 +105,16 @@ func RunFleet(suite *workload.Suite, shards, rounds int, base Options, shared tr
 			// shards are different machines running the same tests.
 			o.RunSeedBase = Seed(base.runSeedBase() + int64(sh)*1_000_003 + int64(round)*7919)
 			o.Config.Seed = base.Config.Seed + int64(sh)*104_729 + int64(round)*15_485_863
+			if o.Triage != nil {
+				// Each (shard, round) run is one triage unit with full fleet
+				// provenance, so clusters report where and when they fired.
+				o.TriageProvenance = triage.Provenance{
+					Shard: sh + 1, Round: round,
+					Seed:   o.Config.Seed,
+					Mode:   o.Config.Mode.String(),
+					Source: "fleet",
+				}
+			}
 			ro := Run(suite, o)
 
 			if ro.StoreErr != nil {

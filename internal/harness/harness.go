@@ -23,6 +23,7 @@ import (
 	"repro/internal/trace"
 	"repro/internal/trapfile"
 	"repro/internal/trapstore"
+	"repro/internal/triage"
 	"repro/internal/workload"
 )
 
@@ -66,6 +67,16 @@ type Options struct {
 	// mid-suite reports the suite-wide counters while modules are still
 	// running.
 	Metrics *core.DetectorMetrics
+	// Triage, when non-nil, receives the whole suite execution as one
+	// triage unit when Run returns: every raw violation folds into its
+	// signature cluster and the drained traces feed opportunity accounting
+	// and explanation slices (internal/triage). Shared safely across
+	// concurrent Run calls — RunFleet attaches one Triage to every shard.
+	Triage *triage.Triage
+	// TriageProvenance labels the unit Triage receives (shard, round, seed,
+	// mode, source). Zero-valued fields are filled from Config where
+	// possible (Seed, Mode).
+	TriageProvenance triage.Provenance
 	// Progress, when non-nil, receives a heartbeat every ProgressInterval
 	// while the suite runs, plus one final update after the last module
 	// completes. Updates are delivered sequentially, never concurrently;
@@ -292,6 +303,16 @@ func Run(suite *workload.Suite, opts Options) *Outcome {
 	}
 	out.ModulesWithBugs = len(modulesWithFound)
 	out.FinalTraps = unionTraps(traps)
+	if opts.Triage != nil {
+		prov := opts.TriageProvenance
+		if prov.Seed == 0 {
+			prov.Seed = opts.Config.Seed
+		}
+		if prov.Mode == "" {
+			prov.Mode = opts.Config.Mode.String()
+		}
+		opts.Triage.AddRun(out.Reports, out.Traces, prov)
+	}
 	return out
 }
 

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"time"
 
 	"repro/internal/ids"
 	"repro/internal/sites"
@@ -20,8 +21,12 @@ import (
 // summary carries the sidecar site table resolving each id to its
 // (location, class, method, kind) tuple, so traces survive renames of the
 // API strings and cross-process comparison goes through stable tuples
-// rather than process-local ids.
-const SchemaVersion = 4
+// rather than process-local ids. Version 5 added the per-stream event index
+// `i` (1-based, strictly increasing within one module-run stream): drained
+// events are sorted by (timestamp, emission sequence), but t_us alone has
+// microsecond ties, and the explanation slices internal/triage carves need
+// the exact event order to survive the round-trip through JSONL.
+const SchemaVersion = 5
 
 // JSONEvent is the wire form of one event: one JSON object per line
 // (docs/OBSERVABILITY.md documents the schema field by field). Locations are
@@ -30,8 +35,12 @@ const SchemaVersion = 4
 // references (schema v4) resolve through the producing detector's site
 // registry the same way; 0 means the op had no registered site.
 type JSONEvent struct {
-	V      int    `json:"v"`
-	Ev     string `json:"ev"`
+	V  int    `json:"v"`
+	Ev string `json:"ev"`
+	// I is the 1-based event index within its module-run stream (schema
+	// v5): the tie-breaker that preserves exact drained order across the
+	// JSONL round-trip, since t_us has microsecond ties.
+	I      int64  `json:"i"`
 	Module string `json:"module,omitempty"`
 	Run    int    `json:"run,omitempty"`
 	TUS    int64  `json:"t_us"`
@@ -86,8 +95,10 @@ func jsonEventOf(module string, run int, e Event, reg *sites.Registry) JSONEvent
 func WriteJSONL(w io.Writer, mt ModuleTrace, reg *sites.Registry) error {
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
-	for _, e := range mt.Events {
-		if err := enc.Encode(jsonEventOf(mt.Module, mt.Run, e, reg)); err != nil {
+	for i, e := range mt.Events {
+		je := jsonEventOf(mt.Module, mt.Run, e, reg)
+		je.I = int64(i) + 1
+		if err := enc.Encode(je); err != nil {
 			return fmt.Errorf("trace: encode event: %w", err)
 		}
 	}
@@ -135,15 +146,47 @@ var pairKinds = map[Kind]bool{
 	KindPairPrunedDecay: true,
 }
 
-// ValidateJSONL checks every line of r against the schema and returns the
-// event counts by kind — the input of reconciliation against core.Stats.
-// The first malformed line fails the whole stream: a trace that cannot be
-// trusted line-by-line cannot be reconciled at all.
-func ValidateJSONL(r io.Reader) (map[string]int64, error) {
-	counts := map[string]int64{}
+// checkLine validates one parsed wire event; line is for error context.
+func checkLine(je JSONEvent, line int) error {
+	if je.V != SchemaVersion {
+		return fmt.Errorf("trace: line %d: schema version %d, want %d", line, je.V, SchemaVersion)
+	}
+	k, ok := KindFromString(je.Ev)
+	if !ok {
+		return fmt.Errorf("trace: line %d: unknown event kind %q", line, je.Ev)
+	}
+	if je.I < 1 {
+		return fmt.Errorf("trace: line %d: event index %d, want >= 1", line, je.I)
+	}
+	if je.TUS < 0 {
+		return fmt.Errorf("trace: line %d: negative timestamp %d", line, je.TUS)
+	}
+	if je.DurUS < 0 {
+		return fmt.Errorf("trace: line %d: negative duration %d", line, je.DurUS)
+	}
+	if je.OpA == 0 {
+		return fmt.Errorf("trace: line %d: %s event without op_a", line, je.Ev)
+	}
+	if pairKinds[k] && je.OpB == 0 {
+		return fmt.Errorf("trace: line %d: %s event without op_b", line, je.Ev)
+	}
+	return nil
+}
+
+// scanJSONL parses and validates r line by line, calling fn per event. The
+// first malformed line fails the whole stream: a trace that cannot be
+// trusted line-by-line cannot be reconciled at all. Indexes must be
+// strictly increasing within each (module, run) stream — the writer's
+// guarantee, and the property that makes the order reconstructible.
+func scanJSONL(r io.Reader, fn func(JSONEvent)) error {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
 	line := 0
+	type streamKey struct {
+		module string
+		run    int
+	}
+	lastIdx := map[streamKey]int64{}
 	for sc.Scan() {
 		line++
 		raw := sc.Bytes()
@@ -152,33 +195,98 @@ func ValidateJSONL(r io.Reader) (map[string]int64, error) {
 		}
 		var je JSONEvent
 		if err := json.Unmarshal(raw, &je); err != nil {
-			return nil, fmt.Errorf("trace: line %d: invalid JSON: %w", line, err)
+			return fmt.Errorf("trace: line %d: invalid JSON: %w", line, err)
 		}
-		if je.V != SchemaVersion {
-			return nil, fmt.Errorf("trace: line %d: schema version %d, want %d", line, je.V, SchemaVersion)
+		if err := checkLine(je, line); err != nil {
+			return err
 		}
-		k, ok := KindFromString(je.Ev)
-		if !ok {
-			return nil, fmt.Errorf("trace: line %d: unknown event kind %q", line, je.Ev)
+		sk := streamKey{je.Module, je.Run}
+		if last := lastIdx[sk]; je.I <= last {
+			return fmt.Errorf("trace: line %d: event index %d not increasing (last %d) in stream %s/%d",
+				line, je.I, last, je.Module, je.Run)
 		}
-		if je.TUS < 0 {
-			return nil, fmt.Errorf("trace: line %d: negative timestamp %d", line, je.TUS)
-		}
-		if je.DurUS < 0 {
-			return nil, fmt.Errorf("trace: line %d: negative duration %d", line, je.DurUS)
-		}
-		if je.OpA == 0 {
-			return nil, fmt.Errorf("trace: line %d: %s event without op_a", line, je.Ev)
-		}
-		if pairKinds[k] && je.OpB == 0 {
-			return nil, fmt.Errorf("trace: line %d: %s event without op_b", line, je.Ev)
-		}
-		counts[je.Ev]++
+		lastIdx[sk] = je.I
+		fn(je)
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("trace: read: %w", err)
+		return fmt.Errorf("trace: read: %w", err)
+	}
+	return nil
+}
+
+// ValidateJSONL checks every line of r against the schema and returns the
+// event counts by kind — the input of reconciliation against core.Stats.
+func ValidateJSONL(r io.Reader) (map[string]int64, error) {
+	counts := map[string]int64{}
+	err := scanJSONL(r, func(je JSONEvent) { counts[je.Ev]++ })
+	if err != nil {
+		return nil, err
 	}
 	return counts, nil
+}
+
+// ReadJSONL parses and validates every line of r, returning the wire events
+// in stream order — the consumer half of WriteJSONL, used by tsvd-triage
+// and the round-trip tests.
+func ReadJSONL(r io.Reader) ([]JSONEvent, error) {
+	var out []JSONEvent
+	err := scanJSONL(r, func(je JSONEvent) { out = append(out, je) })
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// EventOf converts one wire event back to the in-memory form. Locations
+// re-intern through their stable keys, so an op resolved in the consuming
+// process compares equal (by key) with the producer's; events whose ops
+// were never key-interned fall back to the raw numeric id.
+func EventOf(je JSONEvent) Event {
+	k, _ := KindFromString(je.Ev)
+	e := Event{
+		Kind:   k,
+		Thread: ids.ThreadID(je.Thread),
+		Obj:    ids.ObjectID(je.Obj),
+		At:     time.Duration(je.TUS) * time.Microsecond,
+		Dur:    time.Duration(je.DurUS) * time.Microsecond,
+	}
+	e.OpA = opOf(je.OpA, je.LocA)
+	e.OpB = opOf(je.OpB, je.LocB)
+	return e
+}
+
+// opOf maps a wire op reference to an OpID: by stable key when the
+// producer resolved one, by raw id otherwise.
+func opOf(raw uint64, loc string) ids.OpID {
+	if loc != "" {
+		return ids.InternKey(loc)
+	}
+	return ids.OpID(raw)
+}
+
+// ModuleTracesOf regroups wire events into per-(module, run) traces, each
+// stream ordered by its v5 event index — the inverse of writing every
+// module trace into one events.jsonl. Emitted counts the events present;
+// drop accounting lives in the summary sidecar, not the event stream.
+func ModuleTracesOf(jes []JSONEvent) []ModuleTrace {
+	type streamKey struct {
+		module string
+		run    int
+	}
+	idx := map[streamKey]int{}
+	var out []ModuleTrace
+	for _, je := range jes {
+		sk := streamKey{je.Module, je.Run}
+		i, ok := idx[sk]
+		if !ok {
+			i = len(out)
+			idx[sk] = i
+			out = append(out, ModuleTrace{Module: je.Module, Run: je.Run})
+		}
+		out[i].Events = append(out[i].Events, EventOf(je))
+		out[i].Emitted++
+	}
+	return out
 }
 
 // StatTotals are the core.Stats counters that have an exact event-count

@@ -1,0 +1,128 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/ids"
+	"repro/internal/sites"
+)
+
+// richTraces fabricates two module traces exercising every aggregation
+// path: pair events, single-loc delay events, same-loc near misses, and
+// multiple runs of one module.
+func richTraces(t *testing.T) ([]ModuleTrace, *sites.Registry) {
+	t.Helper()
+	reg := sites.New()
+	a := ids.InternKey("rt/mod1/site1")
+	b := ids.InternKey("rt/mod1/site2")
+	c := ids.InternKey("rt/mod2/site1")
+	reg.ForCall(a, "Map", "Store", true)
+	reg.ForCall(b, "Map", "Load", false)
+	reg.ForCall(c, "Slice", "Append", true)
+	us := func(n int64) time.Duration { return time.Duration(n) * time.Microsecond }
+	return []ModuleTrace{
+		{Module: "mod1", Run: 1, Emitted: 5, Events: []Event{
+			{Kind: KindNearMiss, Thread: 1, Obj: 9, OpA: a, OpB: b, At: us(5), Dur: us(2)},
+			{Kind: KindPairAdded, Thread: 1, Obj: 9, OpA: a, OpB: b, At: us(5)},
+			{Kind: KindDelayPlanned, Thread: 2, Obj: 9, OpA: a, At: us(7)},
+			{Kind: KindTrapSet, Thread: 2, Obj: 9, OpA: a, At: us(7), Dur: us(100)},
+			{Kind: KindTrapSprung, Thread: 3, Obj: 9, OpA: a, OpB: b, At: us(9)},
+		}},
+		{Module: "mod1", Run: 2, Emitted: 2, Events: []Event{
+			// Same-loc near miss: aggregation must count it once, not twice.
+			{Kind: KindNearMiss, Thread: 4, Obj: 11, OpA: b, OpB: b, At: us(3), Dur: us(1)},
+			{Kind: KindDelayInjected, Thread: 4, Obj: 11, OpA: b, At: us(8), Dur: us(50)},
+		}},
+		{Module: "mod2", Run: 1, Emitted: 2, Events: []Event{
+			{Kind: KindHBEdge, Thread: 5, Obj: 12, OpA: c, OpB: a, At: us(2), Dur: us(4)},
+			{Kind: KindPairPrunedHB, Thread: 5, Obj: 12, OpA: c, OpB: a, At: us(2)},
+		}},
+	}, reg
+}
+
+// TestJSONLFullRoundTrip guards the v5 schema: writing every module trace
+// to JSONL, parsing it back, and re-aggregating must reproduce metrics.json
+// byte for byte, and the regrouped traces must preserve module, run, order,
+// and every event field that aggregation consumes.
+func TestJSONLFullRoundTrip(t *testing.T) {
+	mods, reg := richTraces(t)
+	var jsonl bytes.Buffer
+	for _, mt := range mods {
+		if err := WriteJSONL(&jsonl, mt, reg); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	jes, err := ReadJSONL(bytes.NewReader(jsonl.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := ModuleTracesOf(jes)
+	if len(back) != len(mods) {
+		t.Fatalf("round-trip produced %d traces, want %d", len(back), len(mods))
+	}
+	for i, mt := range back {
+		want := mods[i]
+		if mt.Module != want.Module || mt.Run != want.Run {
+			t.Fatalf("trace %d = %s/%d, want %s/%d", i, mt.Module, mt.Run, want.Module, want.Run)
+		}
+		if len(mt.Events) != len(want.Events) {
+			t.Fatalf("trace %d has %d events, want %d", i, len(mt.Events), len(want.Events))
+		}
+		for j, e := range mt.Events {
+			w := want.Events[j]
+			// seq is process-local and deliberately not on the wire; the v5
+			// index preserved the order instead. Everything else must match.
+			if e.Kind != w.Kind || e.Thread != w.Thread || e.Obj != w.Obj ||
+				e.OpA != w.OpA || e.OpB != w.OpB || e.At != w.At || e.Dur != w.Dur {
+				t.Fatalf("trace %d event %d = %+v, want %+v", i, j, e, w)
+			}
+		}
+	}
+
+	// Re-aggregation must reproduce metrics.json exactly. Same process, so
+	// InternKey gives back identical OpIDs and the comparison is bytewise.
+	var orig, rt bytes.Buffer
+	if err := Aggregate(mods).WriteJSON(&orig); err != nil {
+		t.Fatal(err)
+	}
+	if err := Aggregate(back).WriteJSON(&rt); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(orig.Bytes(), rt.Bytes()) {
+		t.Fatalf("re-aggregated metrics diverge:\noriginal:\n%s\nround-trip:\n%s", &orig, &rt)
+	}
+}
+
+// TestSummarySitesRoundTrip guards the sites sidecar: the summary's site
+// table must survive WriteSummary/ReadSummary exactly.
+func TestSummarySitesRoundTrip(t *testing.T) {
+	_, reg := richTraces(t)
+	s := &Summary{
+		Version: SchemaVersion, Tool: "tsvd-test", Modules: 2, Runs: 2,
+		Emitted: 9, Drained: 9,
+		ByKind: map[string]int64{"near_miss": 2},
+		Sites:  SiteTable(reg),
+	}
+	if len(s.Sites) != 3 {
+		t.Fatalf("site table has %d rows, want 3", len(s.Sites))
+	}
+	var buf bytes.Buffer
+	if err := s.WriteSummary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSummary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Sites) != len(s.Sites) {
+		t.Fatalf("round-trip has %d sites, want %d", len(got.Sites), len(s.Sites))
+	}
+	for i, site := range got.Sites {
+		if site != s.Sites[i] {
+			t.Fatalf("site %d = %+v, want %+v", i, site, s.Sites[i])
+		}
+	}
+}

@@ -188,12 +188,15 @@ func TestJSONLRoundTripAndValidate(t *testing.T) {
 func TestValidateJSONLRejectsMalformed(t *testing.T) {
 	cases := map[string]string{
 		"bad json":          "{nope\n",
-		"wrong version":     `{"v":9,"ev":"near_miss","t_us":1,"op_a":1,"op_b":2}` + "\n",
-		"unknown kind":      `{"v":4,"ev":"bogus","t_us":1,"op_a":1}` + "\n",
-		"negative time":     `{"v":4,"ev":"trap_set","t_us":-1,"op_a":1}` + "\n",
-		"negative duration": `{"v":4,"ev":"trap_set","t_us":1,"dur_us":-5,"op_a":1}` + "\n",
-		"missing op_a":      `{"v":4,"ev":"trap_set","t_us":1}` + "\n",
-		"pair without op_b": `{"v":4,"ev":"near_miss","t_us":1,"op_a":1}` + "\n",
+		"wrong version":     `{"v":9,"ev":"near_miss","i":1,"t_us":1,"op_a":1,"op_b":2}` + "\n",
+		"unknown kind":      `{"v":5,"ev":"bogus","i":1,"t_us":1,"op_a":1}` + "\n",
+		"negative time":     `{"v":5,"ev":"trap_set","i":1,"t_us":-1,"op_a":1}` + "\n",
+		"negative duration": `{"v":5,"ev":"trap_set","i":1,"t_us":1,"dur_us":-5,"op_a":1}` + "\n",
+		"missing op_a":      `{"v":5,"ev":"trap_set","i":1,"t_us":1}` + "\n",
+		"pair without op_b": `{"v":5,"ev":"near_miss","i":1,"t_us":1,"op_a":1}` + "\n",
+		"missing index":     `{"v":5,"ev":"trap_set","t_us":1,"op_a":1}` + "\n",
+		"index not increasing": `{"v":5,"ev":"trap_set","i":2,"t_us":1,"op_a":1}` + "\n" +
+			`{"v":5,"ev":"trap_set","i":2,"t_us":2,"op_a":1}` + "\n",
 	}
 	for name, line := range cases {
 		if _, err := ValidateJSONL(strings.NewReader(line)); err == nil {
@@ -201,7 +204,7 @@ func TestValidateJSONLRejectsMalformed(t *testing.T) {
 		}
 	}
 	// Blank lines are tolerated (files are concatenated in the harness).
-	good := `{"v":4,"ev":"trap_set","t_us":1,"op_a":7}` + "\n\n"
+	good := `{"v":5,"ev":"trap_set","i":1,"t_us":1,"op_a":7}` + "\n\n"
 	if _, err := ValidateJSONL(strings.NewReader(good)); err != nil {
 		t.Fatalf("blank line rejected: %v", err)
 	}
@@ -359,9 +362,9 @@ func TestReconcileStoreTotals(t *testing.T) {
 }
 
 func TestValidateJSONLStoreKinds(t *testing.T) {
-	lines := `{"v":4,"ev":"store_fetch","t_us":1,"op_a":7,"loc_a":"trapstore:http://x"}
-{"v":4,"ev":"store_publish","t_us":2,"op_a":7}
-{"v":4,"ev":"store_fallback","t_us":3,"op_a":7}
+	lines := `{"v":5,"ev":"store_fetch","i":1,"t_us":1,"op_a":7,"loc_a":"trapstore:http://x"}
+{"v":5,"ev":"store_publish","i":2,"t_us":2,"op_a":7}
+{"v":5,"ev":"store_fallback","i":3,"t_us":3,"op_a":7}
 `
 	counts, err := ValidateJSONL(strings.NewReader(lines))
 	if err != nil {

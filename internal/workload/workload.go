@@ -168,18 +168,19 @@ type site struct {
 }
 
 // call reports the access and performs a small unit of work standing in for
-// the container operation. It deliberately goes through the string-keyed
-// compatibility shim rather than pre-interned SiteIDs: the scenario suite is
-// what proves the legacy path detects exactly what the native path does.
+// the container operation. It uses the native prologue — a per-call
+// registry lookup resolving the interned SiteID — exactly as generated
+// instrumentation would; legacy-shim equivalence is proven separately by
+// internal/core's legacy-equivalence test, so the suite no longer routes
+// its hot path through the deprecated string-keyed API.
 func (e *Env) call(s site, obj ids.ObjectID) {
 	if e.Det != nil {
-		core.OnCallLegacy(e.Det, core.AccessLegacy{
+		e.Det.OnCall(core.Access{
 			Thread: ids.CurrentThreadID(),
 			Obj:    obj,
 			Op:     s.op,
+			Site:   e.Det.Sites().ForCall(s.op, s.class, s.method, s.kind == core.KindWrite),
 			Kind:   s.kind,
-			Class:  s.class,
-			Method: s.method,
 		})
 	}
 	busyWork()
